@@ -1,0 +1,132 @@
+// Command cmopt reproduces the analytical results of the paper: the
+// Figure 1 disk parameter table, the Figure 5 capacity curves (both
+// buffer sizes), per-scheme optimal operating points (the Figure 4
+// computeOptimal procedure), and the E9 staggered-buffering ablation.
+//
+// Usage:
+//
+//	cmopt                 # Figure 5, both panels
+//	cmopt -params         # Figure 1 parameter table
+//	cmopt -optimal        # computeOptimal for every scheme
+//	cmopt -staggered      # E9 staggered-buffering ablation
+//	cmopt -rebuild        # E11 rebuild-time/MTTDL ablation
+//	cmopt -conservatism   # E13 Equation-1 conservatism ablation
+//	cmopt -csv            # CSV output (Figure 5 and -rebuild)
+//	cmopt -buffer 512MB   # custom buffer size
+//	cmopt -d 64           # custom array width (with -optimal)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/cliutil"
+	"ftcms/internal/experiments"
+	"ftcms/internal/trace"
+	"ftcms/internal/units"
+)
+
+func main() {
+	params := flag.Bool("params", false, "print the Figure 1 disk parameter table")
+	optimal := flag.Bool("optimal", false, "print computeOptimal (Figure 4) results per scheme")
+	staggered := flag.Bool("staggered", false, "print the E9 staggered-buffering ablation")
+	rebuild := flag.Bool("rebuild", false, "print the E11 rebuild-time/MTTDL ablation")
+	conservatism := flag.Bool("conservatism", false, "print the E13 Equation-1 conservatism ablation")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of a table (Figure 5 and -rebuild)")
+	bufferFlag := flag.String("buffer", "", "buffer size (e.g. 256MB, 2GB); default: both paper sizes")
+	d := flag.Int("d", 32, "number of disks")
+	flag.Parse()
+
+	if *params {
+		if err := experiments.WriteFigure1(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	buffers := experiments.BufferSizes
+	if *bufferFlag != "" {
+		b, err := cliutil.ParseSize(*bufferFlag)
+		if err != nil {
+			fatal(err)
+		}
+		buffers = []units.Bits{b}
+	}
+
+	switch {
+	case *optimal:
+		for _, b := range buffers {
+			cfg := experiments.PaperAnalyticConfig(b)
+			cfg.D = *d
+			fmt.Printf("computeOptimal — d=%d, B=%v\n", *d, b)
+			for _, s := range analytic.Schemes() {
+				res, err := analytic.Optimize(cfg, s)
+				if err != nil {
+					fmt.Printf("  %-36s infeasible: %v\n", s, err)
+					continue
+				}
+				fmt.Printf("  %-36s p=%-3d b=%-9v q=%-3d f=%-3d -> %d clips\n",
+					s, res.P, res.Block, res.Q, res.F, res.Clips)
+			}
+			fmt.Println()
+		}
+	case *staggered:
+		for _, b := range buffers {
+			if err := experiments.WriteStaggeredAblation(os.Stdout, b); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	case *conservatism:
+		for _, b := range buffers {
+			if err := experiments.WriteConservatismAblation(os.Stdout, b, 500, 1); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	case *rebuild:
+		for _, b := range buffers {
+			if *csvOut {
+				pts, err := experiments.RebuildAblation(b)
+				if err != nil {
+					fatal(err)
+				}
+				if err := trace.WriteRebuildCSV(os.Stdout, pts); err != nil {
+					fatal(err)
+				}
+				continue
+			}
+			if err := experiments.WriteRebuildAblation(os.Stdout, b); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	default:
+		if *d != 32 {
+			fatal(fmt.Errorf("Figure 5 is defined for d=32; use -optimal with -d"))
+		}
+		for _, b := range buffers {
+			if *csvOut {
+				pts, err := experiments.Figure5(b)
+				if err != nil {
+					fatal(err)
+				}
+				if err := trace.WriteFigure5CSV(os.Stdout, pts); err != nil {
+					fatal(err)
+				}
+				continue
+			}
+			if err := experiments.WriteFigure5(os.Stdout, b); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,195 @@
+// Command cmserve is a demonstration TCP streaming server built on the
+// core library: it stores synthetic clips in a fault-tolerant array,
+// paces rounds in (scaled) real time, and streams clip bytes to TCP
+// clients while tolerating a disk failure injected at runtime.
+//
+// Protocol: a client connects and sends one line, "PLAY <clip>\n"; the
+// server responds with the clip bytes as rounds deliver them, then
+// closes. "LIST\n" returns the clip names. "FAIL <disk>\n" injects a
+// failure (for demos; a real deployment would not expose this).
+//
+// Usage:
+//
+//	cmserve -addr :9000 -scheme declustered -d 7 -p 3 -clips 4 -speed 100
+//
+// speed scales time: 100 means rounds run 100x faster than real playback.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+
+	"strings"
+	"sync"
+	"time"
+
+	"ftcms/internal/core"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/units"
+)
+
+type server struct {
+	mu  sync.Mutex
+	srv *core.Server
+}
+
+func main() {
+	addr := flag.String("addr", ":9000", "listen address")
+	schemeFlag := flag.String("scheme", "declustered", "fault-tolerance scheme")
+	d := flag.Int("d", 7, "disks")
+	p := flag.Int("p", 3, "parity group size")
+	nclips := flag.Int("clips", 4, "synthetic clips to store")
+	clipKB := flag.Int("clipkb", 256, "clip size in KB")
+	speed := flag.Float64("speed", 100, "time acceleration factor")
+	flag.Parse()
+
+	cs, err := core.New(core.Config{
+		Scheme: core.Scheme(*schemeFlag),
+		Disk:   diskmodel.Default(),
+		D:      *d,
+		P:      *p,
+		Block:  64 * units.KB,
+		Q:      8,
+		F:      2,
+		Buffer: 256 * units.MB,
+	})
+	if err != nil {
+		log.Fatalf("cmserve: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < *nclips; i++ {
+		data := make([]byte, *clipKB*1000)
+		rng.Read(data)
+		name := fmt.Sprintf("clip-%d", i)
+		if err := cs.AddClip(name, data); err != nil {
+			log.Fatalf("cmserve: %v", err)
+		}
+	}
+	s := &server{srv: cs}
+
+	// Round pacer: one Tick per (scaled) round duration.
+	go func() {
+		interval := time.Duration(float64(cs.RoundDuration().Seconds()) / *speed * float64(time.Second))
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		for range time.Tick(interval) {
+			s.mu.Lock()
+			if err := s.srv.Tick(); err != nil {
+				log.Printf("cmserve: tick: %v", err)
+			}
+			s.mu.Unlock()
+		}
+	}()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cmserve: %v", err)
+	}
+	log.Printf("cmserve: %s scheme on %d disks, %d clips, listening on %s",
+		*schemeFlag, *d, *nclips, ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("cmserve: accept: %v", err)
+			continue
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		fmt.Fprintln(conn, "ERR empty command")
+		return
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "LIST":
+		s.mu.Lock()
+		names := s.srv.Clips()
+		s.mu.Unlock()
+		for _, name := range names {
+			s.mu.Lock()
+			size := s.srv.ClipSize(name)
+			s.mu.Unlock()
+			fmt.Fprintf(conn, "%s %d\n", name, size)
+		}
+	case "STATS":
+		s.mu.Lock()
+		st := s.srv.Stats()
+		s.mu.Unlock()
+		fmt.Fprintf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v\n",
+			st.Rounds, st.Active, st.Served, st.Hiccups, st.Overflows, st.FailedDisks)
+	case "FAIL":
+		var disk int
+		if len(fields) < 2 || len(fields[1]) == 0 {
+			fmt.Fprintln(conn, "ERR usage: FAIL <disk>")
+			return
+		}
+		fmt.Sscanf(fields[1], "%d", &disk)
+		s.mu.Lock()
+		err := s.srv.FailDisk(disk)
+		s.mu.Unlock()
+		if err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(conn, "OK disk %d failed\n", disk)
+	case "PLAY":
+		if len(fields) < 2 {
+			fmt.Fprintln(conn, "ERR usage: PLAY <clip>")
+			return
+		}
+		// Admission may be refused while the caps are full; behave like
+		// the paper's pending list and retry each round for a while.
+		var st *core.Stream
+		var err error
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			s.mu.Lock()
+			st, err = s.srv.OpenStream(fields[1])
+			s.mu.Unlock()
+			if err == nil || !errors.Is(err, core.ErrAdmission) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			return
+		}
+		buf := make([]byte, 64<<10)
+		for {
+			s.mu.Lock()
+			n, rerr := st.Read(buf)
+			s.mu.Unlock()
+			if n > 0 {
+				if _, werr := conn.Write(buf[:n]); werr != nil {
+					s.mu.Lock()
+					st.Close()
+					s.mu.Unlock()
+					return
+				}
+			}
+			if rerr == core.ErrNoData {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if rerr != nil {
+				return // EOF or closed
+			}
+		}
+	default:
+		fmt.Fprintln(conn, "ERR unknown command")
+	}
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftcms/internal/core"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/units"
+)
+
+// testServer builds the demo server with a fast disk model, stores clips,
+// starts the round pacer and a TCP listener, and returns the address plus
+// the stored clip contents.
+func testServer(t *testing.T) (addr string, clips map[string][]byte) {
+	t.Helper()
+	cs, err := core.New(core.Config{
+		Scheme: core.Declustered,
+		Disk: diskmodel.Parameters{
+			TransferRate: 45 * units.Mbps,
+			Settle:       0.05 * units.Millisecond,
+			Seek:         0.1 * units.Millisecond,
+			Rotation:     0.1 * units.Millisecond,
+			Capacity:     2 * units.GB,
+			PlaybackRate: 1.5 * units.Mbps,
+		},
+		D: 7, P: 3, Block: 8 * units.KB, Q: 8, F: 2, Buffer: 16 * units.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	clips = map[string][]byte{}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("clip-%d", i)
+		data := make([]byte, 50_000)
+		rng.Read(data)
+		clips[name] = data
+		if err := cs.AddClip(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := &server{srv: cs}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.mu.Lock()
+				_ = s.srv.Tick()
+				s.mu.Unlock()
+			}
+		}
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.handle(conn)
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		close(stop)
+		wg.Wait()
+	})
+	return ln.Addr().String(), clips
+}
+
+func send(t *testing.T, addr, cmd string) []byte {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := conn.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			return out.Bytes()
+		}
+	}
+}
+
+func TestHandleList(t *testing.T) {
+	addr, _ := testServer(t)
+	out := string(send(t, addr, "LIST"))
+	if !strings.Contains(out, "clip-0 50000") || !strings.Contains(out, "clip-1 50000") {
+		t.Fatalf("LIST output:\n%s", out)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	addr, _ := testServer(t)
+	out := string(send(t, addr, "STATS"))
+	if !strings.Contains(out, "rounds=") || !strings.Contains(out, "failed=[]") {
+		t.Fatalf("STATS output: %s", out)
+	}
+}
+
+func TestHandlePlayByteExact(t *testing.T) {
+	addr, clips := testServer(t)
+	got := send(t, addr, "PLAY clip-0")
+	if !bytes.Equal(got, clips["clip-0"]) {
+		t.Fatalf("PLAY returned %d bytes, want %d (exact)", len(got), len(clips["clip-0"]))
+	}
+}
+
+func TestHandlePlayThroughFailure(t *testing.T) {
+	addr, clips := testServer(t)
+	if out := string(send(t, addr, "FAIL 3")); !strings.Contains(out, "OK disk 3 failed") {
+		t.Fatalf("FAIL output: %s", out)
+	}
+	got := send(t, addr, "PLAY clip-1")
+	if !bytes.Equal(got, clips["clip-1"]) {
+		t.Fatalf("degraded PLAY returned %d bytes, want %d", len(got), len(clips["clip-1"]))
+	}
+	if out := string(send(t, addr, "STATS")); !strings.Contains(out, "failed=[3]") {
+		t.Fatalf("STATS after FAIL: %s", out)
+	}
+}
+
+func TestHandleErrors(t *testing.T) {
+	addr, _ := testServer(t)
+	for cmd, want := range map[string]string{
+		"PLAY":      "ERR usage",
+		"PLAY nope": "ERR",
+		"FAIL":      "ERR usage",
+		"FAIL 99":   "ERR",
+		"BOGUS":     "ERR unknown command",
+		"   ":       "ERR empty command",
+	} {
+		if out := string(send(t, addr, cmd)); !strings.Contains(out, want) {
+			t.Errorf("%q -> %q, want %q", cmd, strings.TrimSpace(out), want)
+		}
+	}
+}
+
+// TestHandleConcurrentPlays: several clients stream simultaneously, all
+// byte-exact — exercises the server mutex.
+func TestHandleConcurrentPlays(t *testing.T) {
+	addr, clips := testServer(t)
+	type result struct {
+		name string
+		data []byte
+	}
+	ch := make(chan result, 6)
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("clip-%d", i%2)
+		go func(name string) {
+			conn, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				ch <- result{name, nil}
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			fmt.Fprintf(conn, "PLAY %s\n", name)
+			var out bytes.Buffer
+			buf := make([]byte, 64<<10)
+			for {
+				n, err := conn.Read(buf)
+				out.Write(buf[:n])
+				if err != nil {
+					break
+				}
+			}
+			ch <- result{name, out.Bytes()}
+		}(name)
+	}
+	for i := 0; i < 6; i++ {
+		r := <-ch
+		if !bytes.Equal(r.data, clips[r.name]) {
+			t.Fatalf("concurrent PLAY %s returned %d bytes, want %d", r.name, len(r.data), len(clips[r.name]))
+		}
+	}
+}

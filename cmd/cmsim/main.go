@@ -1,0 +1,190 @@
+// Command cmsim runs the paper's simulation study (§8.2): single runs,
+// the full Figure 6 panels, failure-injection experiments (E10), and the
+// admission-policy ablation (E8).
+//
+// Usage:
+//
+//	cmsim -grid                          # Figure 6, both panels
+//	cmsim -scheme declustered -p 8       # one run, metrics printed
+//	cmsim -scheme non-clustered -p 8 -fail 2 -failat 100
+//	cmsim -ablation                      # E8 admission ablation
+//	cmsim -continuity                    # E10 failure continuity table
+//	cmsim -fail 5 -failat 50 -rebuild    # E12 online rebuild
+//	cmsim -batch 10                      # E15 request batching window
+//	cmsim -mixed                         # E16 mixed-rate workload
+//	cmsim -dynamic                       # §5 dynamic reservation controller
+//	cmsim -csv                           # CSV output (-grid, -continuity)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/cliutil"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/experiments"
+	"ftcms/internal/sim"
+	"ftcms/internal/trace"
+	"ftcms/internal/units"
+)
+
+var schemeNames = map[string]analytic.Scheme{
+	"declustered":          analytic.Declustered,
+	"prefetch-flat":        analytic.PrefetchFlat,
+	"prefetch-parity-disk": analytic.PrefetchParityDisk,
+	"streaming-raid":       analytic.StreamingRAID,
+	"non-clustered":        analytic.NonClustered,
+}
+
+func main() {
+	grid := flag.Bool("grid", false, "run the full Figure 6 grid (both buffer sizes)")
+	ablation := flag.Bool("ablation", false, "run the E8 admission-policy ablation")
+	continuity := flag.Bool("continuity", false, "run the E10 failure-continuity experiment")
+	schemeFlag := flag.String("scheme", "declustered", "scheme: "+strings.Join(keys(), ", "))
+	p := flag.Int("p", 4, "parity group size")
+	bufferFlag := flag.String("buffer", "256MB", "server buffer (e.g. 256MB, 2GB)")
+	seed := flag.Int64("seed", 1, "random seed")
+	duration := flag.Float64("duration", 600, "simulated seconds")
+	rate := flag.Float64("rate", 20, "Poisson arrival rate (requests/second)")
+	failDisk := flag.Int("fail", -1, "disk to fail (-1: none)")
+	failAt := flag.Float64("failat", 0, "failure time (seconds)")
+	rebuildFlag := flag.Bool("rebuild", false, "rebuild the failed disk online from spare bandwidth")
+	dynamic := flag.Bool("dynamic", false, "use the §5 dynamic reservation controller (declustered only)")
+	bypass := flag.Int("bypass", 0, "pending-list bypass window (0: default 256, -1: strict FIFO)")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of tables (-grid and -continuity)")
+	batch := flag.Float64("batch", 0, "batching window in seconds (0: off): requests piggyback on same-clip streams")
+	mixed := flag.Bool("mixed", false, "run the E16 mixed-rate workload (audio + MPEG-1 + MPEG-2, declustered)")
+	flag.Parse()
+
+	buffer, err := cliutil.ParseSize(*bufferFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *mixed:
+		res, err := sim.RunMixed(sim.MixedConfig{
+			Disk: diskmodel.Default(), D: 32, P: *p, F: 2, Buffer: buffer,
+			Mix: []analytic.RateClass{
+				{Name: "audio", Rate: 256 * units.Kbps, Share: 0.3},
+				{Name: "mpeg1", Rate: 1.5 * units.Mbps, Share: 0.5},
+				{Name: "mpeg2", Rate: 4 * units.Mbps, Share: 0.2},
+			},
+			ClipLength: 50 * units.Second, ArrivalRate: *rate,
+			Duration: units.Duration(*duration), Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mixed workload (30%% audio / 50%% MPEG-1 / 20%% MPEG-2), p=%d, B=%v\n", *p, buffer)
+		fmt.Printf("round duration    %v\n", res.Round)
+		fmt.Printf("serviced          %d (audio %d, mpeg1 %d, mpeg2 %d)\n",
+			res.Serviced, res.PerClass[0], res.PerClass[1], res.PerClass[2])
+		fmt.Printf("peak concurrent   %d\n", res.PeakActive)
+		fmt.Printf("max queue         %d\n", res.MaxQueue)
+	case *grid:
+		for _, b := range experiments.BufferSizes {
+			if *csvOut {
+				pts, err := experiments.Figure6(experiments.Figure6Config{Buffer: b, Seed: *seed})
+				if err != nil {
+					fatal(err)
+				}
+				if err := trace.WriteFigure6CSV(os.Stdout, pts); err != nil {
+					fatal(err)
+				}
+				continue
+			}
+			if err := experiments.WriteFigure6(os.Stdout, experiments.Figure6Config{Buffer: b, Seed: *seed}); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	case *ablation:
+		if err := experiments.WriteAdmissionAblation(os.Stdout, buffer, *seed); err != nil {
+			fatal(err)
+		}
+	case *continuity:
+		if *csvOut {
+			pts, err := experiments.FailureContinuity(buffer, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteContinuityCSV(os.Stdout, pts); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := experiments.WriteFailureContinuity(os.Stdout, buffer, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		scheme, ok := schemeNames[*schemeFlag]
+		if !ok {
+			fatal(fmt.Errorf("unknown scheme %q (want one of %s)", *schemeFlag, strings.Join(keys(), ", ")))
+		}
+		res, err := sim.Run(sim.Config{
+			Scheme:      scheme,
+			Dynamic:     *dynamic,
+			Disk:        diskmodel.Default(),
+			D:           32,
+			P:           *p,
+			Buffer:      buffer,
+			Catalog:     experiments.PaperCatalog(),
+			ArrivalRate: *rate,
+			Duration:    units.Duration(*duration),
+			Seed:        *seed,
+			QueueBypass: *bypass,
+			FailDisk:    *failDisk,
+			FailAt:      units.Duration(*failAt),
+			Rebuild:     *rebuildFlag,
+			BatchWindow: units.Duration(*batch),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scheme            %v (p=%d, dynamic=%v)\n", scheme, *p, *dynamic)
+		fmt.Printf("operating point   b=%v q=%d f=%d\n", res.Block, res.Q, res.F)
+		fmt.Printf("rounds            %d\n", res.Rounds)
+		fmt.Printf("serviced          %d\n", res.Serviced)
+		if *batch > 0 {
+			fmt.Printf("batched           %d\n", res.Batched)
+		}
+		fmt.Printf("completed         %d\n", res.Completed)
+		fmt.Printf("peak concurrent   %d\n", res.PeakActive)
+		fmt.Printf("mean response     %v\n", res.MeanResponse)
+		fmt.Printf("p95 response      %v\n", res.ResponseP95)
+		fmt.Printf("max queue         %d\n", res.MaxQueue)
+		if *failDisk >= 0 {
+			fmt.Printf("deadline misses   %d\n", res.DeadlineMisses)
+			fmt.Printf("lost blocks       %d\n", res.LostBlocks)
+			if *rebuildFlag {
+				if res.RebuildDone {
+					fmt.Printf("rebuild           finished in %v\n", res.RebuildTime)
+				} else {
+					fmt.Printf("rebuild           did not finish within the run\n")
+				}
+			}
+		}
+	}
+}
+
+func keys() []string {
+	out := make([]string, 0, len(schemeNames))
+	for k := range schemeNames {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmsim:", err)
+	os.Exit(1)
+}

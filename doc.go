@@ -1,0 +1,27 @@
+// Package ftcms reproduces "Fault-tolerant Architectures for Continuous
+// Media Servers" (Özden, Rastogi, Shenoy, Silberschatz — SIGMOD 1996): a
+// continuous media server that keeps every admitted stream's rate
+// guarantee across a single disk failure.
+//
+// The library lives under internal/ and is organized bottom-up:
+//
+//   - units, diskmodel — quantities and the Equation-1 round arithmetic;
+//   - bibd, pgt — balanced incomplete block designs and the parity group
+//     table of the declustered scheme (§4.1);
+//   - layout — the six data/parity placements (declustered, super-clip,
+//     parity-disk clusters, flat-uniform, streaming RAID, non-clustered);
+//   - storage, recovery — a byte-level simulated array with XOR parity
+//     and degraded-mode reconstruction;
+//   - sched, buffer, admission — round scheduling, buffer accounting and
+//     the five admission-control algorithms;
+//   - analytic — the §7 capacity optimizers (Figure 4 / Figure 5);
+//   - workload, sim — the §8.2 simulation study (Figure 6) with failure
+//     injection;
+//   - core — the server facade: store clips, stream them, survive a disk
+//     failure byte-exactly;
+//   - experiments — regenerates every table and figure.
+//
+// The benches in bench_test.go regenerate each evaluation artifact; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured results.
+package ftcms

@@ -1,0 +1,133 @@
+// Degraded streaming: byte-level proof that reconstruction is exact.
+// Stores a library of clips under every scheme, streams all of them
+// concurrently while a disk is failed, and checksums each stream against
+// the original content. Also demonstrates online repair: after
+// RepairDisk, a *second* (different) disk failure is survived too.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+
+	"ftcms/internal/core"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/units"
+)
+
+// fastDisk shrinks latencies so small blocks satisfy Equation 1 and the
+// demo runs instantly.
+func fastDisk() diskmodel.Parameters {
+	return diskmodel.Parameters{
+		TransferRate: 45 * units.Mbps,
+		Settle:       0.05 * units.Millisecond,
+		Seek:         0.1 * units.Millisecond,
+		Rotation:     0.1 * units.Millisecond,
+		Capacity:     2 * units.GB,
+		PlaybackRate: 1.5 * units.Mbps,
+	}
+}
+
+func main() {
+	schemes := []struct {
+		scheme core.Scheme
+		d, p   int
+	}{
+		{core.Declustered, 7, 3},
+		{core.PrefetchParityDisk, 8, 4},
+		{core.PrefetchFlat, 9, 4},
+		{core.StreamingRAID, 8, 4},
+		{core.NonClustered, 8, 4},
+	}
+	for _, sc := range schemes {
+		srv, err := core.New(core.Config{
+			Scheme: sc.scheme, Disk: fastDisk(), D: sc.d, P: sc.p,
+			Block: 8 * units.KB, Q: 8, F: 2, Buffer: 64 * units.MB,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		want := map[string][32]byte{}
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("clip-%d", i)
+			data := make([]byte, 120_000+i*7001)
+			rng.Read(data)
+			want[name] = sha256.Sum256(data)
+			if err := srv.AddClip(name, data); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// First failure before playback even starts.
+		if err := srv.FailDisk(1); err != nil {
+			log.Fatal(err)
+		}
+		if ok := streamAll(srv, want); !ok {
+			log.Fatalf("%s: degraded streams corrupted", sc.scheme)
+		}
+
+		// Online repair, then a second, different failure.
+		if err := srv.RepairDisk(1); err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.FailDisk(4); err != nil {
+			log.Fatal(err)
+		}
+		if ok := streamAll(srv, want); !ok {
+			log.Fatalf("%s: post-repair degraded streams corrupted", sc.scheme)
+		}
+		st := srv.Stats()
+		fmt.Printf("%-22s d=%d p=%d: %d streams served through 2 failure episodes, %d hiccups\n",
+			sc.scheme, sc.d, sc.p, st.Served, st.Hiccups)
+	}
+	fmt.Println("\nall checksums match:", hex.EncodeToString([]byte("ok")), "— reconstruction is bit-exact")
+}
+
+// streamAll plays every clip to completion and verifies checksums.
+func streamAll(srv *core.Server, want map[string][32]byte) bool {
+	streams := map[string]*core.Stream{}
+	sums := map[string][]byte{}
+	for name := range want {
+		st, err := srv.OpenStream(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams[name] = st
+	}
+	buf := make([]byte, 64<<10)
+	for tick := 0; tick < 200 && len(streams) > 0; tick++ {
+		if err := srv.Tick(); err != nil {
+			log.Fatal(err)
+		}
+		for name, st := range streams {
+			for {
+				n, err := st.Read(buf)
+				sums[name] = append(sums[name], buf[:n]...)
+				if errors.Is(err, io.EOF) {
+					delete(streams, name)
+					break
+				}
+				if errors.Is(err, core.ErrNoData) || n == 0 {
+					break
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	if len(streams) != 0 {
+		return false
+	}
+	for name, w := range want {
+		if sha256.Sum256(sums[name]) != w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,3 @@
+module ftcms
+
+go 1.22

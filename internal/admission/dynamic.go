@@ -1,0 +1,227 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/pgt"
+)
+
+// Dynamic implements the dynamic reservation scheme of §5: no contingency
+// bandwidth is pre-reserved; instead, a clip of super-clip SC_l reading
+// disk j implicitly reserves one contingency block on every disk (j+δ)
+// mod d with δ ∈ Δ_l — the disks holding the other members of its current
+// block's parity group. The admission condition (§5.2) is: for every disk
+// i, serviceCount(i) + max over (j, l) of contᵢ(j, l) <= q, where
+// contᵢ(j, l) counts row-l clips on disk j that reserve on i.
+//
+// Because all clips advance one disk per round, contᵢ(j, l) at any future
+// round is a rotation of the current counts, so the condition holds
+// forever once it holds at admission.
+type Dynamic struct {
+	t *pgt.Table
+	q int
+	// count[l][c]: clips of super-clip row l with disk phase c in Z_d.
+	count [][]int
+	// deltaHas[l][δ] reports δ ∈ Δ_l.
+	deltaHas [][]bool
+	active   int
+}
+
+// NewDynamic builds the controller over the PGT with per-disk round
+// capacity q.
+func NewDynamic(t *pgt.Table, q int) (*Dynamic, error) {
+	if t == nil {
+		return nil, errors.New("admission: nil PGT")
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("admission: q=%d must be positive", q)
+	}
+	dy := &Dynamic{t: t, q: q}
+	dy.count = make([][]int, t.R)
+	dy.deltaHas = make([][]bool, t.R)
+	for l := 0; l < t.R; l++ {
+		dy.count[l] = make([]int, t.D)
+		dy.deltaHas[l] = make([]bool, t.D)
+		for _, delta := range t.Deltas(l) {
+			dy.deltaHas[l][delta] = true
+		}
+	}
+	return dy, nil
+}
+
+// phase maps (start disk, round) to the invariant disk phase.
+func (dy *Dynamic) phase(now int64, startDisk int) int {
+	if startDisk < 0 || startDisk >= dy.t.D {
+		panic(fmt.Sprintf("admission: start disk %d out of range [0, %d)", startDisk, dy.t.D))
+	}
+	d := int64(dy.t.D)
+	return int(((int64(startDisk)-now)%d + d) % d)
+}
+
+// serviceCount returns the clips reading disk phase c (all rows).
+func (dy *Dynamic) serviceCount(c int) int {
+	total := 0
+	for l := 0; l < dy.t.R; l++ {
+		total += dy.count[l][c]
+	}
+	return total
+}
+
+// maxCont returns max over (j, l) with (cᵢ−j) ∈ Δ_l of count[l][j], all in
+// phase space for disk phase ci.
+func (dy *Dynamic) maxCont(ci int) int {
+	d := dy.t.D
+	best := 0
+	for l := 0; l < dy.t.R; l++ {
+		for cj := 0; cj < d; cj++ {
+			if dy.count[l][cj] <= best {
+				continue
+			}
+			delta := ((ci-cj)%d + d) % d
+			if delta != 0 && dy.deltaHas[l][delta] {
+				best = dy.count[l][cj]
+			}
+		}
+	}
+	return best
+}
+
+// CanAdmit reports whether a clip of super-clip row starting at startDisk
+// can be admitted at round now without ever violating the §5.2 condition.
+func (dy *Dynamic) CanAdmit(now int64, startDisk, row int) bool {
+	if row < 0 || row >= dy.t.R {
+		panic(fmt.Sprintf("admission: row %d out of range [0, %d)", row, dy.t.R))
+	}
+	c := dy.phase(now, startDisk)
+	dy.count[row][c]++
+	ok := true
+	for ci := 0; ci < dy.t.D && ok; ci++ {
+		if dy.serviceCount(ci)+dy.maxCont(ci) > dy.q {
+			ok = false
+		}
+	}
+	dy.count[row][c]--
+	return ok
+}
+
+// Admit admits the clip if the condition allows.
+func (dy *Dynamic) Admit(now int64, startDisk, row int) (Ticket, bool) {
+	if !dy.CanAdmit(now, startDisk, row) {
+		return Ticket{}, false
+	}
+	c := dy.phase(now, startDisk)
+	dy.count[row][c]++
+	dy.active++
+	return Ticket{phase: c, row: row}, true
+}
+
+// Release frees an admitted clip's capacity.
+func (dy *Dynamic) Release(t Ticket) {
+	if t.row < 0 || t.row >= dy.t.R || t.phase < 0 || t.phase >= dy.t.D || dy.count[t.row][t.phase] == 0 {
+		panic("admission: release of unknown or double-released ticket")
+	}
+	dy.count[t.row][t.phase]--
+	dy.active--
+}
+
+// Active returns the number of admitted clips.
+func (dy *Dynamic) Active() int { return dy.active }
+
+// MaxPerRound returns q.
+func (dy *Dynamic) MaxPerRound() int { return dy.q }
+
+// DiskLoad returns the clips reading disk i during round now.
+func (dy *Dynamic) DiskLoad(now int64, i int) int {
+	return dy.serviceCount(dy.phase(now, i))
+}
+
+// WorstCaseFailureLoad returns, for disk i at round now, the §5.2 bound
+// serviceCount(i) + max contᵢ(j,l): the blocks disk i would serve in the
+// worst single-disk failure. Always <= q for admitted populations.
+func (dy *Dynamic) WorstCaseFailureLoad(now int64, i int) int {
+	c := dy.phase(now, i)
+	return dy.serviceCount(c) + dy.maxCont(c)
+}
+
+// Simple is the single-cap controller used by pre-fetching with parity
+// disks (§6.1: clips per data disk <= q), the non-clustered baseline
+// (§7.4: same) and streaming RAID (§7.3: clips per cluster <= q, with
+// units = clusters instead of disks). Clips advance one unit per round,
+// so occupancy is per phase in Z_units.
+type Simple struct {
+	units, q int
+	count    []int
+	active   int
+}
+
+// NewSimple builds a controller over the given number of rotation units
+// (data disks or clusters) with cap q per unit per round.
+func NewSimple(units, q int) (*Simple, error) {
+	if units < 1 {
+		return nil, errors.New("admission: need at least one unit")
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("admission: q=%d must be positive", q)
+	}
+	return &Simple{units: units, q: q, count: make([]int, units)}, nil
+}
+
+func (s *Simple) phase(now int64, start int) int {
+	if start < 0 || start >= s.units {
+		panic(fmt.Sprintf("admission: start unit %d out of range [0, %d)", start, s.units))
+	}
+	u := int64(s.units)
+	return int(((int64(start)-now)%u + u) % u)
+}
+
+// CanAdmit reports whether a clip starting at unit start fits at round
+// now.
+func (s *Simple) CanAdmit(now int64, start int) bool {
+	return s.count[s.phase(now, start)] < s.q
+}
+
+// Admit admits the clip if the unit has capacity.
+func (s *Simple) Admit(now int64, start int) (Ticket, bool) {
+	c := s.phase(now, start)
+	if s.count[c] >= s.q {
+		return Ticket{}, false
+	}
+	s.count[c]++
+	s.active++
+	return Ticket{phase: c, row: -1}, true
+}
+
+// Release frees an admitted clip's capacity.
+func (s *Simple) Release(t Ticket) {
+	if t.phase < 0 || t.phase >= s.units || s.count[t.phase] == 0 {
+		panic("admission: release of unknown or double-released ticket")
+	}
+	s.count[t.phase]--
+	s.active--
+}
+
+// Active returns the number of admitted clips.
+func (s *Simple) Active() int { return s.active }
+
+// Capacity returns units·q.
+func (s *Simple) Capacity() int { return s.units * s.q }
+
+// UnitLoad returns the clips served by unit i during round now.
+func (s *Simple) UnitLoad(now int64, i int) int {
+	return s.count[s.phase(now, i)]
+}
+
+// MaxPerRound returns q.
+func (s *Simple) MaxPerRound() int { return s.q }
+
+// RowDiskLoad returns the number of super-clip-row clips reading disk i
+// during round now — the failure accounting in the simulator needs the
+// per-row breakdown to attribute reconstruction reads to parity-group
+// member disks.
+func (dy *Dynamic) RowDiskLoad(now int64, i, row int) int {
+	if row < 0 || row >= dy.t.R {
+		panic(fmt.Sprintf("admission: row %d out of range [0, %d)", row, dy.t.R))
+	}
+	return dy.count[row][dy.phase(now, i)]
+}

@@ -1,0 +1,97 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/units"
+)
+
+// Weighted generalizes the per-disk cap from "q streams" to a service-time
+// budget, admitting streams of heterogeneous rates: a stream whose blocks
+// take cost seconds of worst-case disk service per round consumes that
+// much of its current disk's round budget. With a homogeneous workload it
+// degenerates to Simple (cost = roundBudget/q each).
+//
+// The phase argument of the homogeneous controllers carries over
+// unchanged: all streams advance one disk per round, so per-phase
+// *accumulated cost* rotates rather than mixes, and a single admission-
+// time check holds forever.
+type Weighted struct {
+	d      int
+	budget units.Duration
+	// load[c] is the accumulated per-round service cost of streams at
+	// disk phase c.
+	load   []units.Duration
+	active int
+}
+
+// NewWeighted builds the controller for d disks with the given per-disk
+// per-round service budget (typically round duration minus the C-SCAN
+// seek allowance and any contingency reserve).
+func NewWeighted(d int, budget units.Duration) (*Weighted, error) {
+	if d < 1 {
+		return nil, errors.New("admission: need at least one disk")
+	}
+	if budget <= 0 {
+		return nil, errors.New("admission: budget must be positive")
+	}
+	return &Weighted{d: d, budget: budget, load: make([]units.Duration, d)}, nil
+}
+
+func (w *Weighted) phase(now int64, startDisk int) int {
+	if startDisk < 0 || startDisk >= w.d {
+		panic(fmt.Sprintf("admission: start disk %d out of range [0, %d)", startDisk, w.d))
+	}
+	d := int64(w.d)
+	return int(((int64(startDisk)-now)%d + d) % d)
+}
+
+// WeightedTicket releases a weighted admission.
+type WeightedTicket struct {
+	phase int
+	cost  units.Duration
+}
+
+// CanAdmit reports whether a stream of the given per-round cost starting
+// at startDisk fits at round now.
+func (w *Weighted) CanAdmit(now int64, startDisk int, cost units.Duration) bool {
+	if cost <= 0 {
+		panic("admission: non-positive stream cost")
+	}
+	return w.load[w.phase(now, startDisk)]+cost <= w.budget
+}
+
+// Admit admits the stream, returning its release ticket.
+func (w *Weighted) Admit(now int64, startDisk int, cost units.Duration) (WeightedTicket, bool) {
+	c := w.phase(now, startDisk)
+	if cost <= 0 {
+		panic("admission: non-positive stream cost")
+	}
+	if w.load[c]+cost > w.budget {
+		return WeightedTicket{}, false
+	}
+	w.load[c] += cost
+	w.active++
+	return WeightedTicket{phase: c, cost: cost}, true
+}
+
+// Release frees an admitted stream's budget.
+func (w *Weighted) Release(t WeightedTicket) {
+	if t.phase < 0 || t.phase >= w.d || t.cost <= 0 || w.load[t.phase] < t.cost {
+		panic("admission: release of unknown or double-released weighted ticket")
+	}
+	w.load[t.phase] -= t.cost
+	w.active--
+}
+
+// Active returns the number of admitted streams.
+func (w *Weighted) Active() int { return w.active }
+
+// DiskLoad returns the service cost committed on disk i during round now.
+func (w *Weighted) DiskLoad(now int64, i int) units.Duration {
+	return w.load[w.phase(now, i)]
+}
+
+// Budget returns the per-disk per-round budget.
+func (w *Weighted) Budget() units.Duration { return w.budget }

@@ -1,0 +1,173 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/units"
+)
+
+func TestNewWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(0, units.Second); err == nil {
+		t.Error("accepted zero disks")
+	}
+	if _, err := NewWeighted(4, 0); err == nil {
+		t.Error("accepted zero budget")
+	}
+}
+
+func TestWeightedBudget(t *testing.T) {
+	w, err := NewWeighted(4, units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Budget() != units.Second {
+		t.Fatalf("Budget = %v", w.Budget())
+	}
+	// Three 300 ms streams fit; a fourth does not; a 100 ms one still
+	// does.
+	var tks []WeightedTicket
+	for i := 0; i < 3; i++ {
+		tk, ok := w.Admit(0, 1, 300*units.Millisecond)
+		if !ok {
+			t.Fatalf("admission %d refused", i)
+		}
+		tks = append(tks, tk)
+	}
+	if _, ok := w.Admit(0, 1, 300*units.Millisecond); ok {
+		t.Fatal("over-budget admission accepted")
+	}
+	if !w.CanAdmit(0, 1, 100*units.Millisecond) {
+		t.Fatal("100 ms stream should fit in the 100 ms remainder")
+	}
+	// Other disks unaffected.
+	if !w.CanAdmit(0, 2, units.Duration(0.9)) {
+		t.Fatal("disk 2 should be empty")
+	}
+	w.Release(tks[0])
+	if !w.CanAdmit(0, 1, 300*units.Millisecond) {
+		t.Fatal("release did not free budget")
+	}
+	if w.Active() != 2 {
+		t.Fatalf("Active = %d", w.Active())
+	}
+}
+
+// TestWeightedRotation: committed cost follows the streams across rounds.
+func TestWeightedRotation(t *testing.T) {
+	w, err := NewWeighted(4, units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Admit(0, 0, 400*units.Millisecond); !ok {
+		t.Fatal("refused")
+	}
+	for now := int64(0); now < 12; now++ {
+		at := int(now) % 4
+		for i := 0; i < 4; i++ {
+			want := units.Duration(0)
+			if i == at {
+				want = 400 * units.Millisecond
+			}
+			if got := w.DiskLoad(now, i); got != want {
+				t.Fatalf("round %d disk %d: load %v, want %v", now, i, got, want)
+			}
+		}
+	}
+}
+
+// TestWeightedMatchesSimple: homogeneous costs reproduce the Simple
+// controller's count cap exactly.
+func TestWeightedMatchesSimple(t *testing.T) {
+	// Figure-1 disk, 2 Mbit blocks: q from Equation 1, then budget =
+	// round − 2 seeks gives the same stream count via per-stream cost.
+	p := diskmodel.Default()
+	b := units.Bits(2_000_000)
+	q := p.MaxClipsPerRound(b)
+	budget := p.RoundDuration(b) - 2*p.Seek
+	w, err := NewWeighted(1, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := p.BlockServiceTime(b)
+	admitted := 0
+	for {
+		if _, ok := w.Admit(0, 0, cost); !ok {
+			break
+		}
+		admitted++
+		if admitted > q+1 {
+			break
+		}
+	}
+	if admitted != q {
+		t.Fatalf("weighted admitted %d homogeneous streams, Equation 1 says %d", admitted, q)
+	}
+}
+
+// TestWeightedMixedRates: heterogeneous streams pack by cost — audio
+// streams are ~6x cheaper than video at the same block duration.
+func TestWeightedMixedRates(t *testing.T) {
+	p := diskmodel.Default()
+	roundDur := units.Duration(1) // 1 s rounds
+	budget := roundDur - 2*p.Seek
+	videoCost := p.BlockServiceTime(units.SizeAtRate(1.5*units.Mbps, roundDur))
+	audioCost := p.BlockServiceTime(units.SizeAtRate(256*units.Kbps, roundDur))
+	wVideo, _ := NewWeighted(1, budget)
+	nVideo := 0
+	for {
+		if _, ok := wVideo.Admit(0, 0, videoCost); !ok {
+			break
+		}
+		nVideo++
+	}
+	wAudio, _ := NewWeighted(1, budget)
+	nAudio := 0
+	for {
+		if _, ok := wAudio.Admit(0, 0, audioCost); !ok {
+			break
+		}
+		nAudio++
+	}
+	if nAudio < 2*nVideo {
+		t.Fatalf("audio streams per disk (%d) should far exceed video (%d)", nAudio, nVideo)
+	}
+}
+
+// TestWeightedRandomInvariant: under random admit/release traffic the
+// per-phase load never exceeds the budget.
+func TestWeightedRandomInvariant(t *testing.T) {
+	w, err := NewWeighted(8, units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var tks []WeightedTicket
+	for step := 0; step < 4000; step++ {
+		now := int64(step / 4)
+		if rng.Intn(3) < 2 || len(tks) == 0 {
+			cost := units.Duration(float64(rng.Intn(200)+10)) * units.Millisecond
+			if tk, ok := w.Admit(now, rng.Intn(8), cost); ok {
+				tks = append(tks, tk)
+			}
+		} else {
+			i := rng.Intn(len(tks))
+			w.Release(tks[i])
+			tks = append(tks[:i], tks[i+1:]...)
+		}
+		for i := 0; i < 8; i++ {
+			if w.DiskLoad(now, i) > w.Budget() {
+				t.Fatalf("step %d: disk %d over budget", step, i)
+			}
+		}
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	w, _ := NewWeighted(4, units.Second)
+	mustPanic(t, func() { w.Admit(0, 9, units.Millisecond) })
+	mustPanic(t, func() { w.Admit(0, 0, 0) })
+	mustPanic(t, func() { w.CanAdmit(0, 0, -units.Millisecond) })
+	mustPanic(t, func() { w.Release(WeightedTicket{phase: 0, cost: units.Second}) })
+}

@@ -1,0 +1,149 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/units"
+)
+
+// The paper assumes a single CBR rate r_p (MPEG-1). Real libraries mix
+// rates — audio-only streams, MPEG-1 and MPEG-2 video — and the paper's
+// own round framework extends directly: fix the round duration T, give
+// every class c a block size b_c = r_c·T (each stream still consumes
+// exactly one of *its* blocks per round), and generalize Equation 1 to
+//
+//	Σ_c q_c·(b_c/r_d + t_rot + t_settle) + 2·t_seek ≤ T
+//
+// with the declustered buffer cost Σ_c 2·q_c·b_c·d ≤ B (plus the failure
+// reserve, as in §7.1). This file solves that model: given a class mix it
+// finds the capacity frontier and how many mixes of each class one disk
+// can serve.
+
+// RateClass is one stream class in a mixed workload.
+type RateClass struct {
+	// Name labels the class in reports.
+	Name string
+	// Rate is the class's CBR playback rate.
+	Rate units.BitRate
+	// Share is the fraction of requests from this class; shares must sum
+	// to 1 (±1e-9).
+	Share float64
+}
+
+// MixedResult is the solved mixed-rate operating point for the
+// declustered scheme.
+type MixedResult struct {
+	// Round is the chosen round duration T.
+	Round units.Duration
+	// PerDisk[i] is how many class-i streams each disk serves per round.
+	PerDisk []int
+	// Blocks[i] is class i's block size (Rate·Round).
+	Blocks []units.Bits
+	// Clips is the total concurrent streams across the array.
+	Clips int
+	// F is the per-disk contingency reservation, charged at the most
+	// expensive class's cost (conservative).
+	F int
+}
+
+// SolveMixed finds, for the declustered scheme with parity group size p
+// and contingency f, the round duration maximizing total concurrent
+// streams of the given mix. Streams are admitted in proportion to Share;
+// the solver scans candidate round durations and, within each, fills
+// disks with whole streams in mix proportion until either the time or
+// the buffer budget is exhausted.
+func SolveMixed(c Config, p, f int, mix []RateClass) (MixedResult, error) {
+	if err := c.Validate(); err != nil {
+		return MixedResult{}, err
+	}
+	if p < 2 || p > c.D || f < 1 {
+		return MixedResult{}, fmt.Errorf("analytic: bad p=%d f=%d", p, f)
+	}
+	if len(mix) == 0 {
+		return MixedResult{}, errors.New("analytic: empty mix")
+	}
+	total := 0.0
+	for _, rc := range mix {
+		if rc.Rate <= 0 || rc.Rate >= c.Disk.TransferRate {
+			return MixedResult{}, fmt.Errorf("analytic: class %q rate %v out of range", rc.Name, rc.Rate)
+		}
+		if rc.Share < 0 {
+			return MixedResult{}, fmt.Errorf("analytic: class %q negative share", rc.Name)
+		}
+		total += rc.Share
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		return MixedResult{}, fmt.Errorf("analytic: shares sum to %g, want 1", total)
+	}
+
+	overhead := c.Disk.BlockOverhead().Seconds()
+	seeks := 2 * c.Disk.Seek.Seconds()
+	kBuf := float64(2*(c.D-1) + p) // §7.1 per-stream buffer factor × blocks
+
+	best := MixedResult{}
+	// Scan round durations from just above the seek floor to 16 s.
+	for ms := 100; ms <= 16000; ms += 50 {
+		T := units.Duration(ms) * units.Millisecond
+		blocks := make([]units.Bits, len(mix))
+		for i, rc := range mix {
+			blocks[i] = units.SizeAtRate(rc.Rate, T)
+		}
+		// Cost of one stream of class i: service seconds and buffer bits.
+		// The contingency reserve f is charged at the costliest class.
+		maxSvc, maxBuf := 0.0, 0.0
+		svc := make([]float64, len(mix))
+		buf := make([]float64, len(mix))
+		for i := range mix {
+			svc[i] = units.TransferTime(blocks[i], c.Disk.TransferRate).Seconds() + overhead
+			buf[i] = kBuf * float64(blocks[i])
+			if svc[i] > maxSvc {
+				maxSvc = svc[i]
+			}
+			if buf[i] > maxBuf {
+				maxBuf = buf[i]
+			}
+		}
+		timeBudget := T.Seconds() - seeks - float64(f)*maxSvc
+		bufBudget := float64(c.Buffer)
+		if timeBudget <= 0 {
+			continue
+		}
+		// Fill in mix proportion: add "mix units" (Share-weighted
+		// bundles) until a budget runs out, then greedily top up whole
+		// streams of the cheapest classes.
+		unitSvc, unitBuf := 0.0, 0.0
+		for i, rc := range mix {
+			unitSvc += rc.Share * svc[i]
+			unitBuf += rc.Share * buf[i] / float64(c.D)
+			// buffer budget is array-wide; per-disk counts multiply by d.
+		}
+		if unitSvc <= 0 {
+			continue
+		}
+		unitsFit := timeBudget / unitSvc
+		if unitBuf > 0 {
+			if byBuf := bufBudget / float64(c.D) / unitBuf; byBuf < unitsFit {
+				unitsFit = byBuf
+			}
+		}
+		perDisk := make([]int, len(mix))
+		clips := 0
+		for i, rc := range mix {
+			perDisk[i] = int(unitsFit * rc.Share)
+			clips += perDisk[i] * c.D
+		}
+		if clips > best.Clips {
+			best = MixedResult{Round: T, PerDisk: perDisk, Blocks: blocks, Clips: clips, F: f}
+		}
+	}
+	if best.Clips == 0 {
+		return MixedResult{}, errors.New("analytic: no feasible mixed operating point")
+	}
+	return best, nil
+}
+
+// MPEG1Mix is a convenience all-video mix at the paper's rate.
+func MPEG1Mix() []RateClass {
+	return []RateClass{{Name: "mpeg1", Rate: 1.5 * units.Mbps, Share: 1}}
+}

@@ -1,0 +1,142 @@
+package bibd
+
+import (
+	"fmt"
+)
+
+// Rotational builds an approximate design for k | v when no exact λ=1 BIBD
+// exists (e.g. the paper's d=32 array with p ∈ {4, 8, 16}).
+//
+// It produces r = ⌊(v−1)/(k−1)⌋ "rows", each row a partition of the v
+// objects into v/k groups, so every object occurs in exactly r sets —
+// per-object replication stays perfectly uniform, which is what the
+// declustered admission-control arithmetic depends on. Pair balance is
+// best-effort: rows are generated from affine permutations
+// x ↦ (a·x + c) mod v and chosen greedily to minimize the worst pair
+// multiplicity, then reported honestly via Verify.
+//
+// The row count matches the paper's own bandwidth arithmetic: it quotes
+// reserving 1/3 and 1/2 of each disk's bandwidth at p = 16 and 32 on 32
+// disks, which implies r = ⌊31/15⌋ = 2 and r = 1 respectively.
+func Rotational(v, k int) (*Design, error) {
+	if k < 2 || k > v {
+		return nil, fmt.Errorf("bibd: rotational design: k=%d outside [2, v=%d]", k, v)
+	}
+	if v%k != 0 {
+		return nil, fmt.Errorf("bibd: rotational design requires k | v, got v=%d k=%d", v, k)
+	}
+	r := (v - 1) / (k - 1)
+	if r < 1 {
+		r = 1
+	}
+	pair := make([]int, v*v) // current pair multiplicities
+	var sets [][]int
+
+	partitionFor := func(a, c int) [][]int {
+		// Position of object x under the affine map; consecutive chunks of
+		// k positions form groups.
+		groups := make([][]int, v/k)
+		for g := range groups {
+			groups[g] = make([]int, 0, k)
+		}
+		for x := 0; x < v; x++ {
+			pos := (a*x + c) % v
+			groups[pos/k] = append(groups[pos/k], x)
+		}
+		return groups
+	}
+	score := func(groups [][]int) int {
+		// Sum of existing multiplicities over all pairs the candidate
+		// would add; penalizing repeats quadratically flattens λmax.
+		s := 0
+		for _, g := range groups {
+			for i := 0; i < len(g); i++ {
+				for j := i + 1; j < len(g); j++ {
+					m := pair[g[i]*v+g[j]]
+					s += m * m * 100 // dominant term: avoid repeats
+				}
+			}
+		}
+		return s
+	}
+	apply := func(groups [][]int) {
+		for _, g := range groups {
+			set := append([]int(nil), g...)
+			sets = append(sets, set)
+			for i := 0; i < len(g); i++ {
+				for j := i + 1; j < len(g); j++ {
+					pair[g[i]*v+g[j]]++
+					pair[g[j]*v+g[i]]++
+				}
+			}
+		}
+	}
+
+	for row := 0; row < r; row++ {
+		bestScore := -1
+		var best [][]int
+		for a := 1; a < v; a++ {
+			if gcd(a, v) != 1 {
+				continue
+			}
+			for c := 0; c < k; c++ { // offsets beyond k repeat group shapes
+				cand := partitionFor(a, c)
+				if s := score(cand); bestScore == -1 || s < bestScore {
+					bestScore, best = s, cand
+				}
+			}
+		}
+		apply(best)
+	}
+	return &Design{V: v, K: k, Sets: sets, Exact: false}, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// searchBudget bounds the backtracking effort New spends looking for a
+// cyclic difference family before falling back. Generous for the small v
+// this library meets (arrays of tens of disks).
+const searchBudget = 2_000_000
+
+// New returns a design for v objects and set size k, preferring exact λ=1
+// BIBDs and falling back to a Rotational approximation when none is found
+// and k | v. It is the constructor the layout layer uses.
+func New(v, k int) (*Design, error) {
+	switch {
+	case v < 2:
+		return nil, fmt.Errorf("bibd: need v >= 2, got %d", v)
+	case k < 2 || k > v:
+		return nil, fmt.Errorf("bibd: k=%d outside [2, v=%d]", k, v)
+	case k == v:
+		return Trivial(v)
+	case k == 2:
+		return CompletePairs(v)
+	}
+	if ExistsExact(v, k) {
+		// Triple systems with v ≡ 3 (mod 6) have a direct construction.
+		if k == 3 && v%6 == 3 {
+			return SteinerTriple(v)
+		}
+		if fam, ok := SearchDifferenceFamily(v, k, searchBudget); ok {
+			if d, err := FromDifferenceFamily(v, fam); err == nil {
+				return d, nil
+			}
+		}
+		// Geometric constructions cover cases the cyclic search misses.
+		if q := k; q*q == v && isPrime(q) {
+			return AffinePlane(q)
+		}
+		if q := k - 1; q*q+q+1 == v && isPrime(q) {
+			return ProjectivePlane(q)
+		}
+	}
+	if v%k == 0 {
+		return Rotational(v, k)
+	}
+	return nil, fmt.Errorf("bibd: no construction for v=%d, k=%d (no exact BIBD found and k does not divide v)", v, k)
+}

@@ -1,0 +1,91 @@
+// Package buffer implements the server RAM buffer accounting of the
+// paper: every scheme allocates a fixed per-clip buffer before data
+// retrieval starts (2·b for declustered and non-clustered, p·b for plain
+// pre-fetching, p·b/2 with the staggered-group optimization,
+// 2·(p−1)·b for streaming RAID), and the total may never exceed the
+// server buffer B.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/units"
+)
+
+// Pool tracks reservations against a fixed capacity.
+type Pool struct {
+	capacity units.Bits
+	used     units.Bits
+	clips    int
+}
+
+// NewPool creates a pool of the given capacity.
+func NewPool(capacity units.Bits) (*Pool, error) {
+	if capacity <= 0 {
+		return nil, errors.New("buffer: capacity must be positive")
+	}
+	return &Pool{capacity: capacity}, nil
+}
+
+// Capacity returns the pool capacity B.
+func (p *Pool) Capacity() units.Bits { return p.capacity }
+
+// Used returns the currently reserved amount.
+func (p *Pool) Used() units.Bits { return p.used }
+
+// Free returns the unreserved amount.
+func (p *Pool) Free() units.Bits { return p.capacity - p.used }
+
+// Clips returns the number of live reservations.
+func (p *Pool) Clips() int { return p.clips }
+
+// Reserve takes size bits for one clip; it reports false without side
+// effects when the pool cannot fit it.
+func (p *Pool) Reserve(size units.Bits) bool {
+	if size <= 0 {
+		panic(fmt.Sprintf("buffer: non-positive reservation %d", size))
+	}
+	if p.used+size > p.capacity {
+		return false
+	}
+	p.used += size
+	p.clips++
+	return true
+}
+
+// Release returns size bits reserved earlier. Releasing more than is
+// reserved panics: it always indicates unbalanced bookkeeping.
+func (p *Pool) Release(size units.Bits) {
+	if size <= 0 || size > p.used || p.clips == 0 {
+		panic(fmt.Sprintf("buffer: bad release of %d (used %d, clips %d)", size, p.used, p.clips))
+	}
+	p.used -= size
+	p.clips--
+}
+
+// PerClip returns the per-clip buffer requirement of each scheme for
+// block size b and parity group size p, following §4, §6 and §7:
+//
+//	declustered, dynamic:     2·b
+//	prefetch (staggered):     p·b/2
+//	streaming RAID:           2·(p−1)·b
+//	non-clustered:            2·b
+//
+// The prefetch figure covers both §6.1 and §6.2, which share the
+// staggered-group optimization of [BGM95].
+func PerClip(scheme string, b units.Bits, p int) (units.Bits, error) {
+	if b <= 0 || p < 2 {
+		return 0, fmt.Errorf("buffer: bad parameters b=%d p=%d", b, p)
+	}
+	switch scheme {
+	case "declustered", "declustered-dynamic", "non-clustered":
+		return 2 * b, nil
+	case "prefetch-parity-disk", "prefetch-flat":
+		return units.Bits(p) * b / 2, nil
+	case "streaming-raid":
+		return 2 * units.Bits(p-1) * b, nil
+	default:
+		return 0, fmt.Errorf("buffer: unknown scheme %q", scheme)
+	}
+}

@@ -1,0 +1,108 @@
+package buffer
+
+import (
+	"testing"
+
+	"ftcms/internal/units"
+)
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := NewPool(-units.MB); err == nil {
+		t.Error("accepted negative capacity")
+	}
+}
+
+func TestReserveRelease(t *testing.T) {
+	p, err := NewPool(10 * units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Reserve(4 * units.MB) {
+		t.Fatal("first reserve refused")
+	}
+	if !p.Reserve(4 * units.MB) {
+		t.Fatal("second reserve refused")
+	}
+	if p.Reserve(4 * units.MB) {
+		t.Fatal("over-reserve accepted")
+	}
+	if p.Used() != 8*units.MB || p.Free() != 2*units.MB || p.Clips() != 2 {
+		t.Fatalf("accounting: used=%v free=%v clips=%d", p.Used(), p.Free(), p.Clips())
+	}
+	p.Release(4 * units.MB)
+	if !p.Reserve(6 * units.MB) {
+		t.Fatal("reserve after release refused")
+	}
+	if p.Capacity() != 10*units.MB {
+		t.Fatalf("capacity changed: %v", p.Capacity())
+	}
+}
+
+func TestExactFit(t *testing.T) {
+	p, _ := NewPool(units.MB)
+	if !p.Reserve(units.MB) {
+		t.Fatal("exact fit refused")
+	}
+	if p.Free() != 0 {
+		t.Fatalf("free = %v", p.Free())
+	}
+}
+
+func TestReservePanicsOnZero(t *testing.T) {
+	p, _ := NewPool(units.MB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Reserve(0)
+}
+
+func TestReleasePanicsOnExcess(t *testing.T) {
+	p, _ := NewPool(units.MB)
+	p.Reserve(units.KB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Release(2 * units.KB)
+}
+
+func TestPerClip(t *testing.T) {
+	b := units.Bits(1000)
+	cases := []struct {
+		scheme string
+		p      int
+		want   units.Bits
+	}{
+		{"declustered", 8, 2000},
+		{"declustered-dynamic", 8, 2000},
+		{"non-clustered", 8, 2000},
+		{"prefetch-parity-disk", 8, 4000},
+		{"prefetch-flat", 4, 2000},
+		{"streaming-raid", 4, 6000},
+	}
+	for _, c := range cases {
+		got, err := PerClip(c.scheme, b, c.p)
+		if err != nil {
+			t.Errorf("PerClip(%q): %v", c.scheme, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("PerClip(%q, p=%d) = %d, want %d", c.scheme, c.p, got, c.want)
+		}
+	}
+	if _, err := PerClip("bogus", b, 4); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+	if _, err := PerClip("declustered", 0, 4); err == nil {
+		t.Error("accepted zero block")
+	}
+	if _, err := PerClip("declustered", b, 1); err == nil {
+		t.Error("accepted p=1")
+	}
+}

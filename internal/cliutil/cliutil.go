@@ -1,0 +1,41 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ftcms/internal/units"
+)
+
+// ParseSize parses a human-readable data size with a KB/MB/GB suffix
+// (decimal units, e.g. "256MB", "2GB", "1.5MB") into bits.
+func ParseSize(s string) (units.Bits, error) {
+	s = strings.TrimSpace(s)
+	var mult units.Bits
+	var num string
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, num = units.GB, s[:len(s)-2]
+	case strings.HasSuffix(s, "MB"):
+		mult, num = units.MB, s[:len(s)-2]
+	case strings.HasSuffix(s, "KB"):
+		mult, num = units.KB, s[:len(s)-2]
+	default:
+		return 0, fmt.Errorf("size %q needs a KB/MB/GB suffix", s)
+	}
+	var n float64
+	if _, err := fmt.Sscanf(num, "%g", &n); err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	// Sscanf's %g accepts "NaN" and "inf"; neither is a size.
+	if math.IsNaN(n) || math.IsInf(n, 0) || n <= 0 {
+		return 0, fmt.Errorf("size %q must be a positive finite number", s)
+	}
+	bits := units.Bits(n * float64(mult))
+	if bits <= 0 {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return bits, nil
+}

@@ -1,0 +1,38 @@
+package cliutil
+
+import (
+	"testing"
+
+	"ftcms/internal/units"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want units.Bits
+	}{
+		{"256MB", 256 * units.MB},
+		{"2GB", 2 * units.GB},
+		{"64KB", 64 * units.KB},
+		{"1.5MB", units.Bits(1.5 * float64(units.MB))},
+		{" 512MB ", 512 * units.MB},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "256", "256TB", "xMB", "-2GB", "0MB"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) accepted", in)
+		}
+	}
+}

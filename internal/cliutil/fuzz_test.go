@@ -1,0 +1,17 @@
+package cliutil
+
+import "testing"
+
+// FuzzParseSize: the parser never panics, and accepted inputs always
+// yield positive sizes.
+func FuzzParseSize(f *testing.F) {
+	for _, seed := range []string{"256MB", "2GB", "64KB", "", "MB", "1.5GB", "-3MB", "1e9KB", "NaNMB", "infGB"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		bits, err := ParseSize(s)
+		if err == nil && bits <= 0 {
+			t.Fatalf("ParseSize(%q) accepted non-positive %d", s, bits)
+		}
+	})
+}

@@ -1,0 +1,395 @@
+// Package core is the library's facade: a complete, byte-accurate
+// fault-tolerant continuous media server in the sense of Özden et al.
+// (SIGMOD 1996). It ties together the substrates — placement (layout),
+// parity maintenance and reconstruction (recovery/storage), round
+// scheduling (sched), admission control (admission) and buffer accounting
+// (buffer) — into a tick-driven server that stores real clip bytes,
+// streams them at one block per stream per round, survives a single disk
+// failure without interrupting any stream, and audits its own Equation-1
+// budget on every round.
+//
+// The server is deliberately synchronous: Tick() advances one service
+// round, which makes behaviour deterministic and lets tests and examples
+// drive failures at exact round boundaries. Wall-clock pacing (for the
+// cmserve demo) is the caller's concern: one round corresponds to
+// RoundDuration() of playback.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/admission"
+	"ftcms/internal/buffer"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/layout"
+	"ftcms/internal/recovery"
+	"ftcms/internal/sched"
+	"ftcms/internal/storage"
+	"ftcms/internal/units"
+)
+
+// Scheme names the fault-tolerance scheme a Server runs.
+type Scheme string
+
+// The five schemes of the paper.
+const (
+	// Declustered is the §4 declustered-parity scheme with static
+	// contingency reservation.
+	Declustered Scheme = "declustered"
+	// DeclusteredDynamic is the §5 dynamic reservation scheme: the same
+	// declustered layout organized as r super-clips, with per-clip
+	// contingency reservations instead of a static f.
+	DeclusteredDynamic Scheme = "declustered-dynamic"
+	// PrefetchParityDisk is the §6.1 pre-fetching scheme with dedicated
+	// parity disks.
+	PrefetchParityDisk Scheme = "prefetch-parity-disk"
+	// PrefetchFlat is the §6.2 pre-fetching scheme with flat parity
+	// placement.
+	PrefetchFlat Scheme = "prefetch-flat"
+	// StreamingRAID is the [TPBG93] baseline: whole-group retrieval.
+	StreamingRAID Scheme = "streaming-raid"
+	// NonClustered is the [BGM95] baseline: parity disks, no
+	// pre-fetching, degraded-mode whole-group reads.
+	NonClustered Scheme = "non-clustered"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Scheme selects the fault-tolerance scheme.
+	Scheme Scheme
+	// Disk is the disk model; zero value selects the paper's Figure 1
+	// disk.
+	Disk diskmodel.Parameters
+	// D is the number of disks.
+	D int
+	// P is the parity group size.
+	P int
+	// Block is the block size; it must satisfy Equation 1 for the
+	// requested Q.
+	Block units.Bits
+	// Q is the per-disk (per-cluster for streaming RAID) round budget.
+	Q int
+	// F is the contingency reservation for the declustered and flat
+	// schemes (ignored elsewhere).
+	F int
+	// Buffer is the server RAM buffer.
+	Buffer units.Bits
+	// Capacity is the store's data capacity in blocks (defaults to
+	// 4096·d when zero).
+	Capacity int64
+}
+
+// Stats reports a server's running counters.
+type Stats struct {
+	// Rounds is the number of completed rounds.
+	Rounds int64
+	// Active is the number of streams currently playing.
+	Active int
+	// Served is the number of streams that completed playback.
+	Served int
+	// Hiccups counts block deliveries that missed their round (late or
+	// unreconstructable). Zero for the rate-guaranteeing schemes under a
+	// single failure.
+	Hiccups int64
+	// Overflows counts disk charges beyond the q budget (from sched).
+	Overflows int64
+	// FailedDisks lists currently failed disks.
+	FailedDisks []int
+}
+
+// Server is a fault-tolerant continuous media server.
+type Server struct {
+	cfg    Config
+	lay    layout.Layout
+	store  *recovery.Store
+	engine *sched.Engine
+	pool   *buffer.Pool
+
+	admitStatic  *admission.Static
+	admitSimple  *admission.Simple
+	admitDynamic *admission.Dynamic
+	clips        map[string]clipInfo
+	nextFree     int64 // next free logical block in the store
+	// nextFreeRow is the per-super-clip allocation cursor (dynamic scheme
+	// only): clip blocks of row k go to logical k + i·r.
+	nextFreeRow []int64
+	// clipCount round-robins super-clip assignment for the dynamic
+	// scheme.
+	clipCount    int
+	streams      map[int]*Stream
+	nextStreamID int
+	served       int
+	hiccups      int64
+
+	// prefetchDepth is how many blocks ahead of delivery fetching runs
+	// (p−1 for the pre-fetching schemes, 1 otherwise).
+	prefetchDepth int64
+	// groupFetch is set for streaming RAID: fetch a whole group at once.
+	groupFetch bool
+}
+
+type clipInfo struct {
+	start  int64
+	blocks int64
+	size   int64 // bytes of real payload (last block padded)
+	// stride is the logical-index step between consecutive clip blocks:
+	// 1 everywhere except the dynamic scheme's interleaved address space,
+	// where it is r (the clip stays in one super-clip).
+	stride int64
+}
+
+// block returns the logical index of the clip's n-th block.
+func (ci clipInfo) block(n int64) int64 { return ci.start + n*ci.stride }
+
+// New builds a server. The block size and q must satisfy Equation 1; use
+// the analytic package to derive an optimal operating point.
+func New(cfg Config) (*Server, error) {
+	if cfg.Disk == (diskmodel.Parameters{}) {
+		cfg.Disk = diskmodel.Default()
+	}
+	if err := cfg.Disk.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.D < 2 || cfg.P < 2 || cfg.P > cfg.D {
+		return nil, fmt.Errorf("core: bad geometry d=%d p=%d", cfg.D, cfg.P)
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = int64(cfg.D) * 4096
+	}
+	if cfg.Capacity < int64(cfg.D) {
+		return nil, errors.New("core: capacity below one stripe")
+	}
+
+	s := &Server{
+		cfg:           cfg,
+		clips:         make(map[string]clipInfo),
+		streams:       make(map[int]*Stream),
+		prefetchDepth: 1,
+	}
+
+	var lay layout.Layout
+	var err error
+	switch cfg.Scheme {
+	case Declustered:
+		lay, err = layout.NewDeclustered(cfg.D, cfg.P)
+	case DeclusteredDynamic:
+		var il *layout.Interleaved
+		il, err = layout.NewInterleaved(cfg.D, cfg.P)
+		if err == nil {
+			lay = il
+			s.nextFreeRow = make([]int64, il.Rows())
+		}
+	case PrefetchParityDisk:
+		lay, err = layout.NewPrefetchParityDisk(cfg.D, cfg.P)
+		s.prefetchDepth = int64(cfg.P - 1)
+	case PrefetchFlat:
+		lay, err = layout.NewFlatUniform(cfg.D, cfg.P, cfg.Capacity)
+		s.prefetchDepth = int64(cfg.P - 1)
+	case StreamingRAID:
+		lay, err = layout.NewStreamingRAID(cfg.D, cfg.P)
+		s.prefetchDepth = int64(cfg.P - 1)
+		s.groupFetch = true
+	case NonClustered:
+		lay, err = layout.NewNonClustered(cfg.D, cfg.P)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", cfg.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.lay = lay
+
+	arr, err := storage.NewArray(cfg.D, int(cfg.Block.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	s.store, err = recovery.NewStore(lay, arr)
+	if err != nil {
+		return nil, err
+	}
+	s.engine, err = sched.NewEngine(cfg.D, cfg.Q, cfg.Disk, cfg.Block)
+	if err != nil {
+		return nil, err
+	}
+	s.pool, err = buffer.NewPool(cfg.Buffer)
+	if err != nil {
+		return nil, err
+	}
+
+	switch cfg.Scheme {
+	case Declustered:
+		r := lay.(*layout.Declustered).Rows()
+		f := cfg.F
+		if f < 1 {
+			f = 1
+		}
+		s.admitStatic, err = admission.NewStatic(cfg.D, r, cfg.Q, f)
+	case DeclusteredDynamic:
+		s.admitDynamic, err = admission.NewDynamic(lay.(*layout.Interleaved).S.Table, cfg.Q)
+	case PrefetchFlat:
+		m := cfg.D - (cfg.P - 1)
+		f := cfg.F
+		if f < 1 {
+			f = 1
+		}
+		s.admitStatic, err = admission.NewStatic(cfg.D, m, cfg.Q, f)
+	case PrefetchParityDisk, NonClustered:
+		dataDisks := cfg.D * (cfg.P - 1) / cfg.P
+		s.admitSimple, err = admission.NewSimple(dataDisks, cfg.Q)
+	case StreamingRAID:
+		s.admitSimple, err = admission.NewSimple(cfg.D/cfg.P, cfg.Q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BlockSize returns the configured block size.
+func (s *Server) BlockSize() units.Bits { return s.cfg.Block }
+
+// RoundDuration returns the playback time one round covers — b/r_p, or
+// (p−1)·b/r_p for streaming RAID's whole-group rounds.
+func (s *Server) RoundDuration() units.Duration {
+	d := s.cfg.Disk.RoundDuration(s.cfg.Block)
+	if s.groupFetch {
+		return units.Duration(s.cfg.P-1) * d
+	}
+	return d
+}
+
+// AddClip stores a clip's bytes, striping blocks round-robin and
+// maintaining parity. Clips are padded to whole blocks (the paper pads
+// with advertisements; we pad with zeroes).
+func (s *Server) AddClip(name string, data []byte) error {
+	if _, dup := s.clips[name]; dup {
+		return fmt.Errorf("core: clip %q already stored", name)
+	}
+	if len(data) == 0 {
+		return errors.New("core: empty clip")
+	}
+	bs := int(s.cfg.Block.Bytes())
+	blocks := int64((len(data) + bs - 1) / bs)
+	// Pre-fetching schemes need whole parity groups per clip for the
+	// read-ahead invariant; pad to a multiple of p−1 blocks.
+	if s.prefetchDepth > 1 {
+		g := int64(s.cfg.P - 1)
+		blocks = (blocks + g - 1) / g * g
+	}
+	var start, stride int64
+	if s.cfg.Scheme == DeclusteredDynamic {
+		// §5.1: each clip lives wholly inside one super-clip; assign
+		// rows round-robin and allocate within the row.
+		il := s.lay.(*layout.Interleaved)
+		r := int64(il.Rows())
+		row := s.clipCount % il.Rows()
+		base := s.nextFreeRow[row]
+		if (base+blocks)*r > s.cfg.Capacity {
+			return fmt.Errorf("core: super-clip %d full: clip needs %d blocks", row, blocks)
+		}
+		start, stride = int64(row)+base*r, r
+		s.nextFreeRow[row] = base + blocks
+		s.clipCount++
+	} else {
+		if s.nextFree+blocks > s.cfg.Capacity {
+			return fmt.Errorf("core: store full: %d blocks free, clip needs %d", s.cfg.Capacity-s.nextFree, blocks)
+		}
+		start, stride = s.nextFree, 1
+		s.nextFree += blocks
+	}
+	ci := clipInfo{start: start, blocks: blocks, size: int64(len(data)), stride: stride}
+	buf := make([]byte, bs)
+	for n := int64(0); n < blocks; n++ {
+		lo := int(n) * bs
+		hi := lo + bs
+		for i := range buf {
+			buf[i] = 0
+		}
+		if lo < len(data) {
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(buf, data[lo:hi])
+		}
+		if err := s.store.WriteBlock(ci.block(n), buf); err != nil {
+			return err
+		}
+	}
+	s.clips[name] = ci
+	return nil
+}
+
+// FailDisk injects a single-disk failure. Streams continue via
+// reconstruction.
+func (s *Server) FailDisk(disk int) error { return s.store.Array.Fail(disk) }
+
+// RepairDisk clears the failure and rebuilds the disk's blocks from the
+// surviving members of each parity group (data via reconstruction, parity
+// by recomputation).
+func (s *Server) RepairDisk(disk int) error {
+	if err := s.store.Array.Repair(disk); err != nil {
+		return err
+	}
+	// Rebuild: every stored data block either lives on the disk
+	// (reconstruct and rewrite) or has parity there (rewrite refreshes
+	// it).
+	for _, ci := range s.clips {
+		for n := int64(0); n < ci.blocks; n++ {
+			i := ci.block(n)
+			addr := s.lay.Place(i)
+			g := s.lay.GroupOf(i)
+			if addr.Disk != disk && g.Parity.Disk != disk {
+				continue
+			}
+			data, err := s.store.Reconstruct(i)
+			if addr.Disk != disk {
+				data, err = s.store.ReadBlock(i)
+			}
+			if err != nil {
+				return fmt.Errorf("core: rebuild block %d: %w", i, err)
+			}
+			if err := s.store.WriteBlock(i, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Rounds:      s.engine.Round(),
+		Active:      len(s.streams),
+		Served:      s.served,
+		Hiccups:     s.hiccups,
+		Overflows:   s.engine.Overflows,
+		FailedDisks: s.store.Array.FailedDisks(),
+	}
+}
+
+// Clips returns the names of all stored clips in insertion-independent
+// sorted order.
+func (s *Server) Clips() []string {
+	out := make([]string, 0, len(s.clips))
+	for name := range s.clips {
+		out = append(out, name)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ClipSize returns a stored clip's payload size in bytes, or -1 when the
+// clip is unknown.
+func (s *Server) ClipSize(name string) int64 {
+	ci, ok := s.clips[name]
+	if !ok {
+		return -1
+	}
+	return ci.size
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/units"
+)
+
+// testDisk is a fast disk model for unit tests: small latencies allow
+// small blocks, keeping test memory and time low while still exercising
+// Equation 1.
+func testDisk() diskmodel.Parameters {
+	return diskmodel.Parameters{
+		TransferRate: 45 * units.Mbps,
+		Settle:       0.05 * units.Millisecond,
+		Seek:         0.1 * units.Millisecond,
+		Rotation:     0.1 * units.Millisecond,
+		Capacity:     2 * units.GB,
+		PlaybackRate: 1.5 * units.Mbps,
+	}
+}
+
+func testConfig(scheme Scheme, d, p int) Config {
+	return Config{
+		Scheme: scheme,
+		Disk:   testDisk(),
+		D:      d,
+		P:      p,
+		Block:  8 * units.KB, // 8000 bytes
+		Q:      8,
+		F:      2,
+		Buffer: 64 * units.MB,
+	}
+}
+
+func newServer(t *testing.T, scheme Scheme, d, p int) *Server {
+	t.Helper()
+	s, err := New(testConfig(scheme, d, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func clipBytes(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// drainStream ticks the server until the stream finishes, returning all
+// bytes read. maxTicks guards against livelock.
+func drainStream(t *testing.T, s *Server, st *Stream, maxTicks int) []byte {
+	t.Helper()
+	var out []byte
+	buf := make([]byte, 64<<10)
+	for i := 0; i < maxTicks; i++ {
+		if err := s.Tick(); err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+		for {
+			n, err := st.Read(buf)
+			out = append(out, buf[:n]...)
+			if errors.Is(err, io.EOF) {
+				return out
+			}
+			if errors.Is(err, ErrNoData) || n == 0 {
+				break
+			}
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+		}
+	}
+	t.Fatalf("stream did not finish in %d ticks", maxTicks)
+	return nil
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig(Declustered, 7, 3)
+	cfg.D = 1
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted d=1")
+	}
+	cfg = testConfig(Scheme("bogus"), 7, 3)
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+	cfg = testConfig(Declustered, 7, 3)
+	cfg.Block = 100 // violates Equation 1 at q=8
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted Equation-1-violating block size")
+	}
+	cfg = testConfig(StreamingRAID, 7, 3) // p must divide d
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted p∤d for streaming RAID")
+	}
+	cfg = testConfig(Declustered, 7, 3)
+	cfg.Capacity = 3
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted sub-stripe capacity")
+	}
+	// Zero disk model defaults to Figure 1 (which needs a bigger block
+	// for q=8).
+	cfg = testConfig(Declustered, 7, 3)
+	cfg.Disk = diskmodel.Parameters{}
+	cfg.Block = 2 * units.MB
+	if _, err := New(cfg); err != nil {
+		t.Errorf("default disk model rejected: %v", err)
+	}
+}
+
+func TestAddClipErrors(t *testing.T) {
+	s := newServer(t, Declustered, 7, 3)
+	if err := s.AddClip("a", clipBytes(1, 50_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClip("a", clipBytes(1, 100)); err == nil {
+		t.Error("accepted duplicate clip name")
+	}
+	if err := s.AddClip("b", nil); err == nil {
+		t.Error("accepted empty clip")
+	}
+	// Fill the store.
+	huge := clipBytes(2, int(s.cfg.Capacity)*8000)
+	if err := s.AddClip("huge", huge); err == nil {
+		t.Error("accepted clip beyond capacity")
+	}
+}
+
+// TestStreamRoundTripAllSchemes: store clips and stream them back
+// byte-exact under every scheme, fault-free.
+func TestStreamRoundTripAllSchemes(t *testing.T) {
+	cases := []struct {
+		scheme Scheme
+		d, p   int
+	}{
+		{Declustered, 7, 3},
+		{DeclusteredDynamic, 7, 3},
+		{PrefetchParityDisk, 8, 4},
+		{PrefetchFlat, 9, 4},
+		{StreamingRAID, 8, 4},
+		{NonClustered, 8, 4},
+	}
+	for _, c := range cases {
+		s := newServer(t, c.scheme, c.d, c.p)
+		want := clipBytes(7, 123_456) // ~15.5 blocks: exercises padding
+		if err := s.AddClip("movie", want); err != nil {
+			t.Fatalf("%s: %v", c.scheme, err)
+		}
+		st, err := s.OpenStream("movie")
+		if err != nil {
+			t.Fatalf("%s: OpenStream: %v", c.scheme, err)
+		}
+		if st.Len() != int64(len(want)) {
+			t.Fatalf("%s: Len = %d, want %d", c.scheme, st.Len(), len(want))
+		}
+		got := drainStream(t, s, st, 100)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: stream bytes differ (got %d, want %d)", c.scheme, len(got), len(want))
+		}
+		stats := s.Stats()
+		if stats.Hiccups != 0 || stats.Overflows != 0 {
+			t.Fatalf("%s: fault-free run produced hiccups=%d overflows=%d", c.scheme, stats.Hiccups, stats.Overflows)
+		}
+		if stats.Served != 1 || stats.Active != 0 {
+			t.Fatalf("%s: served=%d active=%d", c.scheme, stats.Served, stats.Active)
+		}
+	}
+}
+
+// TestStreamThroughFailure (E10): fail a disk mid-playback; every scheme
+// must still deliver byte-exact content, and the rate-guaranteeing
+// schemes must do it without hiccups or budget overflows.
+func TestStreamThroughFailure(t *testing.T) {
+	cases := []struct {
+		scheme Scheme
+		d, p   int
+	}{
+		{Declustered, 7, 3},
+		{DeclusteredDynamic, 7, 3},
+		{PrefetchParityDisk, 8, 4},
+		{PrefetchFlat, 9, 4},
+		{StreamingRAID, 8, 4},
+		{NonClustered, 8, 4},
+	}
+	for _, c := range cases {
+		for fail := 0; fail < c.d; fail++ {
+			s := newServer(t, c.scheme, c.d, c.p)
+			want := clipBytes(11, 200_000)
+			if err := s.AddClip("movie", want); err != nil {
+				t.Fatal(err)
+			}
+			st, err := s.OpenStream("movie")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []byte
+			buf := make([]byte, 64<<10)
+			for tick := 0; tick < 120; tick++ {
+				if tick == 5 {
+					if err := s.FailDisk(fail); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := s.Tick(); err != nil {
+					t.Fatalf("%s fail=%d: Tick: %v", c.scheme, fail, err)
+				}
+				done := false
+				for {
+					n, err := st.Read(buf)
+					got = append(got, buf[:n]...)
+					if errors.Is(err, io.EOF) {
+						done = true
+						break
+					}
+					if errors.Is(err, ErrNoData) || n == 0 {
+						break
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				if done {
+					break
+				}
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s fail=%d: bytes differ (got %d, want %d)", c.scheme, fail, len(got), len(want))
+			}
+			stats := s.Stats()
+			if stats.Hiccups != 0 {
+				t.Errorf("%s fail=%d: %d hiccups", c.scheme, fail, stats.Hiccups)
+			}
+		}
+	}
+}
+
+// TestAdmissionLimits: the controller refuses streams beyond the caps and
+// frees capacity on Close.
+func TestAdmissionLimits(t *testing.T) {
+	cfg := testConfig(Declustered, 7, 3)
+	cfg.Q = 3
+	cfg.F = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClip("m", clipBytes(3, 400_000)); err != nil {
+		t.Fatal(err)
+	}
+	// All streams of the same clip share a start cell; f=1 means one
+	// admission per round for that cell.
+	st1, err := s.OpenStream("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenStream("m"); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("second same-cell stream: %v, want ErrAdmission", err)
+	}
+	// A round later the phase differs and admission succeeds.
+	if err := s.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.OpenStream("m")
+	if err != nil {
+		t.Fatalf("next-round admission failed: %v", err)
+	}
+	st1.Close()
+	st2.Close()
+	if s.Stats().Active != 0 {
+		t.Fatal("Close did not release streams")
+	}
+	// Closed stream reads report closure.
+	if _, err := st1.Read(make([]byte, 10)); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestBufferPoolLimit(t *testing.T) {
+	cfg := testConfig(Declustered, 7, 3)
+	cfg.Buffer = 20 * units.KB // 2·b = 128 Kbit = 16 KB per clip: exactly one fits
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClip("m", clipBytes(3, 100_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenStream("m"); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	if _, err := s.OpenStream("m"); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("buffer-exhausted admission: %v, want ErrAdmission", err)
+	}
+}
+
+func TestOpenStreamUnknownClip(t *testing.T) {
+	s := newServer(t, Declustered, 7, 3)
+	if _, err := s.OpenStream("nope"); err == nil {
+		t.Fatal("opened unknown clip")
+	}
+}
+
+// TestRepairDisk: after repair + rebuild, a *different* disk can fail and
+// playback still works — the single-failure guarantee is restored.
+func TestRepairDisk(t *testing.T) {
+	s := newServer(t, Declustered, 7, 3)
+	want := clipBytes(9, 150_000)
+	if err := s.AddClip("m", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RepairDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(5); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.OpenStream("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainStream(t, s, st, 100)
+	if !bytes.Equal(got, want) {
+		t.Fatal("bytes differ after repair + second failure")
+	}
+}
+
+// TestConcurrentStreams: several streams of different clips play
+// simultaneously and all finish byte-exact.
+func TestConcurrentStreams(t *testing.T) {
+	s := newServer(t, Declustered, 7, 3)
+	clips := map[string][]byte{}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		data := clipBytes(int64(len(name)*17), 80_000+len(name)*1000)
+		clips[name] = data
+		if err := s.AddClip(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streams := map[string]*Stream{}
+	collected := map[string][]byte{}
+	for name := range clips {
+		st, err := s.OpenStream(name)
+		if err != nil {
+			t.Fatalf("OpenStream(%s): %v", name, err)
+		}
+		streams[name] = st
+	}
+	buf := make([]byte, 64<<10)
+	for tick := 0; tick < 100 && len(streams) > 0; tick++ {
+		if err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		for name, st := range streams {
+			for {
+				n, err := st.Read(buf)
+				collected[name] = append(collected[name], buf[:n]...)
+				if errors.Is(err, io.EOF) {
+					delete(streams, name)
+					break
+				}
+				if errors.Is(err, ErrNoData) || n == 0 {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if len(streams) != 0 {
+		t.Fatalf("%d streams unfinished", len(streams))
+	}
+	for name, want := range clips {
+		if !bytes.Equal(collected[name], want) {
+			t.Errorf("clip %s bytes differ", name)
+		}
+	}
+	if s.Stats().Served != 4 {
+		t.Errorf("Served = %d, want 4", s.Stats().Served)
+	}
+}
+
+func TestRoundDuration(t *testing.T) {
+	s := newServer(t, Declustered, 7, 3)
+	want := testDisk().RoundDuration(8 * units.KB)
+	if got := s.RoundDuration(); got != want {
+		t.Fatalf("RoundDuration = %v, want %v", got, want)
+	}
+	if s.BlockSize() != 8*units.KB {
+		t.Fatalf("BlockSize = %v", s.BlockSize())
+	}
+	// Streaming RAID rounds cover p−1 blocks.
+	sr := newServer(t, StreamingRAID, 8, 4)
+	if got := sr.RoundDuration(); got != 3*want {
+		t.Fatalf("streaming RAID RoundDuration = %v, want %v", got, 3*want)
+	}
+}
+
+// TestDynamicMultiRowClips: the §5 scheme spreads clips across
+// super-clips (PGT rows) round-robin; clips from different rows play
+// concurrently and survive a failure byte-exactly.
+func TestDynamicMultiRowClips(t *testing.T) {
+	s := newServer(t, DeclusteredDynamic, 7, 3)
+	want := map[string][]byte{}
+	for i := 0; i < 5; i++ { // more clips than rows (r = 3): rows reused
+		name := string(rune('a' + i))
+		data := clipBytes(int64(100+i), 60_000+i*3000)
+		want[name] = data
+		if err := s.AddClip(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		st, err := s.OpenStream(name)
+		if err != nil {
+			t.Fatalf("OpenStream(%s): %v", name, err)
+		}
+		got := drainStream(t, s, st, 100)
+		if !bytes.Equal(got, w) {
+			t.Fatalf("clip %s corrupted", name)
+		}
+	}
+	if h := s.Stats().Hiccups; h != 0 {
+		t.Fatalf("hiccups = %d", h)
+	}
+}
+
+// TestDynamicRepair: the dynamic scheme's per-row allocation survives the
+// repair/rebuild cycle.
+func TestDynamicRepair(t *testing.T) {
+	s := newServer(t, DeclusteredDynamic, 7, 3)
+	want := clipBytes(55, 90_000)
+	if err := s.AddClip("m", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RepairDisk(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(6); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.OpenStream("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainStream(t, s, st, 100); !bytes.Equal(got, want) {
+		t.Fatal("bytes differ after dynamic repair cycle")
+	}
+}

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ftcms/internal/admission"
+	"ftcms/internal/buffer"
+	"ftcms/internal/layout"
+	"ftcms/internal/recovery"
+	"ftcms/internal/units"
+)
+
+// ErrAdmission is returned by OpenStream when the admission controller or
+// the buffer pool refuses the stream; the client may retry on a later
+// round (a queued front end lives in the sim package).
+var ErrAdmission = errors.New("core: admission refused")
+
+// ErrNoData is returned by Stream.Read when no block has been delivered
+// yet for the current position; more data arrives on the next Tick.
+var ErrNoData = errors.New("core: no data buffered yet")
+
+// Stream is one active playback. It implements io.Reader over the clip's
+// bytes, fed one block of playback per round by Server.Tick.
+type Stream struct {
+	id     int
+	srv    *Server
+	clip   clipInfo
+	ticket ticketRef
+	buf    units.Bits
+
+	// nextFetch indexes the next clip block to fetch (clip-relative).
+	nextFetch int64
+	// nextDeliver indexes the next clip block to hand to the reader.
+	nextDeliver int64
+	// started flips once the pre-fetch threshold is reached and delivery
+	// begins.
+	started bool
+	// fetched caches fetched blocks (clip-relative index → data) until
+	// their parity group is fully delivered; the pre-fetching schemes
+	// reconstruct failed-disk blocks from it.
+	fetched map[int64][]byte
+	// parity caches parity blocks fetched in degraded mode, keyed by the
+	// clip-relative index of the block they substitute for.
+	parity map[int64][]byte
+
+	// readable is delivered-but-unread payload.
+	readable []byte
+	// deliveredBytes counts payload moved into readable so far.
+	deliveredBytes int64
+	done           bool
+	// paused marks a stream that released its bandwidth and buffer and
+	// holds its position for Resume.
+	paused bool
+}
+
+// ticketKind identifies which controller issued a ticket.
+type ticketKind int
+
+const (
+	ticketSimple ticketKind = iota
+	ticketStatic
+	ticketDynamic
+)
+
+type ticketRef struct {
+	kind ticketKind
+	t    admission.Ticket
+}
+
+// OpenStream starts playback of a stored clip. Admission is attempted at
+// the current round; ErrAdmission means try again on a later round.
+func (s *Server) OpenStream(clipName string) (*Stream, error) {
+	ci, ok := s.clips[clipName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown clip %q", clipName)
+	}
+	perClip, err := buffer.PerClip(string(s.cfg.Scheme), s.cfg.Block, s.cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	if !s.pool.Reserve(perClip) {
+		return nil, fmt.Errorf("%w: buffer pool full", ErrAdmission)
+	}
+	tk, ok := s.admit(s.engine.Round(), ci.start)
+	if !ok {
+		s.pool.Release(perClip)
+		return nil, fmt.Errorf("%w: bandwidth caps", ErrAdmission)
+	}
+	st := &Stream{
+		id:      s.nextStreamID,
+		srv:     s,
+		clip:    ci,
+		ticket:  tk,
+		buf:     perClip,
+		fetched: make(map[int64][]byte),
+		parity:  make(map[int64][]byte),
+	}
+	s.nextStreamID++
+	s.streams[st.id] = st
+	return st, nil
+}
+
+// admit maps the clip's real start placement to the scheme's admission
+// coordinates.
+func (s *Server) admit(now int64, start int64) (ticketRef, bool) {
+	switch s.cfg.Scheme {
+	case Declustered:
+		l := s.lay.(*layout.Declustered)
+		addr := l.Place(start)
+		tk, ok := s.admitStatic.Admit(now, addr.Disk, l.RowOf(start))
+		return ticketRef{kind: ticketStatic, t: tk}, ok
+	case DeclusteredDynamic:
+		l := s.lay.(*layout.Interleaved)
+		addr := l.Place(start)
+		tk, ok := s.admitDynamic.Admit(now, addr.Disk, l.RowOf(start))
+		return ticketRef{kind: ticketDynamic, t: tk}, ok
+	case PrefetchFlat:
+		l := s.lay.(*layout.FlatUniform)
+		addr := l.Place(start)
+		tk, ok := s.admitStatic.Admit(now, addr.Disk, l.ParityTargetClass(addr.Block))
+		return ticketRef{kind: ticketStatic, t: tk}, ok
+	case PrefetchParityDisk, NonClustered:
+		addr := s.lay.Place(start)
+		ord := addr.Disk/s.cfg.P*(s.cfg.P-1) + addr.Disk%s.cfg.P
+		tk, ok := s.admitSimple.Admit(now, ord)
+		return ticketRef{t: tk}, ok
+	case StreamingRAID:
+		cluster := s.lay.Place(start).Disk / s.cfg.P
+		tk, ok := s.admitSimple.Admit(now, cluster)
+		return ticketRef{t: tk}, ok
+	}
+	return ticketRef{}, false
+}
+
+func (s *Server) release(st *Stream) {
+	switch st.ticket.kind {
+	case ticketStatic:
+		s.admitStatic.Release(st.ticket.t)
+	case ticketDynamic:
+		s.admitDynamic.Release(st.ticket.t)
+	default:
+		s.admitSimple.Release(st.ticket.t)
+	}
+	s.pool.Release(st.buf)
+	delete(s.streams, st.id)
+}
+
+// Close abandons the stream, releasing its resources. Reading after Close
+// returns io.ErrClosedPipe.
+func (st *Stream) Close() error {
+	if st.done {
+		return nil
+	}
+	st.done = true
+	st.readable = nil
+	if st.paused {
+		delete(st.srv.streams, st.id) // bandwidth/buffer already released
+		return nil
+	}
+	st.srv.release(st)
+	return nil
+}
+
+// Pause suspends playback: the stream's disk bandwidth and server buffer
+// are released for other clients, and its position is retained. Already-
+// delivered bytes stay readable. Resume re-admits the stream; like any
+// admission it can be refused when the server has since filled up.
+func (st *Stream) Pause() error {
+	if st.done {
+		return errors.New("core: stream finished")
+	}
+	if st.paused {
+		return nil
+	}
+	st.paused = true
+	// Drop the pipeline: blocks not yet delivered are re-fetched on
+	// resume (the buffer they lived in is being handed back).
+	st.fetched = make(map[int64][]byte)
+	st.parity = make(map[int64][]byte)
+	st.nextFetch = st.nextDeliver
+	st.started = false
+	st.srv.release(st)
+	return nil
+}
+
+// SeekTo repositions a *paused* stream to the block containing byte
+// offset, clearing its pipeline; the next Resume re-admits at the new
+// position (the disk the stream reads from changes, so its bandwidth
+// reservation must be renegotiated — hence the paused requirement).
+// Already-delivered-but-unread bytes are discarded. Reads after the
+// resume continue from the start of the target block.
+func (st *Stream) SeekTo(offset int64) error {
+	if st.done {
+		return errors.New("core: stream finished")
+	}
+	if !st.paused {
+		return errors.New("core: Seek requires a paused stream")
+	}
+	if offset < 0 || offset >= st.clip.size {
+		return fmt.Errorf("core: seek offset %d outside clip [0, %d)", offset, st.clip.size)
+	}
+	bs := int64(st.srv.store.Array.BlockSize())
+	block := offset / bs
+	// The pre-fetching schemes must restart at a parity-group boundary so
+	// the read-ahead invariant holds from the first delivered block.
+	if depth := st.srv.prefetchDepth; depth > 1 {
+		block = block / depth * depth
+	}
+	st.nextDeliver = block
+	st.nextFetch = block
+	st.fetched = make(map[int64][]byte)
+	st.parity = make(map[int64][]byte)
+	st.readable = nil
+	st.deliveredBytes = block * bs
+	return nil
+}
+
+// Resume re-admits a paused stream at its saved position. On
+// ErrAdmission the stream stays paused and Resume can be retried on a
+// later round.
+func (st *Stream) Resume() error {
+	if st.done {
+		return errors.New("core: stream finished")
+	}
+	if !st.paused {
+		return nil
+	}
+	s := st.srv
+	perClip, err := buffer.PerClip(string(s.cfg.Scheme), s.cfg.Block, s.cfg.P)
+	if err != nil {
+		return err
+	}
+	if !s.pool.Reserve(perClip) {
+		return fmt.Errorf("%w: buffer pool full", ErrAdmission)
+	}
+	// Admission coordinates follow the stream's *next* block, not the
+	// clip's first: bandwidth is consumed from wherever fetching resumes.
+	pos := st.clip.block(st.nextFetch)
+	if st.nextFetch >= st.clip.blocks {
+		pos = st.clip.block(st.clip.blocks - 1)
+	}
+	tk, ok := s.admit(s.engine.Round(), pos)
+	if !ok {
+		s.pool.Release(perClip)
+		return fmt.Errorf("%w: bandwidth caps", ErrAdmission)
+	}
+	st.ticket = tk
+	st.buf = perClip
+	st.paused = false
+	s.streams[st.id] = st
+	return nil
+}
+
+// Len returns the clip payload size in bytes.
+func (st *Stream) Len() int64 { return st.clip.size }
+
+// Read implements io.Reader over the delivered bytes. It returns
+// ErrNoData when the pipeline has not delivered the next block yet and
+// io.EOF once the whole clip has been read.
+func (st *Stream) Read(p []byte) (int, error) {
+	if len(st.readable) == 0 {
+		if st.done {
+			if st.deliveredBytes >= st.clip.size {
+				return 0, io.EOF
+			}
+			return 0, io.ErrClosedPipe
+		}
+		return 0, ErrNoData
+	}
+	n := copy(p, st.readable)
+	st.readable = st.readable[n:]
+	return n, nil
+}
+
+// Tick advances one service round: every active stream fetches its due
+// block(s) — reconstructing across the failure if needed — and delivers
+// one round's worth of payload to its reader. It returns the first
+// unrecoverable error (double failure); per-stream hiccups are counted in
+// Stats instead of failing the round.
+func (s *Server) Tick() error {
+	s.engine.BeginRound()
+	perRound := int64(1)
+	if s.groupFetch {
+		perRound = int64(s.cfg.P - 1)
+	}
+	// Deterministic iteration: stream IDs ascending.
+	ids := make([]int, 0, len(s.streams))
+	for id := range s.streams {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+
+	for _, id := range ids {
+		st := s.streams[id]
+		// Fetch phase: keep the pipeline prefetchDepth blocks ahead of
+		// delivery (whole groups at once for streaming RAID).
+		target := st.nextDeliver + s.prefetchDepth
+		if target > st.clip.blocks {
+			target = st.clip.blocks
+		}
+		fetchBudget := perRound
+		for st.nextFetch < target && fetchBudget > 0 {
+			if err := s.fetchInto(st, st.nextFetch); err != nil {
+				return err
+			}
+			st.nextFetch++
+			fetchBudget--
+		}
+		// Delivery may (re)start only once the pipeline is full — at
+		// stream start and again after a Resume.
+		if !st.started && st.nextFetch >= target {
+			st.started = true
+		}
+		// Delivery phase: one block of playback per round once started.
+		if st.started {
+			for k := int64(0); k < perRound && st.nextDeliver < st.clip.blocks; k++ {
+				if err := s.deliver(st); err != nil {
+					return err
+				}
+			}
+		}
+		if st.nextDeliver >= st.clip.blocks {
+			st.done = true
+			s.served++
+			s.release(st)
+		}
+	}
+	return nil
+}
+
+// fetchInto fetches clip block n (clip-relative) for the stream, charging
+// the engine for every physical read. When the block's disk has failed,
+// the pre-fetching schemes fetch the group's parity block instead (§6);
+// the others fetch the surviving group members and reconstruct (§4).
+func (s *Server) fetchInto(st *Stream, n int64) error {
+	logical := st.clip.block(n)
+	addr := s.lay.Place(logical)
+	if !s.store.Array.Failed(addr.Disk) {
+		s.charge(addr.Disk)
+		data, err := s.store.ReadBlock(logical)
+		if err != nil {
+			return err
+		}
+		st.fetched[n] = data
+		return nil
+	}
+	if s.prefetchDepth > 1 {
+		// Pre-fetching schemes: fetch only the parity block now;
+		// reconstruction happens at delivery from the buffered siblings.
+		g := s.lay.GroupOf(logical)
+		if s.store.Array.Failed(g.Parity.Disk) {
+			return fmt.Errorf("%w: parity disk %d also failed", recovery.ErrUnrecoverable, g.Parity.Disk)
+		}
+		s.charge(g.Parity.Disk)
+		pbuf, err := s.store.Array.ReadZero(g.Parity.Disk, g.Parity.Block)
+		if err != nil {
+			return err
+		}
+		st.parity[n] = pbuf
+		return nil
+	}
+	// Declustered / non-clustered: read the surviving members and parity
+	// now.
+	g := s.lay.GroupOf(logical)
+	for k, li := range g.Data {
+		if li != logical {
+			s.charge(g.DataAddr[k].Disk)
+		}
+	}
+	s.charge(g.Parity.Disk)
+	data, err := s.store.Reconstruct(logical)
+	if err != nil {
+		return err
+	}
+	st.fetched[n] = data
+	return nil
+}
+
+// reconstructPending rebuilds, from buffered siblings plus the fetched
+// parity block, every group member of clip block n that is still awaiting
+// reconstruction. It runs before the group's first delivery, when §6.1
+// guarantees all surviving members are in the buffer.
+func (s *Server) reconstructPending(st *Stream, n int64) {
+	logical := st.clip.block(n)
+	g := s.lay.GroupOf(logical)
+	for _, li := range g.Data {
+		m := (li - st.clip.start) / st.clip.stride
+		pbuf, pending := st.parity[m]
+		if !pending {
+			continue
+		}
+		srcs := [][]byte{pbuf}
+		complete := true
+		for _, lj := range g.Data {
+			if lj == li {
+				continue
+			}
+			sib, have := st.fetched[(lj-st.clip.start)/st.clip.stride]
+			if !have {
+				complete = false
+				break
+			}
+			srcs = append(srcs, sib)
+		}
+		if !complete {
+			continue // group not fully fetched yet; retry next delivery
+		}
+		data := make([]byte, s.store.Array.BlockSize())
+		recovery.XOR(data, srcs...)
+		st.fetched[m] = data
+		delete(st.parity, m)
+	}
+}
+
+// deliver moves clip block nextDeliver into the readable buffer.
+func (s *Server) deliver(st *Stream) error {
+	n := st.nextDeliver
+	s.reconstructPending(st, n)
+	data, ok := st.fetched[n]
+	if !ok {
+		if pbuf, havePar := st.parity[n]; havePar {
+			// A mid-group restart (pause/resume across a failure) dropped
+			// the buffered siblings the §6 invariant normally provides;
+			// fall back to reading them from disk for this one group.
+			rebuilt, err := s.reconstructFromDisk(st, n, pbuf)
+			if err != nil {
+				return err
+			}
+			if rebuilt != nil {
+				data, ok = rebuilt, true
+				delete(st.parity, n)
+			}
+		}
+	}
+	if !ok {
+		// The pipeline failed to produce the block in time.
+		s.hiccups++
+		st.nextDeliver++
+		delete(st.parity, n)
+		return nil
+	}
+	// Trim the final block to the clip's true payload length.
+	bs := int64(s.store.Array.BlockSize())
+	lo := n * bs
+	hi := lo + bs
+	if hi > st.clip.size {
+		hi = st.clip.size
+	}
+	if lo < st.clip.size {
+		st.readable = append(st.readable, data[:hi-lo]...)
+		st.deliveredBytes += hi - lo
+	}
+	delete(st.fetched, n)
+	st.nextDeliver++
+	return nil
+}
+
+// reconstructFromDisk rebuilds clip block n from its parity block plus
+// sibling reads, preferring buffered siblings and charging disk reads for
+// the rest. It returns nil data (no error) when a sibling's disk is also
+// failed.
+func (s *Server) reconstructFromDisk(st *Stream, n int64, pbuf []byte) ([]byte, error) {
+	logical := st.clip.block(n)
+	g := s.lay.GroupOf(logical)
+	srcs := [][]byte{pbuf}
+	for _, li := range g.Data {
+		if li == logical {
+			continue
+		}
+		m := (li - st.clip.start) / st.clip.stride
+		sib, have := st.fetched[m]
+		if !have {
+			addr := s.lay.Place(li)
+			if s.store.Array.Failed(addr.Disk) {
+				return nil, nil
+			}
+			s.charge(addr.Disk)
+			var err error
+			sib, err = s.store.Array.ReadZero(addr.Disk, addr.Block)
+			if err != nil {
+				return nil, err
+			}
+		}
+		srcs = append(srcs, sib)
+	}
+	out := make([]byte, s.store.Array.BlockSize())
+	recovery.XOR(out, srcs...)
+	return out, nil
+}
+
+// charge records a physical read against the round ledger; budget
+// overruns become hiccup accounting rather than failures.
+func (s *Server) charge(disk int) {
+	s.engine.Charge(disk)
+}

@@ -1,0 +1,189 @@
+// Package diskmodel implements the disk timing model of Özden et al.
+// (SIGMOD 1996), Figure 1 and Equation 1.
+//
+// A continuous media server retrieves data in rounds: during a round every
+// disk fetches at most q blocks (one per active clip in its service list)
+// under C-SCAN scheduling. Continuity of playback requires the worst-case
+// time to fetch those q blocks to fit inside one round, which itself is the
+// time a client takes to consume a block:
+//
+//	q·(b/r_d + t_rot + t_settle) + 2·t_seek ≤ b/r_p     (Equation 1)
+//
+// The two t_seek terms are the (at most) two full sweeps the C-SCAN arm
+// makes per round; each block fetch pays one worst-case rotational latency,
+// one settle, and the inner-track transfer time.
+//
+// This package owns that arithmetic: given a block size it bounds q, given
+// q it bounds the block size, and it exposes the exact parameter set of the
+// paper's Figure 1 as Default().
+package diskmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/units"
+)
+
+// Parameters describes one disk of the array plus the playback rate the
+// server guarantees, mirroring the notation table in Figure 1 of the paper.
+type Parameters struct {
+	// TransferRate r_d is the inner-track (worst-case) media transfer rate.
+	TransferRate units.BitRate
+	// Settle t_settle is the head settle time paid once per block fetch.
+	Settle units.Duration
+	// Seek t_seek is the worst-case (full-stroke) seek time. C-SCAN pays at
+	// most two of these per round.
+	Seek units.Duration
+	// Rotation t_rot is the worst-case rotational latency (one revolution).
+	Rotation units.Duration
+	// Capacity C_d is the usable capacity of one disk.
+	Capacity units.Bits
+	// PlaybackRate r_p is the clip consumption rate the server guarantees.
+	PlaybackRate units.BitRate
+}
+
+// Default returns the exact parameter values of the paper's Figure 1:
+// a 2 GB disk with 45 Mbps inner-track transfer, 0.6 ms settle, 17 ms
+// worst-case seek, 8.34 ms worst-case rotational latency, serving MPEG-1
+// clips at 1.5 Mbps.
+func Default() Parameters {
+	return Parameters{
+		TransferRate: 45 * units.Mbps,
+		Settle:       0.6 * units.Millisecond,
+		Seek:         17 * units.Millisecond,
+		Rotation:     8.34 * units.Millisecond,
+		Capacity:     2 * units.GB,
+		PlaybackRate: 1.5 * units.Mbps,
+	}
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p Parameters) Validate() error {
+	switch {
+	case p.TransferRate <= 0:
+		return errors.New("diskmodel: transfer rate must be positive")
+	case p.PlaybackRate <= 0:
+		return errors.New("diskmodel: playback rate must be positive")
+	case p.PlaybackRate >= p.TransferRate:
+		return fmt.Errorf("diskmodel: playback rate %v must be below disk transfer rate %v", p.PlaybackRate, p.TransferRate)
+	case p.Settle < 0 || p.Seek < 0 || p.Rotation < 0:
+		return errors.New("diskmodel: latencies must be non-negative")
+	case p.Capacity <= 0:
+		return errors.New("diskmodel: capacity must be positive")
+	}
+	return nil
+}
+
+// TotalLatency returns t_lat, the worst-case per-access latency
+// t_seek + t_rot + t_settle (25.94 ms ≈ the 25.5 ms the paper quotes after
+// rounding its components).
+func (p Parameters) TotalLatency() units.Duration {
+	return p.Seek + p.Rotation + p.Settle
+}
+
+// BlockOverhead is the fixed per-block cost inside a round: worst-case
+// rotational latency plus settle time. Seeks are not included because
+// C-SCAN amortizes them into two full sweeps per round.
+func (p Parameters) BlockOverhead() units.Duration {
+	return p.Rotation + p.Settle
+}
+
+// BlockServiceTime is the worst-case time to fetch one block of size b:
+// transfer plus per-block overhead.
+func (p Parameters) BlockServiceTime(b units.Bits) units.Duration {
+	return units.TransferTime(b, p.TransferRate) + p.BlockOverhead()
+}
+
+// RoundDuration is the length of a service round for block size b: the time
+// a client takes to consume one block, b/r_p.
+func (p Parameters) RoundDuration(b units.Bits) units.Duration {
+	return units.TransferTime(b, p.PlaybackRate)
+}
+
+// RoundBudgetUsed returns the left-hand side of Equation 1 for q blocks of
+// size b: the worst-case time one disk needs to serve its round.
+func (p Parameters) RoundBudgetUsed(q int, b units.Bits) units.Duration {
+	return units.Duration(float64(q))*p.BlockServiceTime(b) + 2*p.Seek
+}
+
+// SatisfiesEquation1 reports whether q blocks of size b fit in one round,
+// i.e. whether Equation 1 holds.
+func (p Parameters) SatisfiesEquation1(q int, b units.Bits) bool {
+	if q < 0 || b <= 0 {
+		return false
+	}
+	return p.RoundBudgetUsed(q, b) <= p.RoundDuration(b)
+}
+
+// MaxClipsPerRound returns the largest q satisfying Equation 1 for block
+// size b — the paper's q. It returns 0 when even the two C-SCAN sweeps
+// exceed the round (block too small to pay for the seeks).
+func (p Parameters) MaxClipsPerRound(b units.Bits) int {
+	if b <= 0 {
+		return 0
+	}
+	budget := p.RoundDuration(b) - 2*p.Seek
+	if budget <= 0 {
+		return 0
+	}
+	q := int(budget / p.BlockServiceTime(b))
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// MinBlockSize returns the smallest block size (in bits, rounded up to a
+// whole byte) for which Equation 1 admits the given q, or an error when no
+// block size can: q per-block transfers at r_d must consume strictly less
+// round fraction than playback provides.
+//
+// Derivation: Equation 1 rearranges to
+//
+//	b·(1/r_p − q/r_d) ≥ q·(t_rot + t_settle) + 2·t_seek
+//
+// which is solvable iff q < r_d/r_p.
+func (p Parameters) MinBlockSize(q int) (units.Bits, error) {
+	if q <= 0 {
+		return 0, errors.New("diskmodel: q must be positive")
+	}
+	slope := 1/float64(p.PlaybackRate) - float64(q)/float64(p.TransferRate)
+	if slope <= 0 {
+		return 0, fmt.Errorf("diskmodel: q=%d is unreachable: disk bandwidth supports at most %d concurrent streams", q, p.StreamCeiling())
+	}
+	need := float64(q)*p.BlockOverhead().Seconds() + 2*p.Seek.Seconds()
+	bits := need / slope
+	// Round up to a whole byte and nudge past float error.
+	b := units.Bits(bits/8+1) * units.Byte
+	for !p.SatisfiesEquation1(q, b) {
+		b += units.Byte
+	}
+	return b, nil
+}
+
+// StreamCeiling is the hard upper bound on q for any block size:
+// ⌈r_d/r_p⌉ − 1 (with infinite blocks, overheads vanish but each stream
+// still consumes r_p of the disk's r_d).
+func (p Parameters) StreamCeiling() int {
+	c := int(float64(p.TransferRate) / float64(p.PlaybackRate))
+	if float64(c)*float64(p.PlaybackRate) == float64(p.TransferRate) {
+		c--
+	}
+	return c
+}
+
+// CSCANOrder sorts block addresses into a single ascending elevator sweep,
+// the order in which C-SCAN visits them. It returns a new slice.
+func CSCANOrder(cylinders []int) []int {
+	out := make([]int, len(cylinders))
+	copy(out, cylinders)
+	// Insertion sort: service lists are small (q ≤ a few dozen) and this
+	// keeps the package free of sort-import noise in the hot path.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

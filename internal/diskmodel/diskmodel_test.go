@@ -1,0 +1,242 @@
+package diskmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftcms/internal/units"
+)
+
+// TestFigure1Defaults pins the constants of the paper's Figure 1 (E1).
+func TestFigure1Defaults(t *testing.T) {
+	p := Default()
+	if p.TransferRate != 45*units.Mbps {
+		t.Errorf("r_d = %v, want 45 Mbps", p.TransferRate)
+	}
+	if p.Settle != 0.6*units.Millisecond {
+		t.Errorf("t_settle = %v, want 0.6 ms", p.Settle)
+	}
+	if p.Seek != 17*units.Millisecond {
+		t.Errorf("t_seek = %v, want 17 ms", p.Seek)
+	}
+	if p.Rotation != 8.34*units.Millisecond {
+		t.Errorf("t_rot = %v, want 8.34 ms", p.Rotation)
+	}
+	if p.Capacity != 2*units.GB {
+		t.Errorf("C_d = %v, want 2 GB", p.Capacity)
+	}
+	if p.PlaybackRate != 1.5*units.Mbps {
+		t.Errorf("r_p = %v, want 1.5 Mbps", p.PlaybackRate)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Default().Validate() = %v", err)
+	}
+	// The paper rounds t_lat to 25.5 ms; the components sum to 25.94 ms.
+	if lat := p.TotalLatency(); math.Abs(lat.Seconds()-0.02594) > 1e-9 {
+		t.Errorf("t_lat = %v, want 25.94 ms", lat)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Default()
+	cases := []struct {
+		name string
+		mut  func(*Parameters)
+	}{
+		{"zero transfer", func(p *Parameters) { p.TransferRate = 0 }},
+		{"zero playback", func(p *Parameters) { p.PlaybackRate = 0 }},
+		{"playback >= transfer", func(p *Parameters) { p.PlaybackRate = p.TransferRate }},
+		{"negative seek", func(p *Parameters) { p.Seek = -units.Millisecond }},
+		{"negative settle", func(p *Parameters) { p.Settle = -units.Millisecond }},
+		{"zero capacity", func(p *Parameters) { p.Capacity = 0 }},
+	}
+	for _, c := range cases {
+		p := base
+		c.mut(&p)
+		if p.Validate() == nil {
+			t.Errorf("%s: Validate() accepted invalid parameters", c.name)
+		}
+	}
+}
+
+func TestRoundDuration(t *testing.T) {
+	p := Default()
+	// A 1.5 Mbit block plays for exactly 1 second at 1.5 Mbps.
+	if d := p.RoundDuration(1500000); math.Abs(d.Seconds()-1) > 1e-12 {
+		t.Fatalf("RoundDuration = %v, want 1 s", d)
+	}
+}
+
+func TestMaxClipsPerRoundHandEquation(t *testing.T) {
+	p := Default()
+	b := units.Bits(256 * units.KB) // 256 KB = 2.048 Mbit
+	// Hand-evaluate Equation 1:
+	// round = b/r_p, perBlock = b/r_d + t_rot + t_settle.
+	round := float64(b) / 1.5e6
+	perBlock := float64(b)/45e6 + 0.00834 + 0.0006
+	want := int((round - 2*0.017) / perBlock)
+	if got := p.MaxClipsPerRound(b); got != want {
+		t.Fatalf("MaxClipsPerRound(%v) = %d, want %d", b, got, want)
+	}
+}
+
+func TestMaxClipsPerRoundEdges(t *testing.T) {
+	p := Default()
+	if q := p.MaxClipsPerRound(0); q != 0 {
+		t.Errorf("q(0) = %d, want 0", q)
+	}
+	if q := p.MaxClipsPerRound(-units.KB); q != 0 {
+		t.Errorf("q(negative) = %d, want 0", q)
+	}
+	// A block so small its round cannot even pay two seeks: round = b/r_p
+	// must be <= 34 ms => b <= 51 Kbit.
+	if q := p.MaxClipsPerRound(50000); q != 0 {
+		t.Errorf("q(tiny block) = %d, want 0", q)
+	}
+}
+
+// Property: the q returned by MaxClipsPerRound satisfies Equation 1 and
+// q+1 violates it (tightness).
+func TestMaxClipsPerRoundTight(t *testing.T) {
+	p := Default()
+	f := func(kb uint16) bool {
+		b := units.Bits(kb%4096+8) * units.KB
+		q := p.MaxClipsPerRound(b)
+		if q == 0 {
+			return !p.SatisfiesEquation1(1, b)
+		}
+		return p.SatisfiesEquation1(q, b) && !p.SatisfiesEquation1(q+1, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: q is monotone non-decreasing in block size up to the stream
+// ceiling (bigger blocks amortize overheads better).
+func TestMaxClipsMonotone(t *testing.T) {
+	p := Default()
+	prev := 0
+	for b := 64 * units.KB; b <= 8*units.MB; b += 64 * units.KB {
+		q := p.MaxClipsPerRound(b)
+		if q < prev {
+			t.Fatalf("q decreased from %d to %d at b=%v", prev, q, b)
+		}
+		prev = q
+	}
+	if prev > p.StreamCeiling() {
+		t.Fatalf("q=%d exceeded stream ceiling %d", prev, p.StreamCeiling())
+	}
+}
+
+func TestStreamCeiling(t *testing.T) {
+	p := Default()
+	// 45 / 1.5 = 30 exactly, so the ceiling is 29: at q=30 the slope in
+	// MinBlockSize is zero and no finite block reaches it.
+	if c := p.StreamCeiling(); c != 29 {
+		t.Fatalf("StreamCeiling = %d, want 29", c)
+	}
+	p.TransferRate = 44 * units.Mbps
+	if c := p.StreamCeiling(); c != 29 {
+		t.Fatalf("StreamCeiling(44/1.5) = %d, want 29", c)
+	}
+}
+
+func TestMinBlockSize(t *testing.T) {
+	p := Default()
+	for q := 1; q <= p.StreamCeiling(); q++ {
+		b, err := p.MinBlockSize(q)
+		if err != nil {
+			t.Fatalf("MinBlockSize(%d): %v", q, err)
+		}
+		if !p.SatisfiesEquation1(q, b) {
+			t.Fatalf("MinBlockSize(%d) = %v does not satisfy Equation 1", q, b)
+		}
+		// One byte less must fail (minimality at byte granularity), except
+		// that the +1 byte float nudge may leave a byte of slack.
+		if p.SatisfiesEquation1(q, b-2*units.Byte) {
+			t.Fatalf("MinBlockSize(%d) = %v is not minimal", q, b)
+		}
+	}
+}
+
+func TestMinBlockSizeErrors(t *testing.T) {
+	p := Default()
+	if _, err := p.MinBlockSize(0); err == nil {
+		t.Error("MinBlockSize(0) should error")
+	}
+	if _, err := p.MinBlockSize(30); err == nil {
+		t.Error("MinBlockSize(30) should error: 30 streams saturate 45 Mbps")
+	}
+}
+
+func TestBlockServiceTime(t *testing.T) {
+	p := Default()
+	b := units.Bits(450000) // 0.45 Mbit -> 10 ms at 45 Mbps
+	got := p.BlockServiceTime(b)
+	want := 10*units.Millisecond + 8.34*units.Millisecond + 0.6*units.Millisecond
+	if math.Abs(float64(got-want)) > 1e-12 {
+		t.Fatalf("BlockServiceTime = %v, want %v", got, want)
+	}
+}
+
+func TestCSCANOrder(t *testing.T) {
+	in := []int{9, 3, 7, 3, 1, 100, 0}
+	got := CSCANOrder(in)
+	want := []int{0, 1, 3, 3, 7, 9, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CSCANOrder = %v, want %v", got, want)
+		}
+	}
+	// Input must be untouched.
+	if in[0] != 9 {
+		t.Fatal("CSCANOrder mutated its input")
+	}
+}
+
+func TestCSCANOrderEmpty(t *testing.T) {
+	if got := CSCANOrder(nil); len(got) != 0 {
+		t.Fatalf("CSCANOrder(nil) = %v, want empty", got)
+	}
+}
+
+// Property: CSCANOrder output is sorted and is a permutation of the input.
+func TestCSCANOrderProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		out := CSCANOrder(xs)
+		if len(out) != len(xs) {
+			return false
+		}
+		counts := map[int]int{}
+		for _, x := range xs {
+			counts[x]++
+		}
+		for i, x := range out {
+			counts[x]--
+			if i > 0 && out[i-1] > x {
+				return false
+			}
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEquation1PaperScale sanity-checks Equation 1 at the paper's scale:
+// with the Figure 1 disk, a ~1 Mbit block supports a double-digit q.
+func TestEquation1PaperScale(t *testing.T) {
+	p := Default()
+	q := p.MaxClipsPerRound(1 * units.MB / 8 * 8) // 1 Mbit
+	if q < 10 || q > 29 {
+		t.Fatalf("q(1 Mbit) = %d, expected double digits below ceiling", q)
+	}
+}

@@ -1,0 +1,122 @@
+package diskmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftcms/internal/units"
+)
+
+// SeekModel refines the worst-case seek constant of Equation 1 with a
+// distance-dependent seek curve, the standard a + b·√distance model of
+// disk characterization studies. The paper deliberately admits with
+// worst-case constants (every block pays a full rotation, the arm pays
+// two full strokes per round); this model exists to *measure* how much
+// service-time headroom that worst case leaves at real request spreads —
+// the E13 ablation.
+type SeekModel struct {
+	// Cylinders is the number of seek positions.
+	Cylinders int
+	// Min is the single-track seek time.
+	Min units.Duration
+	// Max is the full-stroke seek time (the t_seek of Equation 1).
+	Max units.Duration
+}
+
+// DefaultSeekModel matches the Figure 1 disk: 17 ms full stroke over a
+// nominal 2000-cylinder surface with a 1 ms single-track seek.
+func DefaultSeekModel() SeekModel {
+	return SeekModel{Cylinders: 2000, Min: 1 * units.Millisecond, Max: 17 * units.Millisecond}
+}
+
+// Validate checks the model.
+func (m SeekModel) Validate() error {
+	if m.Cylinders < 2 {
+		return errors.New("diskmodel: seek model needs at least 2 cylinders")
+	}
+	if m.Min <= 0 || m.Max < m.Min {
+		return fmt.Errorf("diskmodel: seek model needs 0 < min <= max, got %v/%v", m.Min, m.Max)
+	}
+	return nil
+}
+
+// SeekTime returns the time to move the arm dist cylinders:
+// 0 for dist = 0, and min + (max−min)·√(dist−1)/√(cyls−2) otherwise, so
+// a single-track seek costs Min and a full stroke costs Max.
+func (m SeekModel) SeekTime(dist int) units.Duration {
+	if dist <= 0 {
+		return 0
+	}
+	if dist >= m.Cylinders-1 {
+		return m.Max
+	}
+	span := math.Sqrt(float64(m.Cylinders - 2))
+	if span == 0 {
+		return m.Max
+	}
+	frac := math.Sqrt(float64(dist-1)) / span
+	return m.Min + units.Duration(frac)*(m.Max-m.Min)
+}
+
+// CSCANSweepSeeks returns the total seek time of one C-SCAN sweep over
+// the given cylinder positions: the arm starts at cylinder 0, visits the
+// requests in ascending order, and finally retracts with one full-stroke
+// return seek (the elevator's flyback).
+func (m SeekModel) CSCANSweepSeeks(cylinders []int) units.Duration {
+	sorted := CSCANOrder(cylinders)
+	total := units.Duration(0)
+	pos := 0
+	for _, c := range sorted {
+		if c < 0 || c >= m.Cylinders {
+			panic(fmt.Sprintf("diskmodel: cylinder %d out of range [0, %d)", c, m.Cylinders))
+		}
+		total += m.SeekTime(c - pos)
+		pos = c
+	}
+	return total + m.Max // flyback
+}
+
+// MeasuredRoundTime returns the expected actual service time of a round
+// of q block reads at uniformly random cylinders: C-SCAN seeks from the
+// curve, *average* (half-worst-case) rotational latency, the settle, and
+// the transfer of q blocks. Averaged over trials with a seeded RNG.
+func (p Parameters) MeasuredRoundTime(m SeekModel, q int, b units.Bits, trials int, seed int64) (units.Duration, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if q < 1 || b <= 0 || trials < 1 {
+		return 0, errors.New("diskmodel: bad measurement parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var total units.Duration
+	for t := 0; t < trials; t++ {
+		cyl := make([]int, q)
+		for i := range cyl {
+			cyl[i] = rng.Intn(m.Cylinders)
+		}
+		round := m.CSCANSweepSeeks(cyl)
+		round += units.Duration(q) * (p.Rotation/2 + p.Settle + units.TransferTime(b, p.TransferRate))
+		total += round
+	}
+	return total / units.Duration(trials), nil
+}
+
+// Equation1Conservatism returns the ratio of the Equation 1 worst-case
+// round budget to the measured expected round time for q blocks of size
+// b — how many times more service time the admission controller reserves
+// than a typical round consumes. Always >= 1 up to sampling noise.
+func (p Parameters) Equation1Conservatism(m SeekModel, q int, b units.Bits, trials int, seed int64) (float64, error) {
+	measured, err := p.MeasuredRoundTime(m, q, b, trials, seed)
+	if err != nil {
+		return 0, err
+	}
+	if measured <= 0 {
+		return 0, errors.New("diskmodel: degenerate measurement")
+	}
+	return p.RoundBudgetUsed(q, b).Seconds() / measured.Seconds(), nil
+}

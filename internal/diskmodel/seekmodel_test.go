@@ -1,0 +1,140 @@
+package diskmodel
+
+import (
+	"testing"
+
+	"ftcms/internal/units"
+)
+
+func TestSeekModelValidate(t *testing.T) {
+	if err := DefaultSeekModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := SeekModel{Cylinders: 1, Min: 1, Max: 2}
+	if bad.Validate() == nil {
+		t.Error("accepted 1 cylinder")
+	}
+	bad = SeekModel{Cylinders: 100, Min: 0, Max: 2}
+	if bad.Validate() == nil {
+		t.Error("accepted zero min seek")
+	}
+	bad = SeekModel{Cylinders: 100, Min: 3, Max: 2}
+	if bad.Validate() == nil {
+		t.Error("accepted max < min")
+	}
+}
+
+func TestSeekTimeCurve(t *testing.T) {
+	m := DefaultSeekModel()
+	if got := m.SeekTime(0); got != 0 {
+		t.Errorf("SeekTime(0) = %v", got)
+	}
+	if got := m.SeekTime(1); got != m.Min {
+		t.Errorf("SeekTime(1) = %v, want %v", got, m.Min)
+	}
+	if got := m.SeekTime(m.Cylinders - 1); got != m.Max {
+		t.Errorf("full stroke = %v, want %v", got, m.Max)
+	}
+	// Monotone non-decreasing, concave-ish: just check monotonicity.
+	prev := units.Duration(0)
+	for dist := 0; dist < m.Cylinders; dist += 37 {
+		cur := m.SeekTime(dist)
+		if cur < prev {
+			t.Fatalf("seek time decreased at distance %d", dist)
+		}
+		prev = cur
+	}
+}
+
+func TestCSCANSweepSeeks(t *testing.T) {
+	m := DefaultSeekModel()
+	// Empty sweep: just the flyback.
+	if got := m.CSCANSweepSeeks(nil); got != m.Max {
+		t.Errorf("empty sweep = %v, want flyback %v", got, m.Max)
+	}
+	// One request at cylinder 0: zero seek + flyback.
+	if got := m.CSCANSweepSeeks([]int{0}); got != m.Max {
+		t.Errorf("sweep{0} = %v, want %v", got, m.Max)
+	}
+	// Requests are visited in sorted order regardless of input order.
+	a := m.CSCANSweepSeeks([]int{100, 900, 500})
+	b := m.CSCANSweepSeeks([]int{500, 100, 900})
+	if a != b {
+		t.Errorf("sweep order-dependent: %v vs %v", a, b)
+	}
+	// The whole sweep's seeks can never exceed 2 full strokes (the
+	// Equation 1 bound) by subadditivity of the √ curve... it can exceed
+	// it for many scattered requests (each seek pays the Min floor), but
+	// never for a single request.
+	if one := m.CSCANSweepSeeks([]int{m.Cylinders - 1}); one > 2*m.Max {
+		t.Errorf("single-request sweep %v exceeds 2 strokes", one)
+	}
+}
+
+func TestCSCANSweepPanicsOutOfRange(t *testing.T) {
+	m := DefaultSeekModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.CSCANSweepSeeks([]int{m.Cylinders})
+}
+
+func TestMeasuredRoundTimeDeterministic(t *testing.T) {
+	p := Default()
+	m := DefaultSeekModel()
+	a, err := p.MeasuredRoundTime(m, 10, 2*units.MB, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.MeasuredRoundTime(m, 10, 2*units.MB, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed, different measurements")
+	}
+	if a <= 0 {
+		t.Fatal("non-positive round time")
+	}
+}
+
+func TestMeasuredRoundTimeValidation(t *testing.T) {
+	p := Default()
+	m := DefaultSeekModel()
+	if _, err := p.MeasuredRoundTime(m, 0, units.MB, 10, 1); err == nil {
+		t.Error("accepted q=0")
+	}
+	if _, err := p.MeasuredRoundTime(m, 5, 0, 10, 1); err == nil {
+		t.Error("accepted b=0")
+	}
+	if _, err := p.MeasuredRoundTime(m, 5, units.MB, 0, 1); err == nil {
+		t.Error("accepted trials=0")
+	}
+	if _, err := p.MeasuredRoundTime(SeekModel{}, 5, units.MB, 10, 1); err == nil {
+		t.Error("accepted invalid seek model")
+	}
+}
+
+// TestEquation1Conservatism (E13): the worst-case admission budget always
+// exceeds the measured expected round time — and by a meaningful factor
+// at the paper's operating points, quantifying the capacity left on the
+// table by worst-case admission.
+func TestEquation1Conservatism(t *testing.T) {
+	p := Default()
+	m := DefaultSeekModel()
+	for _, q := range []int{5, 10, 20} {
+		b := units.Bits(1.5 * float64(units.MB)) // ~paper-scale block
+		ratio, err := p.Equation1Conservatism(m, q, b, 200, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 1 {
+			t.Errorf("q=%d: conservatism %0.3f < 1: worst case below average?!", q, ratio)
+		}
+		if ratio > 3 {
+			t.Errorf("q=%d: conservatism %0.3f implausibly large", q, ratio)
+		}
+	}
+}

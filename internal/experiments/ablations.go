@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/sim"
+	"ftcms/internal/units"
+)
+
+// AdmissionAblationPoint compares admission policies for the declustered
+// scheme at one p (E8): static-f versus §5 dynamic reservation, and the
+// bounded-bypass pending list versus strict head-of-line FIFO.
+type AdmissionAblationPoint struct {
+	P                 int
+	StaticServiced    int
+	DynamicServiced   int
+	StaticResponse    units.Duration
+	DynamicResponse   units.Duration
+	StrictServiced    int // static controller, strict FIFO
+	StrictMaxQueue    int
+	BypassMaxQueue    int
+	StrictResponse    units.Duration
+	DynamicWorstQLoad int
+}
+
+// AdmissionAblation runs E8 for one buffer size.
+func AdmissionAblation(buffer units.Bits, seed int64) ([]AdmissionAblationPoint, error) {
+	cat := PaperCatalog()
+	base := sim.Config{
+		Disk: diskmodel.Default(), D: 32, Buffer: buffer, Catalog: cat,
+		ArrivalRate: 20, Duration: 600 * units.Second, Seed: seed,
+		FailDisk: -1, Scheme: analytic.Declustered,
+	}
+	var out []AdmissionAblationPoint
+	for _, p := range GroupSizes {
+		pt := AdmissionAblationPoint{P: p}
+		cfg := base
+		cfg.P = p
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt.StaticServiced, pt.StaticResponse, pt.BypassMaxQueue = res.Serviced, res.MeanResponse, res.MaxQueue
+
+		cfg.Dynamic = true
+		res, err = sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt.DynamicServiced, pt.DynamicResponse = res.Serviced, res.MeanResponse
+
+		cfg.Dynamic = false
+		cfg.QueueBypass = -1
+		res, err = sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt.StrictServiced, pt.StrictResponse, pt.StrictMaxQueue = res.Serviced, res.MeanResponse, res.MaxQueue
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteAdmissionAblation renders E8.
+func WriteAdmissionAblation(w io.Writer, buffer units.Bits, seed int64) error {
+	pts, err := AdmissionAblation(buffer, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E8 — admission policy ablation (declustered, B=%v)\n", buffer)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tstatic-f\tdynamic(§5)\tstrict-FIFO\tresp static\tresp dynamic\tresp strict")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\t%v\t%v\n",
+			pt.P, pt.StaticServiced, pt.DynamicServiced, pt.StrictServiced,
+			pt.StaticResponse, pt.DynamicResponse, pt.StrictResponse)
+	}
+	return tw.Flush()
+}
+
+// StaggeredAblationPoint compares prefetch buffering with and without the
+// staggered-group optimization of [BGM95] (E9): per-clip buffer p·b versus
+// p·b/2, which halves the clips a given buffer supports.
+type StaggeredAblationPoint struct {
+	P              int
+	StaggeredClips int // p·b/2 per clip, as the paper assumes in §7.2
+	PlainClips     int // p·b per clip, no staggering
+	StaggeredBlock units.Bits
+	PlainBlock     units.Bits
+}
+
+// StaggeredAblation computes E9 analytically for the flat prefetch
+// scheme.
+func StaggeredAblation(buffer units.Bits) ([]StaggeredAblationPoint, error) {
+	cfg := PaperAnalyticConfig(buffer)
+	var out []StaggeredAblationPoint
+	for _, p := range GroupSizes {
+		stag, err := analytic.Solve(cfg, analytic.PrefetchFlat, p)
+		if err != nil {
+			return nil, err
+		}
+		// Plain prefetching doubles the per-clip buffer, which is
+		// equivalent to halving B in the staggered formulas.
+		half := cfg
+		half.Buffer = cfg.Buffer / 2
+		plain, err := analytic.Solve(half, analytic.PrefetchFlat, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StaggeredAblationPoint{
+			P: p, StaggeredClips: stag.Clips, PlainClips: plain.Clips,
+			StaggeredBlock: stag.Block, PlainBlock: plain.Block,
+		})
+	}
+	return out, nil
+}
+
+// WriteStaggeredAblation renders E9.
+func WriteStaggeredAblation(w io.Writer, buffer units.Bits) error {
+	pts, err := StaggeredAblation(buffer)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E9 — staggered-group buffering ablation (prefetch-flat, B=%v)\n", buffer)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tclips (staggered, p·b/2)\tclips (plain, p·b)")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%d\t%d\t%d\n", pt.P, pt.StaggeredClips, pt.PlainClips)
+	}
+	return tw.Flush()
+}
+
+// ContinuityPoint summarizes a failure-injection run (E10).
+type ContinuityPoint struct {
+	Scheme         analytic.Scheme
+	P              int
+	Serviced       int
+	DeadlineMisses int64
+	LostBlocks     int64
+}
+
+// FailureContinuity runs E10: every scheme with a disk failing mid-run.
+// The rate-guaranteeing schemes report zero misses and losses; the
+// non-clustered baseline does not.
+func FailureContinuity(buffer units.Bits, seed int64) ([]ContinuityPoint, error) {
+	cat := PaperCatalog()
+	cases := []struct {
+		s analytic.Scheme
+		p int
+	}{
+		{analytic.Declustered, 2},
+		{analytic.Declustered, 32},
+		{analytic.PrefetchFlat, 2},
+		{analytic.PrefetchParityDisk, 8},
+		{analytic.StreamingRAID, 8},
+		{analytic.NonClustered, 8},
+	}
+	var out []ContinuityPoint
+	for _, c := range cases {
+		res, err := sim.Run(sim.Config{
+			Scheme: c.s, Disk: diskmodel.Default(), D: 32, P: c.p,
+			Buffer: buffer, Catalog: cat, ArrivalRate: 20,
+			Duration: 300 * units.Second, Seed: seed,
+			FailDisk: 5, FailAt: 100 * units.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ContinuityPoint{
+			Scheme: c.s, P: c.p, Serviced: res.Serviced,
+			DeadlineMisses: res.DeadlineMisses, LostBlocks: res.LostBlocks,
+		})
+	}
+	return out, nil
+}
+
+// WriteFailureContinuity renders E10.
+func WriteFailureContinuity(w io.Writer, buffer units.Bits, seed int64) error {
+	pts, err := FailureContinuity(buffer, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E10 — disk 5 fails at t=100s of 300s (B=%v)\n", buffer)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tp\tserviced\tdeadline misses\tlost blocks")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%d\t%d\n", pt.Scheme, pt.P, pt.Serviced, pt.DeadlineMisses, pt.LostBlocks)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,203 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8): the Figure 1 parameter table, the analytical Figure 5
+// curves, the simulated Figure 6 curves, and the ablations the design
+// calls out (E8: admission policy; E9: staggered-group buffering; E10:
+// failure continuity). The cmd/ tools and the repository's bench targets
+// are thin wrappers over this package, so printed tables and benchmark
+// output always agree.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/sim"
+	"ftcms/internal/units"
+	"ftcms/internal/workload"
+)
+
+// GroupSizes is the paper's parity-group-size grid.
+var GroupSizes = []int{2, 4, 8, 16, 32}
+
+// BufferSizes are the two server configurations of §8.
+var BufferSizes = []units.Bits{256 * units.MB, 2 * units.GB}
+
+// PaperCatalog returns the §8.2 clip library: 1000 clips of 50 time units
+// at MPEG-1 rate.
+func PaperCatalog() *workload.Catalog {
+	c, err := workload.UniformCatalog(1000, 50*units.Second, 1.5*units.Mbps)
+	if err != nil {
+		panic(err) // fixed arguments; cannot fail
+	}
+	return c
+}
+
+// PaperAnalyticConfig returns the §8.1 sizing problem for a buffer size.
+func PaperAnalyticConfig(buffer units.Bits) analytic.Config {
+	return analytic.Config{
+		Disk:    diskmodel.Default(),
+		D:       32,
+		Buffer:  buffer,
+		Storage: PaperCatalog().TotalSize(),
+	}
+}
+
+// Figure5Point is one (scheme, p) operating point of the analytic study.
+type Figure5Point struct {
+	Scheme analytic.Scheme
+	P      int
+	// Clips is the number of concurrently serviceable clips (the Figure 5
+	// y-axis).
+	Clips int
+	// Q, F and Block echo the solved operating point.
+	Q, F  int
+	Block units.Bits
+}
+
+// Figure5 computes the full Figure 5 panel for one buffer size (E4/E5).
+func Figure5(buffer units.Bits) ([]Figure5Point, error) {
+	cfg := PaperAnalyticConfig(buffer)
+	var out []Figure5Point
+	for _, s := range analytic.Schemes() {
+		for _, p := range GroupSizes {
+			res, err := analytic.Solve(cfg, s, p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %v p=%d: %w", s, p, err)
+			}
+			out = append(out, Figure5Point{
+				Scheme: s, P: p, Clips: res.Clips, Q: res.Q, F: res.F, Block: res.Block,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFigure5 renders the panel as a table.
+func WriteFigure5(w io.Writer, buffer units.Bits) error {
+	points, err := Figure5(buffer)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 5 — concurrent clips vs parity group size (analytic), d=32, B=%v\n", buffer)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "scheme")
+	for _, p := range GroupSizes {
+		fmt.Fprintf(tw, "\tp=%d", p)
+	}
+	fmt.Fprintln(tw)
+	for _, s := range analytic.Schemes() {
+		fmt.Fprint(tw, s)
+		for _, pt := range points {
+			if pt.Scheme == s {
+				fmt.Fprintf(tw, "\t%d", pt.Clips)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Figure6Point is one (scheme, p) result of the simulation study.
+type Figure6Point struct {
+	Scheme analytic.Scheme
+	P      int
+	// Serviced is the clips serviced in 600 time units (the Figure 6
+	// y-axis).
+	Serviced int
+	// MeanResponse is the mean arrival→admission latency.
+	MeanResponse units.Duration
+	// PeakActive is the concurrency high-water mark.
+	PeakActive int
+}
+
+// Figure6Config parameterizes a simulation sweep.
+type Figure6Config struct {
+	// Buffer is the server buffer (one of BufferSizes for the paper's
+	// panels).
+	Buffer units.Bits
+	// Seed drives the run; the paper's panels use Seed 1.
+	Seed int64
+	// Duration defaults to the paper's 600 time units when zero.
+	Duration units.Duration
+}
+
+// Figure6 runs the full simulated panel for one buffer size (E6/E7).
+func Figure6(cfg Figure6Config) ([]Figure6Point, error) {
+	if cfg.Duration == 0 {
+		cfg.Duration = 600 * units.Second
+	}
+	cat := PaperCatalog()
+	var out []Figure6Point
+	for _, s := range analytic.Schemes() {
+		for _, p := range GroupSizes {
+			res, err := sim.Run(sim.Config{
+				Scheme:      s,
+				Disk:        diskmodel.Default(),
+				D:           32,
+				P:           p,
+				Buffer:      cfg.Buffer,
+				Catalog:     cat,
+				ArrivalRate: 20,
+				Duration:    cfg.Duration,
+				Seed:        cfg.Seed,
+				FailDisk:    -1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %v p=%d: %w", s, p, err)
+			}
+			out = append(out, Figure6Point{
+				Scheme: s, P: p, Serviced: res.Serviced,
+				MeanResponse: res.MeanResponse, PeakActive: res.PeakActive,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFigure6 renders the panel as a table.
+func WriteFigure6(w io.Writer, cfg Figure6Config) error {
+	points, err := Figure6(cfg)
+	if err != nil {
+		return err
+	}
+	dur := cfg.Duration
+	if dur == 0 {
+		dur = 600 * units.Second
+	}
+	fmt.Fprintf(w, "Figure 6 — clips serviced in %v (simulation), d=32, B=%v, Poisson(20/s), seed %d\n",
+		dur, cfg.Buffer, cfg.Seed)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "scheme")
+	for _, p := range GroupSizes {
+		fmt.Fprintf(tw, "\tp=%d", p)
+	}
+	fmt.Fprintln(tw)
+	for _, s := range analytic.Schemes() {
+		fmt.Fprint(tw, s)
+		for _, pt := range points {
+			if pt.Scheme == s {
+				fmt.Fprintf(tw, "\t%d", pt.Serviced)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure1 prints the disk parameter table (E1).
+func WriteFigure1(w io.Writer) error {
+	p := diskmodel.Default()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 1 — disk parameters")
+	fmt.Fprintf(tw, "Inner track transfer rate\tr_d\t%v\n", p.TransferRate)
+	fmt.Fprintf(tw, "Settle time\tt_settle\t%v\n", p.Settle)
+	fmt.Fprintf(tw, "Seek latency (worst-case)\tt_seek\t%v\n", p.Seek)
+	fmt.Fprintf(tw, "Rotational latency (worst-case)\tt_rot\t%v\n", p.Rotation)
+	fmt.Fprintf(tw, "Total latency (worst-case)\tt_lat\t%v\n", p.TotalLatency())
+	fmt.Fprintf(tw, "Disk capacity\tC_d\t%v\n", p.Capacity)
+	fmt.Fprintf(tw, "Playback rate\tr_p\t%v\n", p.PlaybackRate)
+	return tw.Flush()
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/units"
+)
+
+func TestPaperCatalog(t *testing.T) {
+	c := PaperCatalog()
+	if c.Len() != 1000 {
+		t.Fatalf("catalog size %d", c.Len())
+	}
+	if c.TotalSize() != 75_000_000_000 {
+		t.Fatalf("library size %d", c.TotalSize())
+	}
+}
+
+func TestFigure5Complete(t *testing.T) {
+	for _, buf := range BufferSizes {
+		pts, err := Figure5(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != len(analytic.Schemes())*len(GroupSizes) {
+			t.Fatalf("B=%v: %d points, want %d", buf, len(pts), len(analytic.Schemes())*len(GroupSizes))
+		}
+		for _, pt := range pts {
+			if pt.Clips < 1 || pt.Q < 1 || pt.Block <= 0 {
+				t.Fatalf("degenerate point %+v", pt)
+			}
+		}
+	}
+}
+
+func TestWriteFigure5(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigure5(&buf, 256*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 5", "Declustered parity", "Streaming RAID", "p=32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6Complete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	pts, err := Figure6(Figure6Config{Buffer: 256 * units.MB, Seed: 1, Duration: 120 * units.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 25 {
+		t.Fatalf("%d points, want 25", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Serviced < 1 || pt.PeakActive < 1 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+	}
+}
+
+func TestWriteFigure6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure6(&buf, Figure6Config{Buffer: 256 * units.MB, Seed: 1, Duration: 60 * units.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 6") || !strings.Contains(buf.String(), "Non-clustered") {
+		t.Errorf("table malformed:\n%s", buf.String())
+	}
+}
+
+func TestWriteFigure1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigure1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"45 Mbps", "17 ms", "8.34 ms", "2 GB", "1.5 Mbps"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Figure 1 table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestStaggeredAblation(t *testing.T) {
+	pts, err := StaggeredAblation(256 * units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		// Staggering can only help (or tie): same constraint with double
+		// the effective buffer.
+		if pt.StaggeredClips < pt.PlainClips {
+			t.Errorf("p=%d: staggered %d < plain %d", pt.P, pt.StaggeredClips, pt.PlainClips)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteStaggeredAblation(&buf, 256*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E9") {
+		t.Error("E9 table malformed")
+	}
+}
+
+func TestFailureContinuity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	pts, err := FailureContinuity(256*units.MB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNonClusteredLoss := false
+	for _, pt := range pts {
+		if pt.Scheme == analytic.NonClustered {
+			if pt.LostBlocks > 0 {
+				sawNonClusteredLoss = true
+			}
+			continue
+		}
+		if pt.DeadlineMisses != 0 || pt.LostBlocks != 0 {
+			t.Errorf("%v p=%d: misses=%d lost=%d, want 0/0", pt.Scheme, pt.P, pt.DeadlineMisses, pt.LostBlocks)
+		}
+	}
+	if !sawNonClusteredLoss {
+		t.Error("non-clustered scheme lost nothing; expected transition loss")
+	}
+	var buf bytes.Buffer
+	if err := WriteFailureContinuity(&buf, 256*units.MB, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E10") {
+		t.Error("E10 table malformed")
+	}
+}
+
+func TestAdmissionAblationShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := WriteAdmissionAblation(&buf, 256*units.MB, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E8") || !strings.Contains(out, "dynamic") {
+		t.Errorf("E8 table malformed:\n%s", out)
+	}
+}
+
+// TestRebuildAblation (E11): declustering buys rebuild speed — at every
+// shared operating point, the declustered scheme rebuilds no slower than
+// the cluster-confined schemes, and clustered schemes trade that for a
+// smaller second-failure target (higher MTTDL at small p).
+func TestRebuildAblation(t *testing.T) {
+	pts, err := RebuildAblation(256 * units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]RebuildPoint{}
+	for _, pt := range pts {
+		byKey[pt.Scheme.String()+"-"+fmt.Sprint(pt.P)] = pt
+		if pt.Rebuild <= 0 || pt.MTTDL <= 0 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+	}
+	for _, p := range GroupSizes {
+		decl := byKey[analytic.Declustered.String()+"-"+fmt.Sprint(p)]
+		sraid := byKey[analytic.StreamingRAID.String()+"-"+fmt.Sprint(p)]
+		if decl.Rebuild > sraid.Rebuild {
+			t.Errorf("p=%d: declustered rebuild %v slower than streaming RAID %v", p, decl.Rebuild, sraid.Rebuild)
+		}
+	}
+	// Small p: clustered critical set (p−1) beats declustered's d−1.
+	if byKey[analytic.StreamingRAID.String()+"-2"].MTTDL <= byKey[analytic.Declustered.String()+"-2"].MTTDL {
+		t.Error("p=2: clustered MTTDL should beat declustered")
+	}
+	var buf bytes.Buffer
+	if err := WriteRebuildAblation(&buf, 256*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E11") {
+		t.Error("E11 table malformed")
+	}
+}
+
+// TestConservatismAblation (E13): the Equation 1 budget exceeds measured
+// round times at every operating point.
+func TestConservatismAblation(t *testing.T) {
+	pts, err := ConservatismAblation(256*units.MB, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4*len(GroupSizes) { // streaming RAID excluded
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Ratio < 1 || pt.Ratio > 3 {
+			t.Errorf("%v p=%d: conservatism %.2f outside [1, 3]", pt.Scheme, pt.P, pt.Ratio)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteConservatismAblation(&buf, 256*units.MB, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E13") {
+		t.Error("E13 table malformed")
+	}
+}
+
+// TestFigure5Golden pins the exact solver outputs for both panels. The
+// solver is deterministic, so any change here is a semantic change to the
+// capacity model and must be deliberate (update EXPERIMENTS.md with it).
+func TestFigure5Golden(t *testing.T) {
+	want := map[string][5]int{
+		"256:" + analytic.Declustered.String():        {672, 640, 576, 480, 352},
+		"256:" + analytic.PrefetchFlat.String():       {768, 672, 576, 448, 224},
+		"256:" + analytic.PrefetchParityDisk.String(): {432, 552, 532, 450, 341},
+		"256:" + analytic.StreamingRAID.String():      {400, 464, 404, 320, 243},
+		"256:" + analytic.NonClustered.String():       {400, 552, 616, 540, 341},
+		"2g:" + analytic.Declustered.String():         {864, 800, 704, 576, 448},
+		"2g:" + analytic.PrefetchFlat.String():        {896, 864, 800, 736, 384},
+		"2g:" + analytic.PrefetchParityDisk.String():  {464, 672, 756, 750, 682},
+		"2g:" + analytic.StreamingRAID.String():       {464, 656, 680, 622, 525},
+		"2g:" + analytic.NonClustered.String():        {464, 672, 784, 780, 682},
+	}
+	for tag, buf := range map[string]units.Bits{"256": 256 * units.MB, "2g": 2 * units.GB} {
+		pts, err := Figure5(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string][5]int{}
+		for _, pt := range pts {
+			key := tag + ":" + pt.Scheme.String()
+			row := got[key]
+			for i, p := range GroupSizes {
+				if p == pt.P {
+					row[i] = pt.Clips
+				}
+			}
+			got[key] = row
+		}
+		for key, wantRow := range want {
+			if len(key) > len(tag) && key[:len(tag)] != tag {
+				continue
+			}
+			if key[:len(tag)+1] != tag+":" {
+				continue
+			}
+			if got[key] != wantRow {
+				t.Errorf("%s: %v, want %v", key, got[key], wantRow)
+			}
+		}
+	}
+}
+
+// TestSimLoadBalance: the simulator's per-disk loads stay balanced — a
+// structural property of round-robin striping the schemes depend on.
+func TestSimLoadBalance(t *testing.T) {
+	// Covered indirectly by admission invariants; here we assert the
+	// analytic symmetry: every disk supports the same q, so capacity is
+	// an exact multiple of d (or of data-disk/cluster counts).
+	cfg := PaperAnalyticConfig(256 * units.MB)
+	for _, p := range GroupSizes {
+		decl, err := analytic.Solve(cfg, analytic.Declustered, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decl.Clips%32 != 0 {
+			t.Errorf("declustered p=%d capacity %d not a multiple of d", p, decl.Clips)
+		}
+		sr, err := analytic.Solve(cfg, analytic.StreamingRAID, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Clips%(32/p) != 0 {
+			t.Errorf("streaming RAID p=%d capacity %d not a multiple of clusters", p, sr.Clips)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/reliability"
+	"ftcms/internal/units"
+)
+
+// RebuildPoint quantifies the declustering trade-off (E11): how long
+// rebuilding a replaced 2 GB disk takes at each operating point, and the
+// resulting mean time to data loss. The declustered layouts spread the
+// rebuild reads over all d−1 survivors; the clustered ones confine them
+// to the failed disk's p−1 cluster mates.
+type RebuildPoint struct {
+	Scheme analytic.Scheme
+	P      int
+	// Rebuild is the estimated rebuild duration.
+	Rebuild units.Duration
+	// MTTDL is the mean time to data loss in hours, using the paper's
+	// 300,000-hour disk MTTF and the rebuild time as the repair window
+	// (floored at one hour: operator handling dominates tiny windows).
+	MTTDL reliability.Hours
+}
+
+// schemeName maps analytic schemes to the string keys the reliability
+// and buffer packages use.
+func schemeName(s analytic.Scheme) string {
+	switch s {
+	case analytic.Declustered:
+		return "declustered"
+	case analytic.PrefetchFlat:
+		return "prefetch-flat"
+	case analytic.PrefetchParityDisk:
+		return "prefetch-parity-disk"
+	case analytic.StreamingRAID:
+		return "streaming-raid"
+	case analytic.NonClustered:
+		return "non-clustered"
+	default:
+		return "unknown"
+	}
+}
+
+// RebuildAblation computes E11 for one buffer size. Every scheme rebuilds
+// with one spare block-read per contributing disk per round on top of its
+// reserved contingency (the f of the declustered/flat operating points;
+// 1 for the schemes that reserve none).
+func RebuildAblation(buffer units.Bits) ([]RebuildPoint, error) {
+	cfg := PaperAnalyticConfig(buffer)
+	var out []RebuildPoint
+	for _, s := range analytic.Schemes() {
+		for _, p := range GroupSizes {
+			op, err := analytic.Solve(cfg, s, p)
+			if err != nil {
+				return nil, err
+			}
+			blocks := int64(cfg.Disk.Capacity / op.Block)
+			f := op.F
+			if f < 1 {
+				f = 1
+			}
+			// Contribution spread: all d disks' survivors for the
+			// declustered/flat layouts, the cluster for the rest.
+			spread := cfg.D
+			switch s {
+			case analytic.PrefetchParityDisk, analytic.StreamingRAID, analytic.NonClustered:
+				spread = p
+			}
+			rt, err := reliability.RebuildTime(blocks, p, spread, f, cfg.Disk.RoundDuration(op.Block))
+			if err != nil {
+				return nil, err
+			}
+			hours := reliability.Hours(rt.Seconds() / 3600)
+			if hours < 1 {
+				hours = 1
+			}
+			crit, err := reliability.CriticalDisks(schemeName(s), cfg.D, p)
+			if err != nil {
+				return nil, err
+			}
+			mttdl, err := reliability.MTTDL(reliability.PaperDiskMTTF, cfg.D, crit, hours)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RebuildPoint{Scheme: s, P: p, Rebuild: rt, MTTDL: mttdl})
+		}
+	}
+	return out, nil
+}
+
+// WriteRebuildAblation renders E11.
+func WriteRebuildAblation(w io.Writer, buffer units.Bits) error {
+	pts, err := RebuildAblation(buffer)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E11 — rebuild time and MTTDL per operating point (B=%v, 2 GB disk, 300,000 h disk MTTF)\n", buffer)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tp\trebuild\tMTTDL (hours)")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%v\t%d\t%v\t%.3g\n", pt.Scheme, pt.P, pt.Rebuild, float64(pt.MTTDL))
+	}
+	return tw.Flush()
+}
+
+// ConservatismPoint quantifies Equation 1's worst-case margin (E13): the
+// ratio of the admission budget to the measured expected round time at
+// each scheme's optimal operating point.
+type ConservatismPoint struct {
+	Scheme analytic.Scheme
+	P      int
+	Q      int
+	Ratio  float64
+}
+
+// ConservatismAblation measures E13 for one buffer size.
+func ConservatismAblation(buffer units.Bits, trials int, seed int64) ([]ConservatismPoint, error) {
+	cfg := PaperAnalyticConfig(buffer)
+	model := diskmodel.DefaultSeekModel()
+	var out []ConservatismPoint
+	for _, s := range analytic.Schemes() {
+		if s == analytic.StreamingRAID {
+			continue // its round equation differs; Equation 1 does not apply
+		}
+		for _, p := range GroupSizes {
+			op, err := analytic.Solve(cfg, s, p)
+			if err != nil {
+				return nil, err
+			}
+			ratio, err := cfg.Disk.Equation1Conservatism(model, op.Q, op.Block, trials, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ConservatismPoint{Scheme: s, P: p, Q: op.Q, Ratio: ratio})
+		}
+	}
+	return out, nil
+}
+
+// WriteConservatismAblation renders E13.
+func WriteConservatismAblation(w io.Writer, buffer units.Bits, trials int, seed int64) error {
+	pts, err := ConservatismAblation(buffer, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E13 — Equation 1 worst-case conservatism (B=%v, %d trials)\n", buffer, trials)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tp\tq\tbudget / measured")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%.2f\n", pt.Scheme, pt.P, pt.Q, pt.Ratio)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,282 @@
+package layout
+
+import (
+	"testing"
+)
+
+// paperPlacement is the Figure 2 result table from the paper for d=7, p=3:
+// rows are disk blocks 0..8, columns disks 0..6. Dnn is logical data block
+// nn; -1 marks a parity block.
+var paperPlacement = [9][7]int64{
+	{0, 1, 2, -1, -1, -1, -1},
+	{7, 8, 9, 10, 11, -1, -1},
+	{14, 15, 16, 17, 18, 19, -1},
+	{21, -1, -1, 3, 4, 5, 6},
+	{28, 29, 30, -1, -1, 12, 13},
+	{35, 36, -1, 38, -1, -1, 20},
+	{-1, 22, 23, 24, 25, 26, 27},
+	{-1, -1, -1, 31, 32, 33, 34},
+	{-1, -1, 37, -1, 39, 40, 41},
+}
+
+func fanoLayout(t *testing.T) *Declustered {
+	t.Helper()
+	l, err := NewDeclustered(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestFigure2GoldenPlacement pins Place and LogicalAt against the paper's
+// worked example (E2).
+func TestFigure2GoldenPlacement(t *testing.T) {
+	l := fanoLayout(t)
+	for blk := 0; blk < 9; blk++ {
+		for disk := 0; disk < 7; disk++ {
+			want := paperPlacement[blk][disk]
+			addr := BlockAddr{Disk: disk, Block: int64(blk)}
+			got := l.LogicalAt(addr)
+			if got != want {
+				t.Errorf("LogicalAt(%v) = %d, want %d", addr, got, want)
+			}
+			if want >= 0 {
+				if p := l.Place(want); p != addr {
+					t.Errorf("Place(D%d) = %v, want %v", want, p, addr)
+				}
+				if l.KindAt(addr) != Data {
+					t.Errorf("KindAt(%v) = parity, want data", addr)
+				}
+			} else if l.KindAt(addr) != Parity {
+				t.Errorf("KindAt(%v) = data, want parity", addr)
+			}
+		}
+	}
+}
+
+// TestFigure2GroupP0P1 pins the paper's claims: "P0 is the parity block
+// for data blocks D0 and D1, while P1 is the parity block for data blocks
+// D8 and D2."
+func TestFigure2GroupP0P1(t *testing.T) {
+	l := fanoLayout(t)
+	g0 := l.GroupOf(0)
+	if len(g0.Data) != 2 || g0.Data[0] != 0 || g0.Data[1] != 1 {
+		t.Errorf("group of D0 = %v, want [0 1]", g0.Data)
+	}
+	if g0.Parity != (BlockAddr{Disk: 3, Block: 0}) {
+		t.Errorf("P0 at %v, want disk 3 block 0", g0.Parity)
+	}
+	g1 := l.GroupOf(2)
+	wantData := map[int64]bool{2: true, 8: true}
+	if len(g1.Data) != 2 || !wantData[g1.Data[0]] || !wantData[g1.Data[1]] {
+		t.Errorf("group of D2 = %v, want {2, 8}", g1.Data)
+	}
+	if g1.Parity != (BlockAddr{Disk: 4, Block: 0}) {
+		t.Errorf("P1 at %v, want disk 4 block 0", g1.Parity)
+	}
+}
+
+// TestDeclusteredRoundTrip: Place and LogicalAt are inverses over a long
+// prefix, and no two logical blocks collide.
+func TestDeclusteredRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ d, p int }{{7, 3}, {13, 4}, {9, 3}, {32, 4}, {32, 8}, {32, 16}, {32, 2}, {32, 32}} {
+		l, err := NewDeclustered(cfg.d, cfg.p)
+		if err != nil {
+			t.Fatalf("NewDeclustered(%d,%d): %v", cfg.d, cfg.p, err)
+		}
+		seen := map[BlockAddr]int64{}
+		for i := int64(0); i < 2000; i++ {
+			addr := l.Place(i)
+			if prev, dup := seen[addr]; dup {
+				t.Fatalf("(%d,%d): blocks %d and %d both placed at %v", cfg.d, cfg.p, prev, i, addr)
+			}
+			seen[addr] = i
+			if back := l.LogicalAt(addr); back != i {
+				t.Fatalf("(%d,%d): LogicalAt(Place(%d)) = %d", cfg.d, cfg.p, i, back)
+			}
+			if l.KindAt(addr) != Data {
+				t.Fatalf("(%d,%d): Place(%d) marked parity", cfg.d, cfg.p, i)
+			}
+		}
+	}
+}
+
+// TestDeclusteredGroupInvariants: every group has p−1 data blocks on p−1
+// distinct disks plus parity on a p-th distinct disk, and group membership
+// is consistent from every member.
+func TestDeclusteredGroupInvariants(t *testing.T) {
+	for _, cfg := range []struct{ d, p int }{{7, 3}, {13, 4}, {32, 8}} {
+		l, err := NewDeclustered(cfg.d, cfg.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 500; i++ {
+			g := l.GroupOf(i)
+			if len(g.Data) != cfg.p-1 {
+				t.Fatalf("(%d,%d): group of %d has %d data blocks, want %d", cfg.d, cfg.p, i, len(g.Data), cfg.p-1)
+			}
+			disks := map[int]bool{g.Parity.Disk: true}
+			foundSelf := false
+			for k, li := range g.Data {
+				if li == i {
+					foundSelf = true
+				}
+				a := g.DataAddr[k]
+				if disks[a.Disk] {
+					t.Fatalf("(%d,%d): group of %d repeats disk %d", cfg.d, cfg.p, i, a.Disk)
+				}
+				disks[a.Disk] = true
+				if l.LogicalAt(a) != li {
+					t.Fatalf("(%d,%d): group member addr/index mismatch", cfg.d, cfg.p)
+				}
+				// Consistency: the group seen from the member matches.
+				g2 := l.GroupOf(li)
+				if g2.Parity != g.Parity {
+					t.Fatalf("(%d,%d): group of %d and %d disagree on parity", cfg.d, cfg.p, i, li)
+				}
+			}
+			if !foundSelf {
+				t.Fatalf("(%d,%d): group of %d does not contain it", cfg.d, cfg.p, i)
+			}
+			if l.KindAt(g.Parity) != Parity {
+				t.Fatalf("(%d,%d): parity addr of %d holds data", cfg.d, cfg.p, i)
+			}
+		}
+	}
+}
+
+// TestDeclusteredRowOf: the row of block i is (i div d) mod r, and
+// consecutive blocks that stay within a stripe share a row (§4.2 property
+// 2 precondition).
+func TestDeclusteredRowOf(t *testing.T) {
+	l := fanoLayout(t)
+	for i := int64(0); i < 100; i++ {
+		want := int((i / 7) % 3)
+		if got := l.RowOf(i); got != want {
+			t.Fatalf("RowOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestDeclusteredParityShare: over any window span, each disk carries an
+// equal share of parity blocks in the long run (parity rotation balance).
+func TestDeclusteredParityShare(t *testing.T) {
+	l := fanoLayout(t)
+	// Over r·p = 9 disk blocks per disk, each disk holds exactly r parity
+	// blocks (one per row, rotation period p).
+	for disk := 0; disk < 7; disk++ {
+		count := 0
+		for blk := int64(0); blk < 9; blk++ {
+			if l.KindAt(BlockAddr{Disk: disk, Block: blk}) == Parity {
+				count++
+			}
+		}
+		if count != 3 {
+			t.Errorf("disk %d holds %d parity blocks in 9, want 3", disk, count)
+		}
+	}
+}
+
+func TestDeclusteredErrors(t *testing.T) {
+	if _, err := NewDeclustered(10, 3); err == nil {
+		t.Error("NewDeclustered(10,3) should fail: no design")
+	}
+	l := fanoLayout(t)
+	mustPanic(t, func() { l.Place(-1) })
+	mustPanic(t, func() { l.LogicalAt(BlockAddr{Disk: 7, Block: 0}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+// --- SuperClipped ---
+
+func TestSuperClippedRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ d, p int }{{7, 3}, {32, 8}, {32, 16}} {
+		l, err := NewSuperClipped(cfg.d, cfg.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[BlockAddr]bool{}
+		for row := 0; row < l.Rows(); row++ {
+			for i := int64(0); i < 300; i++ {
+				addr := l.Place(row, i)
+				if seen[addr] {
+					t.Fatalf("(%d,%d): address %v reused across super-clips", cfg.d, cfg.p, addr)
+				}
+				seen[addr] = true
+				grow, gi := l.LogicalAt(addr)
+				if grow != row || gi != i {
+					t.Fatalf("(%d,%d): LogicalAt(Place(row %d, %d)) = (%d, %d)", cfg.d, cfg.p, row, i, grow, gi)
+				}
+				// Blocks of super-clip k live only in row-k disk blocks.
+				if int(addr.Block)%l.Rows() != row {
+					t.Fatalf("(%d,%d): super-clip %d block landed in row %d", cfg.d, cfg.p, row, int(addr.Block)%l.Rows())
+				}
+			}
+		}
+	}
+}
+
+// TestSuperClippedGroups: groups have p−1 data members on distinct disks
+// and include the queried block; members may come from other super-clips.
+func TestSuperClippedGroups(t *testing.T) {
+	l, err := NewSuperClipped(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 3; row++ {
+		for i := int64(0); i < 50; i++ {
+			data, addrs, parity := l.GroupOf(row, i)
+			if len(data) != 2 || len(addrs) != 2 {
+				t.Fatalf("group (%d,%d): %d members, want 2", row, i, len(data))
+			}
+			self := false
+			disks := map[int]bool{parity.Disk: true}
+			for k, sb := range data {
+				if sb.Row == row && sb.Index == i {
+					self = true
+				}
+				if disks[addrs[k].Disk] {
+					t.Fatalf("group (%d,%d) repeats disk", row, i)
+				}
+				disks[addrs[k].Disk] = true
+			}
+			if !self {
+				t.Fatalf("group (%d,%d) missing self", row, i)
+			}
+		}
+	}
+}
+
+func TestSuperClippedPanics(t *testing.T) {
+	l, err := NewSuperClipped(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, func() { l.Place(3, 0) })
+	mustPanic(t, func() { l.Place(0, -1) })
+}
+
+// TestSuperClippedConsecutiveDisks: successive blocks of a super-clip land
+// on consecutive disks (round-robin), which the §5 rotation argument needs.
+func TestSuperClippedConsecutiveDisks(t *testing.T) {
+	l, err := NewSuperClipped(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		a := l.Place(1, i)
+		b := l.Place(1, i+1)
+		if b.Disk != (a.Disk+1)%32 {
+			t.Fatalf("block %d on disk %d, block %d on disk %d: not consecutive", i, a.Disk, i+1, b.Disk)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package layout
+
+import "fmt"
+
+// FlatUniform is the uniform, flat parity placement of §6.2 (Figure 3),
+// used by the pre-fetching scheme without parity disks. The d disks form
+// d/(p−1) clusters of p−1 disks each; data blocks stripe round-robin over
+// *all* d disks; the p−1 data blocks at one level of one cluster form a
+// parity group whose parity block is stored on the
+// (g mod (d−(p−1)))-th disk following the cluster's last disk, where g is
+// the group's level — so parity load rotates uniformly over the array.
+//
+// Parity blocks live past the data region: the layout is sized with a
+// fixed data capacity so parity block numbers are well defined. On each
+// disk, parity blocks are ordered by (cluster, level), which reproduces
+// the paper's Figure 3 exactly (golden-tested).
+type FlatUniform struct {
+	d, p int
+	// dataBlocks is the store's data capacity in blocks, rounded up to a
+	// full stripe (multiple of d).
+	dataBlocks int64
+}
+
+// NewFlatUniform builds the layout. p−1 must divide d, p >= 2, and
+// dataBlocks > 0 fixes the data region size (rounded up to a stripe).
+func NewFlatUniform(d, p int, dataBlocks int64) (*FlatUniform, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("layout: flat-uniform: parity group size %d < 2", p)
+	}
+	if d < p || d%(p-1) != 0 {
+		return nil, fmt.Errorf("layout: flat-uniform: cluster size p−1=%d must divide d=%d", p-1, d)
+	}
+	if d-(p-1) < 1 {
+		return nil, fmt.Errorf("layout: flat-uniform: need d > p−1")
+	}
+	if dataBlocks <= 0 {
+		return nil, fmt.Errorf("layout: flat-uniform: dataBlocks must be positive")
+	}
+	if rem := dataBlocks % int64(d); rem != 0 {
+		dataBlocks += int64(d) - rem
+	}
+	return &FlatUniform{d: d, p: p, dataBlocks: dataBlocks}, nil
+}
+
+// Name implements Layout.
+func (l *FlatUniform) Name() string { return "prefetch-flat" }
+
+// Disks implements Layout.
+func (l *FlatUniform) Disks() int { return l.d }
+
+// GroupSize implements Layout.
+func (l *FlatUniform) GroupSize() int { return l.p }
+
+// Clusters returns d/(p−1).
+func (l *FlatUniform) Clusters() int { return l.d / (l.p - 1) }
+
+// DataBlocks returns the (stripe-rounded) data capacity in blocks.
+func (l *FlatUniform) DataBlocks() int64 { return l.dataBlocks }
+
+// levels returns the height of the data region on each disk.
+func (l *FlatUniform) levels() int64 { return l.dataBlocks / int64(l.d) }
+
+// Place implements Layout.
+func (l *FlatUniform) Place(i int64) BlockAddr {
+	if i < 0 {
+		panic("layout: negative logical block")
+	}
+	if i >= l.dataBlocks {
+		panic(fmt.Sprintf("layout: flat-uniform: block %d beyond data capacity %d", i, l.dataBlocks))
+	}
+	return BlockAddr{Disk: int(i % int64(l.d)), Block: i / int64(l.d)}
+}
+
+// parityTargetDisk returns the disk storing parity for the level-g group
+// of cluster c: the (g mod (d−(p−1)))-th disk after the cluster's last.
+func (l *FlatUniform) parityTargetDisk(c int, g int64) int {
+	last := c*(l.p-1) + (l.p - 2)
+	return (last + 1 + int(g%int64(l.d-(l.p-1)))) % l.d
+}
+
+// parityBlockNumber returns the disk block number holding parity for
+// (cluster c, level g) on its target disk: parity blocks follow the data
+// region in (cluster, level) order.
+func (l *FlatUniform) parityBlockNumber(c int, g int64) int64 {
+	target := l.parityTargetDisk(c, g)
+	seq := int64(0)
+	// Count parity blocks (c', g') lexicographically before (c, g) that
+	// also land on target. For cluster c', levels hitting target are
+	// g' ≡ g0(c') (mod M) with M = d−(p−1); count those with
+	// g' < levels (c' < c) or g' < g (c' == c).
+	M := int64(l.d - (l.p - 1))
+	for cp := 0; cp <= c; cp++ {
+		base := l.parityTargetDisk(cp, 0)
+		// Levels g' with (base + g' mod M) mod d == target:
+		// g' mod M == (target - base) mod d, representable iff < M.
+		off := ((target-base)%l.d + l.d) % l.d
+		if off >= int(M) {
+			continue
+		}
+		limit := l.levels() // exclusive bound on g'
+		if cp == c {
+			limit = g
+		}
+		if limit <= int64(off) {
+			continue
+		}
+		seq += (limit - int64(off) + M - 1) / M
+	}
+	return l.levels() + seq
+}
+
+// LogicalAt implements Layout.
+func (l *FlatUniform) LogicalAt(addr BlockAddr) int64 {
+	checkDiskRange(addr.Disk, l.d)
+	if addr.Block >= l.levels() {
+		return -1 // parity region (or unused)
+	}
+	return addr.Block*int64(l.d) + int64(addr.Disk)
+}
+
+// KindAt implements Layout.
+func (l *FlatUniform) KindAt(addr BlockAddr) Kind {
+	if l.LogicalAt(addr) < 0 {
+		return Parity
+	}
+	return Data
+}
+
+// GroupOf implements Layout: logical block i sits in cluster
+// c = (i mod d)/(p−1) at level g = i div d; its group is the p−1 blocks of
+// that cluster's level.
+func (l *FlatUniform) GroupOf(i int64) Group {
+	addr := l.Place(i)
+	c := addr.Disk / (l.p - 1)
+	g0 := addr.Block*int64(l.d) + int64(c)*int64(l.p-1)
+	var g Group
+	for k := 0; k < l.p-1; k++ {
+		g.Data = append(g.Data, g0+int64(k))
+		g.DataAddr = append(g.DataAddr, BlockAddr{Disk: c*(l.p-1) + k, Block: addr.Block})
+	}
+	g.Parity = BlockAddr{
+		Disk:  l.parityTargetDisk(c, addr.Block),
+		Block: l.parityBlockNumber(c, addr.Block),
+	}
+	return g
+}
+
+// ParityTargetClass returns the residue g mod (d−(p−1)) that determines
+// which disk holds parity for a block at level g — the §6.2 admission
+// control constraint groups clips by this class.
+func (l *FlatUniform) ParityTargetClass(level int64) int {
+	return int(level % int64(l.d-(l.p-1)))
+}

@@ -1,0 +1,58 @@
+package layout
+
+import "testing"
+
+// FuzzDeclusteredRoundTrip: Place/LogicalAt stay inverse for arbitrary
+// block indices across several geometries, including the approximate
+// designs of the paper's evaluation.
+func FuzzDeclusteredRoundTrip(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(uint16(41))
+	f.Add(uint16(65535))
+	geometries := []struct{ d, p int }{{7, 3}, {13, 4}, {32, 8}, {32, 2}, {32, 32}}
+	layouts := make([]*Declustered, len(geometries))
+	for i, g := range geometries {
+		l, err := NewDeclustered(g.d, g.p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		layouts[i] = l
+	}
+	f.Fuzz(func(t *testing.T, raw uint16) {
+		x := int64(raw)
+		for i, l := range layouts {
+			addr := l.Place(x)
+			if back := l.LogicalAt(addr); back != x {
+				t.Fatalf("geometry %v: LogicalAt(Place(%d)) = %d", geometries[i], x, back)
+			}
+			g := l.GroupOf(x)
+			if len(g.Data) != geometries[i].p-1 {
+				t.Fatalf("geometry %v: group size %d", geometries[i], len(g.Data))
+			}
+		}
+	})
+}
+
+// FuzzClusteredInverse: arbitrary addresses decode consistently — every
+// address is either parity or decodes to a block that places back to it.
+func FuzzClusteredInverse(f *testing.F) {
+	l, err := NewPrefetchParityDisk(8, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint8(0), uint16(0))
+	f.Add(uint8(7), uint16(9999))
+	f.Fuzz(func(t *testing.T, diskRaw uint8, blockRaw uint16) {
+		addr := BlockAddr{Disk: int(diskRaw) % 8, Block: int64(blockRaw)}
+		x := l.LogicalAt(addr)
+		if x < 0 {
+			if !l.IsParityDisk(addr.Disk) {
+				t.Fatalf("data-disk address %v decoded as parity", addr)
+			}
+			return
+		}
+		if l.Place(x) != addr {
+			t.Fatalf("Place(LogicalAt(%v)) = %v", addr, l.Place(x))
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package pgt implements the parity group table (PGT) of Özden et al.
+// (SIGMOD 1996, §4.1) and the Δ offset sets of the dynamic reservation
+// scheme (§5.1).
+//
+// The PGT rewrites a (d, p, 1) block design as a table with one column per
+// disk and r rows: column i lists, in ascending set order, the r design
+// sets that contain disk i. Disk blocks then map to sets positionally —
+// block j of disk i maps to the set in cell (j mod r, i) — and within each
+// window of r consecutive disk blocks, the blocks mapped to one set form a
+// parity group. Parity placement rotates within a set across successive
+// windows so parity load spreads over every disk of the set; the rotation
+// order here reproduces the paper's worked example (parity for the three
+// successive S0 = {0,1,3} groups lands on disks 3, 1, 0).
+package pgt
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/bibd"
+)
+
+// Table is a parity group table over d disks with r rows.
+type Table struct {
+	// D is the number of disks (columns).
+	D int
+	// R is the number of rows.
+	R int
+	// P is the parity group size.
+	P int
+	// Design is the underlying block design.
+	Design *bibd.Design
+
+	cell [][]int // cell[row][col] = set index
+	// rowIn[s*D + disk] = row where set s appears in column disk, or -1.
+	rowIn []int
+}
+
+// New builds the PGT for a design. The design's per-object replication
+// must be uniform (true for every design bibd constructs).
+func New(d *bibd.Design) (*Table, error) {
+	if d == nil || d.V < 2 {
+		return nil, errors.New("pgt: nil or degenerate design")
+	}
+	st, err := bibd.Verify(d)
+	if err != nil {
+		return nil, fmt.Errorf("pgt: invalid design: %w", err)
+	}
+	if st.RMin != st.RMax {
+		return nil, fmt.Errorf("pgt: design replication not uniform: [%d, %d]", st.RMin, st.RMax)
+	}
+	r := st.RMin
+	t := &Table{D: d.V, R: r, P: d.K, Design: d}
+	t.cell = make([][]int, r)
+	for i := range t.cell {
+		t.cell[i] = make([]int, t.D)
+	}
+	t.rowIn = make([]int, len(d.Sets)*t.D)
+	for i := range t.rowIn {
+		t.rowIn[i] = -1
+	}
+	for col := 0; col < t.D; col++ {
+		sets := d.SetsContaining(col) // ascending set index
+		if len(sets) != r {
+			return nil, fmt.Errorf("pgt: disk %d occurs in %d sets, want %d", col, len(sets), r)
+		}
+		for row, s := range sets {
+			t.cell[row][col] = s
+			t.rowIn[s*t.D+col] = row
+		}
+	}
+	return t, nil
+}
+
+// Set returns the set index in cell (row, col).
+func (t *Table) Set(row, col int) int { return t.cell[row][col] }
+
+// RowOf returns the row in which set s appears in column disk, or -1 when
+// the set does not contain the disk.
+func (t *Table) RowOf(s, disk int) int { return t.rowIn[s*t.D+disk] }
+
+// Disks returns the disks of set s in ascending order (the design stores
+// sets sorted).
+func (t *Table) Disks(s int) []int { return t.Design.Sets[s] }
+
+// SetForBlock returns the set that disk block (disk, blk) maps to: the set
+// in cell (blk mod r, disk).
+func (t *Table) SetForBlock(disk, blk int) int {
+	return t.cell[blk%t.R][disk]
+}
+
+// Window returns the window index of disk block blk: parity groups form
+// within windows of r consecutive disk blocks.
+func (t *Table) Window(blk int) int { return blk / t.R }
+
+// ParityDisk returns the disk holding the parity block for the occurrence
+// of set s in window n. Parity rotates backwards through the set's disks —
+// windows 0, 1, 2 of a 3-disk set place parity on its 3rd, 2nd, 1st disk —
+// matching the paper's Example 1 (disks 3, 1, 0 for S0 = {0,1,3}).
+func (t *Table) ParityDisk(s, n int) int {
+	disks := t.Design.Sets[s]
+	p := len(disks)
+	return disks[(p-1-n%p+p)%p]
+}
+
+// BlockOf returns the disk block index on disk where set s's window-n
+// group member lives: n·r + rowOf(s, disk). It panics if the set does not
+// contain the disk — callers must only ask about member disks.
+func (t *Table) BlockOf(s, n, disk int) int {
+	row := t.RowOf(s, disk)
+	if row < 0 {
+		panic(fmt.Sprintf("pgt: set %d does not contain disk %d", s, disk))
+	}
+	return n*t.R + row
+}
+
+// IsParityBlock reports whether disk block (disk, blk) holds parity.
+func (t *Table) IsParityBlock(disk, blk int) bool {
+	s := t.SetForBlock(disk, blk)
+	return t.ParityDisk(s, t.Window(blk)) == disk
+}
+
+// Group describes one parity group: the window-n occurrence of a set.
+type Group struct {
+	// Set is the design set the group is mapped to.
+	Set int
+	// Window is the r-block window index.
+	Window int
+	// Members lists (disk, block) for every member, data and parity.
+	Members []Location
+	// Parity is the index into Members of the parity block.
+	Parity int
+}
+
+// Location addresses one disk block.
+type Location struct {
+	Disk  int
+	Block int
+}
+
+// GroupFor returns the full parity group containing disk block
+// (disk, blk).
+func (t *Table) GroupFor(disk, blk int) Group {
+	s := t.SetForBlock(disk, blk)
+	n := t.Window(blk)
+	pd := t.ParityDisk(s, n)
+	g := Group{Set: s, Window: n, Parity: -1}
+	for _, m := range t.Design.Sets[s] {
+		if m == pd {
+			g.Parity = len(g.Members)
+		}
+		g.Members = append(g.Members, Location{Disk: m, Block: t.BlockOf(s, n, m)})
+	}
+	return g
+}
+
+// Deltas returns Δᵢ for row i (§5.1): the set of column offsets δ such
+// that some set appearing in row i of some column j also appears in column
+// j+δ (of any row). When a clip of super-clip SCᵢ is being serviced on
+// disk j, contingency bandwidth must be reserved on disks (j+δ) mod d for
+// every δ ∈ Δᵢ. Offsets are normalized to (0, d).
+func (t *Table) Deltas(row int) []int {
+	present := make([]bool, t.D)
+	for j := 0; j < t.D; j++ {
+		s := t.cell[row][j]
+		for _, m := range t.Design.Sets[s] {
+			if m == j {
+				continue
+			}
+			delta := ((m-j)%t.D + t.D) % t.D
+			present[delta] = true
+		}
+	}
+	var out []int
+	for delta := 1; delta < t.D; delta++ {
+		if present[delta] {
+			out = append(out, delta)
+		}
+	}
+	return out
+}
+
+// CheckProperties verifies the two structural properties §4.2 relies on,
+// for exact λ=1 designs:
+//
+//  1. any two columns share at most one set (so parity groups for blocks
+//     of one disk mapped to different rows meet only at that disk);
+//  2. every cell is filled and every set of a column appears in exactly
+//     one row of it.
+//
+// For approximate designs property 1 may fail; the returned overlap is the
+// maximum number of sets any two columns share, which bounds the failure
+// load multiplier.
+func (t *Table) CheckProperties() (maxOverlap int, err error) {
+	for a := 0; a < t.D; a++ {
+		seen := make(map[int]bool, t.R)
+		for row := 0; row < t.R; row++ {
+			s := t.cell[row][a]
+			if seen[s] {
+				return 0, fmt.Errorf("pgt: set %d appears twice in column %d", s, a)
+			}
+			seen[s] = true
+			if t.rowIn[s*t.D+a] != row {
+				return 0, fmt.Errorf("pgt: rowIn inconsistent at set %d column %d", s, a)
+			}
+		}
+		for b := a + 1; b < t.D; b++ {
+			overlap := 0
+			for row := 0; row < t.R; row++ {
+				if t.RowOf(t.cell[row][a], b) >= 0 {
+					overlap++
+				}
+			}
+			if overlap > maxOverlap {
+				maxOverlap = overlap
+			}
+		}
+	}
+	return maxOverlap, nil
+}

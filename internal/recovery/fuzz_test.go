@@ -1,0 +1,80 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzXORAlgebra: XOR is commutative, associative and self-inverse over
+// arbitrary byte slices (truncated to a common length).
+func FuzzXORAlgebra(f *testing.F) {
+	f.Add([]byte{0x00}, []byte{0xFF}, []byte{0xA5})
+	f.Add([]byte("hello"), []byte("world"), []byte("parit"))
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if len(c) < n {
+			n = len(c)
+		}
+		if n == 0 {
+			return
+		}
+		a, b, c = a[:n], b[:n], c[:n]
+		ab := make([]byte, n)
+		XOR(ab, a, b)
+		ba := make([]byte, n)
+		XOR(ba, b, a)
+		if !bytes.Equal(ab, ba) {
+			t.Fatal("XOR not commutative")
+		}
+		abc1 := make([]byte, n)
+		XOR(abc1, ab, c)
+		bc := make([]byte, n)
+		XOR(bc, b, c)
+		abc2 := make([]byte, n)
+		XOR(abc2, a, bc)
+		if !bytes.Equal(abc1, abc2) {
+			t.Fatal("XOR not associative")
+		}
+		back := make([]byte, n)
+		XOR(back, ab, b)
+		if !bytes.Equal(back, a) {
+			t.Fatal("XOR not self-inverse")
+		}
+	})
+}
+
+// FuzzParityReconstruction: for a randomly chosen group of 3 "blocks",
+// parity reconstructs any missing member exactly.
+func FuzzParityReconstruction(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{5, 6, 7, 8}, []byte{9, 10, 11, 12}, uint8(1))
+	f.Fuzz(func(t *testing.T, d0, d1, d2 []byte, lostRaw uint8) {
+		n := len(d0)
+		if len(d1) < n {
+			n = len(d1)
+		}
+		if len(d2) < n {
+			n = len(d2)
+		}
+		if n == 0 {
+			return
+		}
+		group := [][]byte{d0[:n], d1[:n], d2[:n]}
+		parity := make([]byte, n)
+		XOR(parity, group...)
+		lost := int(lostRaw) % 3
+		srcs := [][]byte{parity}
+		for i, g := range group {
+			if i != lost {
+				srcs = append(srcs, g)
+			}
+		}
+		rebuilt := make([]byte, n)
+		XOR(rebuilt, srcs...)
+		if !bytes.Equal(rebuilt, group[lost]) {
+			t.Fatalf("reconstruction of member %d failed", lost)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package recovery implements XOR parity maintenance and degraded-mode
+// reconstruction over a storage.Array and a layout.Layout — the data path
+// that actually survives the single disk failure the paper's schemes are
+// designed around.
+//
+// A Store writes a logical stream of data blocks, computing and storing
+// the parity block of every group it completes. ReadBlock transparently
+// reconstructs blocks of a failed disk by XOR-ing the surviving members of
+// their parity group, exactly as §3 of the paper describes (the XOR cost
+// is assumed negligible next to the disk reads, which the timing layers
+// model separately).
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/layout"
+	"ftcms/internal/storage"
+)
+
+// XOR sets dst to the byte-wise XOR of all srcs. All slices must share
+// dst's length. With zero sources dst is zeroed. dst must not alias any
+// source: it is cleared before accumulation.
+func XOR(dst []byte, srcs ...[]byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic(fmt.Sprintf("recovery: XOR length mismatch: %d vs %d", len(s), len(dst)))
+		}
+		for i, b := range s {
+			dst[i] ^= b
+		}
+	}
+}
+
+// ErrUnrecoverable is returned when a block cannot be served: more than
+// one disk of its parity group has failed.
+var ErrUnrecoverable = errors.New("recovery: block unrecoverable (multiple failures in parity group)")
+
+// Store ties a placement to an array and keeps parity consistent.
+type Store struct {
+	// Layout places data and parity blocks.
+	Layout layout.Layout
+	// Array holds the bytes.
+	Array *storage.Array
+}
+
+// NewStore validates that the array matches the layout's disk count.
+func NewStore(l layout.Layout, a *storage.Array) (*Store, error) {
+	if l == nil || a == nil {
+		return nil, errors.New("recovery: nil layout or array")
+	}
+	if l.Disks() != a.Disks() {
+		return nil, fmt.Errorf("recovery: layout has %d disks, array %d", l.Disks(), a.Disks())
+	}
+	return &Store{Layout: l, Array: a}, nil
+}
+
+// WriteBlock stores data as logical block i and refreshes its group's
+// parity. Absent group members read as zeroes, so groups may be written
+// in any order and partially.
+func (s *Store) WriteBlock(i int64, data []byte) error {
+	addr := s.Layout.Place(i)
+	if err := s.Array.Write(addr.Disk, addr.Block, data); err != nil {
+		return err
+	}
+	return s.rebuildParity(s.Layout.GroupOf(i))
+}
+
+func (s *Store) rebuildParity(g layout.Group) error {
+	bs := s.Array.BlockSize()
+	parity := make([]byte, bs)
+	srcs := make([][]byte, 0, len(g.DataAddr))
+	for _, a := range g.DataAddr {
+		buf, err := s.Array.ReadZero(a.Disk, a.Block)
+		if err != nil {
+			return fmt.Errorf("recovery: rebuilding parity: %w", err)
+		}
+		srcs = append(srcs, buf)
+	}
+	XOR(parity, srcs...)
+	return s.Array.Write(g.Parity.Disk, g.Parity.Block, parity)
+}
+
+// ReadBlock returns logical block i, reconstructing it from its parity
+// group when its disk has failed.
+func (s *Store) ReadBlock(i int64) ([]byte, error) {
+	addr := s.Layout.Place(i)
+	buf, err := s.Array.Read(addr.Disk, addr.Block)
+	if err == nil {
+		return buf, nil
+	}
+	if !errors.Is(err, storage.ErrFailed) {
+		return nil, err
+	}
+	return s.Reconstruct(i)
+}
+
+// Reconstruct rebuilds logical block i from the surviving members of its
+// parity group, without attempting a direct read. It fails with
+// ErrUnrecoverable if any other member of the group is also unreadable.
+func (s *Store) Reconstruct(i int64) ([]byte, error) {
+	g := s.Layout.GroupOf(i)
+	bs := s.Array.BlockSize()
+	srcs := make([][]byte, 0, len(g.Data))
+	for k, li := range g.Data {
+		if li == i {
+			continue
+		}
+		a := g.DataAddr[k]
+		buf, err := s.Array.ReadZero(a.Disk, a.Block)
+		if err != nil {
+			return nil, fmt.Errorf("%w: disk %d also unavailable", ErrUnrecoverable, a.Disk)
+		}
+		srcs = append(srcs, buf)
+	}
+	pbuf, err := s.Array.ReadZero(g.Parity.Disk, g.Parity.Block)
+	if err != nil {
+		return nil, fmt.Errorf("%w: parity disk %d also unavailable", ErrUnrecoverable, g.Parity.Disk)
+	}
+	srcs = append(srcs, pbuf)
+	out := make([]byte, bs)
+	XOR(out, srcs...)
+	return out, nil
+}
+
+// DegradedReadSet returns the addresses that must be fetched to serve
+// logical block i when failedDisk is down: empty if i does not live on the
+// failed disk, otherwise the surviving group members plus parity. This is
+// the per-round extra load the admission controllers reserve bandwidth
+// for.
+func (s *Store) DegradedReadSet(i int64, failedDisk int) []layout.BlockAddr {
+	addr := s.Layout.Place(i)
+	if addr.Disk != failedDisk {
+		return nil
+	}
+	g := s.Layout.GroupOf(i)
+	out := make([]layout.BlockAddr, 0, len(g.Data))
+	for k, li := range g.Data {
+		if li == i {
+			continue
+		}
+		out = append(out, g.DataAddr[k])
+	}
+	out = append(out, g.Parity)
+	return out
+}
+
+// VerifyParity recomputes the parity of block i's group from data and
+// compares with the stored parity block, returning an error on mismatch —
+// a test/fsck helper.
+func (s *Store) VerifyParity(i int64) error {
+	g := s.Layout.GroupOf(i)
+	bs := s.Array.BlockSize()
+	want := make([]byte, bs)
+	srcs := make([][]byte, 0, len(g.DataAddr))
+	for _, a := range g.DataAddr {
+		buf, err := s.Array.ReadZero(a.Disk, a.Block)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, buf)
+	}
+	XOR(want, srcs...)
+	got, err := s.Array.ReadZero(g.Parity.Disk, g.Parity.Block)
+	if err != nil {
+		return err
+	}
+	for k := range want {
+		if want[k] != got[k] {
+			return fmt.Errorf("recovery: parity mismatch for group of block %d at byte %d", i, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package reliability_test
+
+import (
+	"fmt"
+
+	"ftcms/internal/reliability"
+)
+
+// ExampleArrayMTTF reproduces the paper's §1 motivation: a 200-disk
+// server built from 300,000-hour disks fails every couple of months.
+func ExampleArrayMTTF() {
+	mttf, err := reliability.ArrayMTTF(reliability.PaperDiskMTTF, 200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("array MTTF: %.0f hours (%.1f days)\n", float64(mttf), float64(mttf)/24)
+	// Output:
+	// array MTTF: 1500 hours (62.5 days)
+}
+
+// ExampleMTTDL shows how single-failure tolerance with a 24-hour repair
+// restores availability.
+func ExampleMTTDL() {
+	// 32-disk array, p=4 clusters: 3 critical disks during a repair.
+	mttdl, err := reliability.MTTDL(reliability.PaperDiskMTTF, 32, 3, 24)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("MTTDL: %.1f million hours\n", float64(mttdl)/1e6)
+	// Output:
+	// MTTDL: 39.1 million hours
+}

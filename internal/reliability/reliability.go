@@ -1,0 +1,118 @@
+// Package reliability quantifies the availability argument that motivates
+// the paper (§1): a single disk's mean time to failure (MTTF) of about
+// 300,000 hours collapses to weeks for an array ("a server with, say, 200
+// disks has an MTTF of 1500 hours or about 60 days"), and parity
+// protection restores it by surviving any single failure that is repaired
+// before a second one lands.
+//
+// The models are the standard exponential-failure Markov analyses used in
+// the RAID literature the paper builds on [PGK88, CLG+94]:
+//
+//   - array MTTF without redundancy: MTTF_disk / d;
+//   - mean time to data loss (MTTDL) with single-failure tolerance and
+//     repair: after a first failure, data is lost only if a *critical*
+//     second disk (one sharing a parity group with the failed disk)
+//     fails during the repair window.
+//
+// The critical-disk count is where the schemes differ: a dedicated
+// cluster confines it to p−1 disks, the flat and declustered layouts
+// expose d−1 — the classic declustering trade-off: faster rebuild and
+// smoother degraded load in exchange for a wider second-failure target.
+package reliability
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcms/internal/units"
+)
+
+// Hours is a duration in hours, the customary unit for MTTF figures.
+type Hours float64
+
+// PaperDiskMTTF is the paper's §1 figure for one disk: 300,000 hours.
+const PaperDiskMTTF Hours = 300_000
+
+// ArrayMTTF returns the mean time to the first failure anywhere in an
+// array of d disks with independent exponential lifetimes: MTTF/d. The
+// paper's example: 300,000 h over 200 disks → 1500 h.
+func ArrayMTTF(disk Hours, d int) (Hours, error) {
+	if disk <= 0 {
+		return 0, errors.New("reliability: MTTF must be positive")
+	}
+	if d < 1 {
+		return 0, errors.New("reliability: need at least one disk")
+	}
+	return disk / Hours(d), nil
+}
+
+// MTTDL returns the mean time to data loss for a single-failure-tolerant
+// array: d disks, repair time MTTR, and `critical` disks whose failure
+// during a repair window loses data (the disks sharing a parity group
+// with the one under repair).
+//
+// Standard two-state Markov result:
+//
+//	MTTDL ≈ MTTF² / (d · critical · MTTR)
+//
+// valid for MTTR ≪ MTTF (always true for real disks).
+func MTTDL(disk Hours, d, critical int, mttr Hours) (Hours, error) {
+	if disk <= 0 || mttr <= 0 {
+		return 0, errors.New("reliability: MTTF and MTTR must be positive")
+	}
+	if d < 2 {
+		return 0, errors.New("reliability: need at least two disks")
+	}
+	if critical < 1 || critical > d-1 {
+		return 0, fmt.Errorf("reliability: critical disks %d outside [1, %d]", critical, d-1)
+	}
+	return disk * disk / (Hours(d) * Hours(critical) * mttr), nil
+}
+
+// CriticalDisks returns how many surviving disks can cause data loss if
+// they fail while the named scheme rebuilds one failed disk.
+//
+//   - clustered schemes (prefetch-parity-disk, streaming-raid,
+//     non-clustered): only the p−1 other disks of the failed disk's
+//     cluster;
+//   - declustered and flat-uniform placements: parity groups span the
+//     array, so every other disk is critical (d−1).
+func CriticalDisks(scheme string, d, p int) (int, error) {
+	if d < 2 || p < 2 || p > d {
+		return 0, fmt.Errorf("reliability: bad geometry d=%d p=%d", d, p)
+	}
+	switch scheme {
+	case "prefetch-parity-disk", "streaming-raid", "non-clustered":
+		return p - 1, nil
+	case "declustered", "declustered-dynamic", "prefetch-flat":
+		return d - 1, nil
+	default:
+		return 0, fmt.Errorf("reliability: unknown scheme %q", scheme)
+	}
+}
+
+// RebuildTime estimates how long rebuilding a replaced disk takes when
+// every surviving disk contributes `f` spare block-reads per round (the
+// contingency bandwidth of §4) and the failed disk held `blocks` blocks
+// of size `b`.
+//
+// Declustering spreads the rebuild reads over all d−1 survivors, so the
+// bottleneck is the reconstruction read rate: each lost block needs p−1
+// reads, spread evenly, giving
+//
+//	rounds ≈ blocks · (p−1) / ((d−1) · f)
+//
+// and rebuild time = rounds · roundDuration. Clustered layouts confine
+// the reads to p−1 survivors (set d = p for them).
+func RebuildTime(blocks int64, p, d, f int, roundDur units.Duration) (units.Duration, error) {
+	if blocks < 0 || roundDur <= 0 {
+		return 0, errors.New("reliability: bad rebuild parameters")
+	}
+	if p < 2 || d < p || f < 1 {
+		return 0, fmt.Errorf("reliability: bad geometry p=%d d=%d f=%d", p, d, f)
+	}
+	reads := blocks * int64(p-1)
+	perRound := int64(d-1) * int64(f)
+	rounds := (reads + perRound - 1) / perRound
+	return units.Duration(rounds) * roundDur, nil
+}

@@ -1,0 +1,168 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"ftcms/internal/units"
+)
+
+// TestPaperMTTFExample pins the paper's §1 arithmetic: 300,000-hour disks,
+// 200-disk server → 1500 hours ≈ 62.5 days ("about 60 days").
+func TestPaperMTTFExample(t *testing.T) {
+	got, err := ArrayMTTF(PaperDiskMTTF, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1500 {
+		t.Fatalf("ArrayMTTF = %v h, want 1500", got)
+	}
+	if days := float64(got) / 24; math.Abs(days-62.5) > 0.01 {
+		t.Fatalf("%.1f days, want 62.5", days)
+	}
+}
+
+func TestArrayMTTFValidation(t *testing.T) {
+	if _, err := ArrayMTTF(0, 10); err == nil {
+		t.Error("accepted zero MTTF")
+	}
+	if _, err := ArrayMTTF(100, 0); err == nil {
+		t.Error("accepted zero disks")
+	}
+}
+
+func TestMTTDL(t *testing.T) {
+	// 32 disks, p=4 clusters, 24-hour repair.
+	got, err := MTTDL(PaperDiskMTTF, 32, 3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperDiskMTTF * PaperDiskMTTF / (32 * 3 * 24)
+	if math.Abs(float64(got-want)) > 1 {
+		t.Fatalf("MTTDL = %v, want %v", got, want)
+	}
+	// Parity protection must massively beat the unprotected array.
+	unprotected, _ := ArrayMTTF(PaperDiskMTTF, 32)
+	if got < 1000*unprotected {
+		t.Fatalf("MTTDL %v not >> unprotected %v", got, unprotected)
+	}
+}
+
+func TestMTTDLValidation(t *testing.T) {
+	if _, err := MTTDL(0, 32, 3, 24); err == nil {
+		t.Error("accepted zero MTTF")
+	}
+	if _, err := MTTDL(100, 32, 3, 0); err == nil {
+		t.Error("accepted zero MTTR")
+	}
+	if _, err := MTTDL(100, 1, 1, 24); err == nil {
+		t.Error("accepted d=1")
+	}
+	if _, err := MTTDL(100, 32, 0, 24); err == nil {
+		t.Error("accepted zero critical disks")
+	}
+	if _, err := MTTDL(100, 32, 32, 24); err == nil {
+		t.Error("accepted critical = d")
+	}
+}
+
+func TestCriticalDisks(t *testing.T) {
+	cases := []struct {
+		scheme string
+		want   int
+	}{
+		{"prefetch-parity-disk", 3},
+		{"streaming-raid", 3},
+		{"non-clustered", 3},
+		{"declustered", 31},
+		{"declustered-dynamic", 31},
+		{"prefetch-flat", 31},
+	}
+	for _, c := range cases {
+		got, err := CriticalDisks(c.scheme, 32, 4)
+		if err != nil {
+			t.Errorf("%s: %v", c.scheme, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("CriticalDisks(%s) = %d, want %d", c.scheme, got, c.want)
+		}
+	}
+	if _, err := CriticalDisks("bogus", 32, 4); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+	if _, err := CriticalDisks("declustered", 2, 4); err == nil {
+		t.Error("accepted p > d")
+	}
+}
+
+// TestReliabilityTradeoff: the clustered schemes' MTTDL beats the
+// declustered ones at equal repair time (fewer critical disks), but
+// declustering rebuilds faster, which shrinks its repair window — the
+// §4.1 trade-off quantified.
+func TestReliabilityTradeoff(t *testing.T) {
+	d, p := 32, 4
+	clusteredCrit, _ := CriticalDisks("streaming-raid", d, p)
+	declusteredCrit, _ := CriticalDisks("declustered", d, p)
+	mttr := Hours(24)
+	clustered, _ := MTTDL(PaperDiskMTTF, d, clusteredCrit, mttr)
+	declustered, _ := MTTDL(PaperDiskMTTF, d, declusteredCrit, mttr)
+	if clustered <= declustered {
+		t.Fatalf("equal-MTTR MTTDL: clustered %v should beat declustered %v", clustered, declustered)
+	}
+	// Declustered rebuild spreads over d−1 survivors instead of p−1: with
+	// the same per-disk contingency f, it is (d−1)/(p−1) times faster.
+	round := units.Duration(1.0)
+	fast, err := RebuildTime(1_000_000, p, d, 2, round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RebuildTime(1_000_000, p, p, 2, round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(slow) / float64(fast)
+	want := float64(d-1) / float64(p-1)
+	if math.Abs(ratio-want) > 0.05*want {
+		t.Fatalf("rebuild speedup %.2f, want ≈ %.2f", ratio, want)
+	}
+	// With the faster rebuild, declustered MTTDL closes most of the gap.
+	declusteredFast, _ := MTTDL(PaperDiskMTTF, d, declusteredCrit, mttr*Hours(float64(p-1))/Hours(float64(d-1)))
+	if declusteredFast <= declustered {
+		t.Fatal("faster repair should raise MTTDL")
+	}
+}
+
+func TestRebuildTimeValidation(t *testing.T) {
+	if _, err := RebuildTime(-1, 4, 32, 2, 1); err == nil {
+		t.Error("accepted negative blocks")
+	}
+	if _, err := RebuildTime(100, 4, 32, 2, 0); err == nil {
+		t.Error("accepted zero round duration")
+	}
+	if _, err := RebuildTime(100, 1, 32, 2, 1); err == nil {
+		t.Error("accepted p=1")
+	}
+	if _, err := RebuildTime(100, 4, 32, 0, 1); err == nil {
+		t.Error("accepted f=0")
+	}
+	if _, err := RebuildTime(100, 4, 2, 1, 1); err == nil {
+		t.Error("accepted d < p")
+	}
+}
+
+func TestRebuildTimeRounding(t *testing.T) {
+	// 10 blocks × 3 reads = 30 reads, 31·2 = 62 per round → 1 round.
+	got, err := RebuildTime(10, 4, 32, 2, units.Duration(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("RebuildTime = %v, want 2 (one round)", got)
+	}
+	// Zero blocks → zero time.
+	got, err = RebuildTime(0, 4, 32, 2, units.Duration(2))
+	if err != nil || got != 0 {
+		t.Fatalf("RebuildTime(0) = %v, %v", got, err)
+	}
+}

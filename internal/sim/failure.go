@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"ftcms/internal/analytic"
+)
+
+// accountFailure charges every surviving disk with the reconstruction
+// reads its scheme generates for the failed disk during this round,
+// accumulates deadline misses (blocks beyond q in the round) and, for the
+// non-clustered scheme, transition losses, and returns the round's spare
+// rebuild capacity: the idle block-reads the contributing disks could
+// donate to an online rebuild (whole-group slots for streaming RAID).
+//
+// The per-scheme logic mirrors the paper:
+//
+//   - declustered (§4): every block due from the failed disk pulls the
+//     remaining p−1 members of its parity group from the disks of its PGT
+//     row's set; the static-f admission bound keeps the extras within the
+//     reserved contingency (exactly for λ=1 designs, within the verified
+//     column-overlap factor for approximate ones);
+//   - dynamic (§5): same reads; the reservation condition bounds them;
+//   - prefetch with parity disks (§6.1): only the cluster's parity disk is
+//     hit, with one parity read per clip on the failed disk;
+//   - prefetch flat (§6.2): one parity read per clip, on the parity-target
+//     disk of the clip's current class — at most f per target by the
+//     admission bound;
+//   - streaming RAID: nothing extra — the parity block replaces the data
+//     block inside the same cluster-wide group read;
+//   - non-clustered: the failed cluster switches to whole-group reads, so
+//     every surviving disk of the cluster serves every clip of the
+//     cluster; any excess over q is a deadline miss, and at the failure
+//     round itself the blocks already due from the failed disk are lost.
+func (e *engine) accountFailure(now int64, transition bool) (spare int64) {
+	x := e.cfg.FailDisk
+	d, p := e.cfg.D, e.cfg.P
+	q := e.op.Q
+
+	switch e.cfg.Scheme {
+	case analytic.Declustered:
+		extra := make([]int, d)
+		for l := 0; l < e.table.R; l++ {
+			var n int
+			if e.cfg.Dynamic {
+				n = e.ctrl.(dynamicCtrl).d.RowDiskLoad(now, x, l)
+			} else {
+				n = e.ctrl.(staticCtrl).s.CellLoad(now, x, l)
+			}
+			if n == 0 {
+				continue
+			}
+			set := e.table.Set(l, x)
+			for _, m := range e.table.Disks(set) {
+				if m != x {
+					extra[m] += n
+				}
+			}
+		}
+		for i := 0; i < d; i++ {
+			if i == x {
+				continue
+			}
+			var load int
+			if e.cfg.Dynamic {
+				load = e.ctrl.(dynamicCtrl).d.DiskLoad(now, i)
+			} else {
+				load = e.ctrl.(staticCtrl).s.DiskLoad(now, i)
+			}
+			if over := load + extra[i] - q; over > 0 {
+				e.res.DeadlineMisses += int64(over)
+			} else {
+				spare += int64(-over)
+			}
+		}
+
+	case analytic.PrefetchFlat:
+		st := e.ctrl.(staticCtrl).s
+		m := d - (p - 1)
+		extra := make([]int, d)
+		for c := 0; c < m; c++ {
+			n := st.CellLoad(now, x, c)
+			if n == 0 {
+				continue
+			}
+			extra[e.flatParityTarget(x, c)] += n
+		}
+		for i := 0; i < d; i++ {
+			if i == x {
+				continue
+			}
+			if over := st.DiskLoad(now, i) + extra[i] - q; over > 0 {
+				e.res.DeadlineMisses += int64(over)
+			} else {
+				spare += int64(-over)
+			}
+		}
+
+	case analytic.PrefetchParityDisk:
+		s := e.ctrl.(simpleCtrl).s
+		cluster := x / p
+		if x%p == p-1 {
+			// Parity disk failed: data reads unaffected; rebuild reads
+			// come from the cluster's data disks' idle capacity.
+			for w := 0; w < p-1; w++ {
+				if idle := q - s.UnitLoad(now, cluster*(p-1)+w); idle > 0 {
+					spare += int64(idle)
+				}
+			}
+			return spare
+		}
+		n := s.UnitLoad(now, cluster*(p-1)+x%p)
+		// The parity disk serves only these reconstruction reads.
+		if over := n - q; over > 0 {
+			e.res.DeadlineMisses += int64(over)
+		} else {
+			spare += int64(-over)
+		}
+		for w := 0; w < p-1; w++ {
+			if w == x%p {
+				continue
+			}
+			if idle := q - s.UnitLoad(now, cluster*(p-1)+w); idle > 0 {
+				spare += int64(idle)
+			}
+		}
+
+	case analytic.StreamingRAID:
+		// The group read simply substitutes the parity block for the lost
+		// data block: no extra load, no misses, by construction. Idle
+		// group slots of the failed disk's cluster drive the rebuild.
+		s := e.ctrl.(simpleCtrl).s
+		if idle := q - s.UnitLoad(now, x/p); idle > 0 {
+			spare += int64(idle)
+		}
+
+	case analytic.NonClustered:
+		s := e.ctrl.(simpleCtrl).s
+		cluster := x / p
+		if x%p == p-1 {
+			// Parity disk failed: data unaffected; rebuild from the
+			// cluster data disks' idle capacity.
+			for w := 0; w < p-1; w++ {
+				if idle := q - s.UnitLoad(now, cluster*(p-1)+w); idle > 0 {
+					spare += int64(idle)
+				}
+			}
+			return spare
+		}
+		clipsInCluster := 0
+		for w := 0; w < p-1; w++ {
+			clipsInCluster += s.UnitLoad(now, cluster*(p-1)+w)
+		}
+		if transition {
+			// Blocks due from the failed disk this round were neither
+			// buffered nor reconstructible in time (§2: "blocks for
+			// certain clips may be lost").
+			e.res.LostBlocks += int64(s.UnitLoad(now, cluster*(p-1)+x%p))
+		}
+		// Degraded mode: each surviving disk of the cluster (p−2 data +
+		// 1 parity) serves every clip of the cluster.
+		for w := 0; w < p; w++ {
+			disk := cluster*p + w
+			if disk == x {
+				continue
+			}
+			if over := clipsInCluster - q; over > 0 {
+				e.res.DeadlineMisses += int64(over)
+			} else {
+				spare += int64(-over)
+			}
+		}
+	}
+	return spare
+}
+
+// flatParityTarget returns the disk holding parity for the class-c groups
+// whose data lives on disk x: when p−1 divides d this is the exact §6.2
+// geometry (the (c mod (d−(p−1)))-th disk after x's cluster); otherwise
+// the clusters wrap and the target is approximated by the same rotation
+// anchored at x itself, which preserves the spread the admission bound
+// relies on.
+func (e *engine) flatParityTarget(x, c int) int {
+	d, p := e.cfg.D, e.cfg.P
+	if d%(p-1) == 0 {
+		cluster := x / (p - 1)
+		return (cluster*(p-1) + (p - 1) + c) % d
+	}
+	return (x + 1 + c) % d
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/units"
+)
+
+func mixedBase() MixedConfig {
+	return MixedConfig{
+		Disk:        diskmodel.Default(),
+		D:           32,
+		P:           4,
+		F:           2,
+		Buffer:      256 * units.MB,
+		Mix:         analytic.MPEG1Mix(),
+		ClipLength:  50 * units.Second,
+		ArrivalRate: 20,
+		Duration:    300 * units.Second,
+		Seed:        1,
+	}
+}
+
+func TestRunMixedValidation(t *testing.T) {
+	bad := mixedBase()
+	bad.Duration = 0
+	if _, err := RunMixed(bad); err == nil {
+		t.Error("accepted zero duration")
+	}
+	bad = mixedBase()
+	bad.ArrivalRate = 0
+	if _, err := RunMixed(bad); err == nil {
+		t.Error("accepted zero rate")
+	}
+	bad = mixedBase()
+	bad.ClipLength = 0
+	if _, err := RunMixed(bad); err == nil {
+		t.Error("accepted zero clip length")
+	}
+	bad = mixedBase()
+	bad.Mix = nil
+	if _, err := RunMixed(bad); err == nil {
+		t.Error("accepted empty mix")
+	}
+}
+
+// TestRunMixedPureMPEG1 cross-validates the mixed engine against the
+// homogeneous one: a pure MPEG-1 mix sustains a concurrency near the
+// SolveMixed capacity and in the same ballpark as the standard
+// declustered sim.
+func TestRunMixedPureMPEG1(t *testing.T) {
+	res, err := RunMixed(mixedBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := analytic.SolveMixed(analytic.Config{
+		Disk: diskmodel.Default(), D: 32, Buffer: 256 * units.MB,
+	}, 4, 2, analytic.MPEG1Mix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakActive > op.Clips {
+		t.Fatalf("peak active %d exceeds capacity %d", res.PeakActive, op.Clips)
+	}
+	if res.PeakActive < op.Clips/2 {
+		t.Fatalf("peak active %d below half of capacity %d", res.PeakActive, op.Clips)
+	}
+	if res.Serviced <= 0 || res.PerClass[0] != res.Serviced {
+		t.Fatalf("class accounting: %+v", res)
+	}
+	if res.Round <= 0 {
+		t.Fatal("no round duration")
+	}
+}
+
+// TestRunMixedAudioRaisesThroughput: an audio-heavy mix serves more
+// streams than all-video (E16, matching the analytic claim).
+func TestRunMixedAudioRaisesThroughput(t *testing.T) {
+	video, err := RunMixed(mixedBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mixedBase()
+	cfg.Mix = []analytic.RateClass{
+		{Name: "mpeg1", Rate: 1.5 * units.Mbps, Share: 0.5},
+		{Name: "audio", Rate: 256 * units.Kbps, Share: 0.5},
+	}
+	mixed, err := RunMixed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Serviced <= video.Serviced {
+		t.Fatalf("audio mix serviced %d <= all-video %d", mixed.Serviced, video.Serviced)
+	}
+	// Both classes actually served.
+	if mixed.PerClass[0] == 0 || mixed.PerClass[1] == 0 {
+		t.Fatalf("class starvation: %+v", mixed.PerClass)
+	}
+}
+
+// TestRunMixedDeterministic: identical seeds reproduce exactly.
+func TestRunMixedDeterministic(t *testing.T) {
+	a, err := RunMixed(mixedBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMixed(mixedBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Serviced != b.Serviced || a.PeakActive != b.PeakActive {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

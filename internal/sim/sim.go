@@ -1,0 +1,505 @@
+// Package sim implements the simulation study of §8.2: a round-granularity
+// discrete-event simulation of a d-disk continuous media server under one
+// of the five fault-tolerant schemes, with Poisson request arrivals, a
+// starvation-free pending list, per-scheme admission control and buffer
+// accounting, and optional single-disk failure injection.
+//
+// The paper's experiment: 32 disks, 1000 clips of 50 time units, Poisson
+// arrivals at mean 20 per unit time, uniform clip choice, per-scheme
+// block sizes chosen by the §7 optimizer, 600 time units of simulated
+// time; the metric is the number of clips serviced (playback initiated)
+// in the window. One paper time unit is one second here.
+//
+// Failure injection extends the paper's E10 claim checks: after the
+// failure round, the simulator accounts the reconstruction reads each
+// scheme sends to each surviving disk and counts deadline misses (blocks
+// beyond the disk's q budget in a round) and, for the non-clustered
+// baseline, blocks lost in the transition to whole-group reads.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ftcms/internal/admission"
+	"ftcms/internal/analytic"
+	"ftcms/internal/bibd"
+	"ftcms/internal/buffer"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/pgt"
+	"ftcms/internal/units"
+	"ftcms/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Scheme selects the fault-tolerant scheme.
+	Scheme analytic.Scheme
+	// Dynamic switches the declustered scheme to the §5 dynamic
+	// reservation controller (only meaningful with Scheme ==
+	// analytic.Declustered).
+	Dynamic bool
+	// Disk is the disk model (Figure 1 defaults via diskmodel.Default).
+	Disk diskmodel.Parameters
+	// D is the number of disks.
+	D int
+	// P is the parity group size.
+	P int
+	// Buffer is the server RAM buffer B.
+	Buffer units.Bits
+	// Catalog is the clip library.
+	Catalog *workload.Catalog
+	// ArrivalRate is the Poisson mean arrival rate (requests per second).
+	ArrivalRate float64
+	// Duration is the simulated horizon.
+	Duration units.Duration
+	// Seed drives all randomness (arrivals, clip choice, placements).
+	Seed int64
+	// QueueBypass bounds how many blocked requests the pending list may
+	// skip per round. 0 selects the default window (256), matching the
+	// effective-utilization admission of [ORS96] that the paper defers
+	// to; -1 selects strict FIFO head-of-line (one blocked head stalls
+	// the round), the E8 ablation's other endpoint.
+	QueueBypass int
+	// FailDisk, when >= 0, fails that disk at time FailAt.
+	FailDisk int
+	// FailAt is the failure time.
+	FailAt units.Duration
+	// Rebuild, when true, starts rebuilding the failed disk onto a spare
+	// immediately after the failure: every surviving disk donates its
+	// idle round capacity (q minus its service and reconstruction load)
+	// to reading surviving group members, until blocks·(p−1) reads have
+	// been served. The failed disk rejoins when the rebuild finishes.
+	Rebuild bool
+	// Selector overrides uniform clip choice when non-nil.
+	Selector workload.Selector
+	// Arrivals overrides the generated Poisson trace when non-nil (e.g.
+	// a workload.BurstArrivals flash crowd). Must be sorted by arrival
+	// time. ArrivalRate and Selector are ignored when set.
+	Arrivals []workload.Request
+	// BatchWindow, when positive, enables request batching
+	// (piggybacking): a request for a clip joins an existing stream of
+	// the same clip that started within the window, consuming no extra
+	// disk bandwidth or buffer — the classic VoD multicast optimization.
+	BatchWindow units.Duration
+}
+
+// Result carries the run's metrics.
+type Result struct {
+	// Serviced counts clips whose playback was initiated in the window —
+	// the paper's Figure 6 metric.
+	Serviced int
+	// Completed counts clips that finished playback in the window.
+	Completed int
+	// PeakActive is the maximum concurrent clip count observed.
+	PeakActive int
+	// MeanResponse is the mean arrival→admission delay of serviced clips.
+	MeanResponse units.Duration
+	// ResponseP95 is the 95th-percentile arrival→admission delay.
+	ResponseP95 units.Duration
+	// Batched counts requests served by piggybacking on an existing
+	// stream (included in Serviced).
+	Batched int
+	// MaxQueue is the pending list's maximum length.
+	MaxQueue int
+	// Rounds is the number of service rounds simulated.
+	Rounds int64
+	// Block is the block size used.
+	Block units.Bits
+	// Q and F echo the operating point.
+	Q, F int
+	// DeadlineMisses counts blocks that exceeded a disk's q budget in a
+	// round after the failure (each is a playback hiccup).
+	DeadlineMisses int64
+	// LostBlocks counts blocks irrecoverably lost in the failure
+	// transition (non-clustered scheme only; every other scheme
+	// guarantees zero).
+	LostBlocks int64
+	// RebuildTime is how long the online rebuild took (zero when Rebuild
+	// is off or the rebuild did not finish inside the run).
+	RebuildTime units.Duration
+	// RebuildDone reports whether the rebuild finished inside the run.
+	RebuildDone bool
+}
+
+// clip is one active stream. Failure accounting reads the controllers'
+// phase counts directly, so only completion bookkeeping lives here.
+type clip struct {
+	doneRound int64
+	ticket    admission.Ticket
+	bufSize   units.Bits
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if cfg.Catalog == nil || cfg.Catalog.Len() == 0 {
+		return Result{}, errors.New("sim: empty catalog")
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, errors.New("sim: need positive duration")
+	}
+	if cfg.ArrivalRate <= 0 && cfg.Arrivals == nil {
+		return Result{}, errors.New("sim: need a positive arrival rate or an explicit arrival trace")
+	}
+	if cfg.D < 2 {
+		return Result{}, errors.New("sim: need at least 2 disks")
+	}
+	op, err := analytic.Solve(analytic.Config{
+		Disk:    cfg.Disk,
+		D:       cfg.D,
+		Buffer:  cfg.Buffer,
+		Storage: cfg.Catalog.TotalSize(),
+	}, cfg.Scheme, cfg.P)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: operating point: %w", err)
+	}
+	eng, err := newEngine(cfg, op)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.run()
+}
+
+// engine is the per-run state.
+type engine struct {
+	cfg Config
+	op  analytic.Result
+
+	rng      *rand.Rand
+	pool     *buffer.Pool
+	perClip  units.Bits
+	roundDur units.Duration
+	// clipRounds is the playback duration of every catalog clip in rounds.
+	clipRounds int64
+
+	ctrl controller
+	// table is set for declustered schemes (failure accounting).
+	table *pgt.Table
+
+	queue   admission.Queue[pending]
+	active  map[int64][]*clip // completion buckets by round
+	nactive int
+	// lastStart[clipID] is the round the most recent stream of the clip
+	// started, for batching.
+	lastStart map[int]int64
+	responses []units.Duration
+
+	// position assigns each catalog clip its fixed random start
+	// (disk/unit, class/row), chosen once like the paper's disk(C),
+	// row(C).
+	position []startPos
+
+	res Result
+}
+
+type pending struct {
+	arrival units.Duration
+	clipID  int
+}
+
+type startPos struct {
+	unit, class int
+}
+
+// controller abstracts the per-scheme admission controllers.
+type controller interface {
+	admit(now int64, pos startPos) (admission.Ticket, bool)
+	release(t admission.Ticket)
+}
+
+type staticCtrl struct{ s *admission.Static }
+
+func (c staticCtrl) admit(now int64, pos startPos) (admission.Ticket, bool) {
+	return c.s.Admit(now, pos.unit, pos.class)
+}
+func (c staticCtrl) release(t admission.Ticket) { c.s.Release(t) }
+
+type dynamicCtrl struct{ d *admission.Dynamic }
+
+func (c dynamicCtrl) admit(now int64, pos startPos) (admission.Ticket, bool) {
+	return c.d.Admit(now, pos.unit, pos.class)
+}
+func (c dynamicCtrl) release(t admission.Ticket) { c.d.Release(t) }
+
+type simpleCtrl struct{ s *admission.Simple }
+
+func (c simpleCtrl) admit(now int64, pos startPos) (admission.Ticket, bool) {
+	return c.s.Admit(now, pos.unit)
+}
+func (c simpleCtrl) release(t admission.Ticket) { c.s.Release(t) }
+
+func newEngine(cfg Config, op analytic.Result) (*engine, error) {
+	e := &engine{
+		cfg:       cfg,
+		op:        op,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		active:    make(map[int64][]*clip),
+		lastStart: make(map[int]int64),
+	}
+	var err error
+	e.pool, err = buffer.NewPool(cfg.Buffer)
+	if err != nil {
+		return nil, err
+	}
+
+	d, p := cfg.D, cfg.P
+	schemeName := ""
+	switch cfg.Scheme {
+	case analytic.Declustered:
+		schemeName = "declustered"
+		if cfg.Dynamic {
+			schemeName = "declustered-dynamic"
+		}
+	case analytic.PrefetchFlat:
+		schemeName = "prefetch-flat"
+	case analytic.PrefetchParityDisk:
+		schemeName = "prefetch-parity-disk"
+	case analytic.StreamingRAID:
+		schemeName = "streaming-raid"
+	case analytic.NonClustered:
+		schemeName = "non-clustered"
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
+	}
+	e.perClip, err = buffer.PerClip(schemeName, op.Block, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Round duration: b/r_p, except streaming RAID where a round delivers
+	// a whole (p−1)-block group.
+	e.roundDur = cfg.Disk.RoundDuration(op.Block)
+	if cfg.Scheme == analytic.StreamingRAID {
+		e.roundDur = units.Duration(p-1) * cfg.Disk.RoundDuration(op.Block)
+	}
+
+	// Rounds per clip: one block per round (one group per round for
+	// streaming RAID). The catalog is uniform, so compute once.
+	blocks := cfg.Catalog.Clip(0).Blocks(op.Block)
+	e.clipRounds = blocks
+	if cfg.Scheme == analytic.StreamingRAID {
+		e.clipRounds = (blocks + int64(p-1) - 1) / int64(p-1)
+	}
+	if e.clipRounds < 1 {
+		e.clipRounds = 1
+	}
+
+	// Controller + start positions.
+	switch cfg.Scheme {
+	case analytic.Declustered:
+		des, err := bibd.New(d, p)
+		if err != nil {
+			return nil, fmt.Errorf("sim: declustered design: %w", err)
+		}
+		e.table, err = pgt.New(des)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Dynamic {
+			dy, err := admission.NewDynamic(e.table, op.Q)
+			if err != nil {
+				return nil, err
+			}
+			e.ctrl = dynamicCtrl{dy}
+		} else {
+			st, err := admission.NewStatic(d, e.table.R, op.Q, op.F)
+			if err != nil {
+				return nil, err
+			}
+			e.ctrl = staticCtrl{st}
+		}
+		e.randomPositions(d, e.table.R)
+	case analytic.PrefetchFlat:
+		m := d - (p - 1)
+		st, err := admission.NewStatic(d, m, op.Q, op.F)
+		if err != nil {
+			return nil, err
+		}
+		e.ctrl = staticCtrl{st}
+		e.randomPositions(d, m)
+	case analytic.PrefetchParityDisk, analytic.NonClustered:
+		dataDisks := d * (p - 1) / p
+		s, err := admission.NewSimple(dataDisks, op.Q)
+		if err != nil {
+			return nil, err
+		}
+		e.ctrl = simpleCtrl{s}
+		// §8.2 randomizes disk(C) uniformly for every scheme, so clips
+		// start on any data disk (a mid-cluster start only means the
+		// clip's first parity group is partial, which admission does not
+		// see).
+		e.randomPositions(dataDisks, 1)
+	case analytic.StreamingRAID:
+		clusters := d / p
+		s, err := admission.NewSimple(clusters, op.Q)
+		if err != nil {
+			return nil, err
+		}
+		e.ctrl = simpleCtrl{s}
+		e.randomPositions(clusters, 1)
+	}
+	return e, nil
+}
+
+// randomPositions assigns every catalog clip a uniform (unit, class).
+func (e *engine) randomPositions(units, classes int) {
+	e.position = make([]startPos, e.cfg.Catalog.Len())
+	for i := range e.position {
+		e.position[i] = startPos{unit: e.rng.Intn(units), class: e.rng.Intn(classes)}
+	}
+}
+
+func (e *engine) run() (Result, error) {
+	arrivals := e.cfg.Arrivals
+	if arrivals == nil {
+		sel := e.cfg.Selector
+		if sel == nil {
+			sel = workload.UniformSelector{N: e.cfg.Catalog.Len()}
+		}
+		var err error
+		arrivals, err = workload.PoissonArrivals(e.cfg.ArrivalRate, e.cfg.Duration, sel, e.cfg.Seed+1)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	switch {
+	case e.cfg.QueueBypass > 0:
+		e.queue.Bypass = e.cfg.QueueBypass
+	case e.cfg.QueueBypass == 0:
+		e.queue.Bypass = 256
+	default:
+		e.queue.Bypass = 0 // strict head-of-line
+	}
+
+	totalRounds := int64(float64(e.cfg.Duration)/float64(e.roundDur)) + 1
+	failRound := int64(-1)
+	if e.cfg.FailDisk >= 0 && e.cfg.FailDisk < e.cfg.D {
+		failRound = int64(float64(e.cfg.FailAt) / float64(e.roundDur))
+	}
+	// Online rebuild bookkeeping: reads still needed to resurrect the
+	// failed disk onto a spare (§4's contingency bandwidth doubles as
+	// rebuild bandwidth). Streaming RAID rebuilds at group granularity.
+	failed := false
+	rebuildRemaining := int64(0)
+	if failRound >= 0 && e.cfg.Rebuild {
+		blocksOnDisk := int64(e.cfg.Disk.Capacity / e.op.Block)
+		if e.cfg.Scheme == analytic.StreamingRAID {
+			rebuildRemaining = blocksOnDisk
+		} else {
+			rebuildRemaining = blocksOnDisk * int64(e.cfg.P-1)
+		}
+	}
+
+	var responseSum units.Duration
+	nextArrival := 0
+	for now := int64(0); now < totalRounds; now++ {
+		tEnd := units.Duration(now+1) * e.roundDur
+
+		// 1. Enqueue arrivals up to the end of this round.
+		for nextArrival < len(arrivals) && arrivals[nextArrival].Arrival < tEnd {
+			e.queue.Push(pending{
+				arrival: arrivals[nextArrival].Arrival,
+				clipID:  arrivals[nextArrival].ClipID,
+			})
+			nextArrival++
+		}
+		if e.queue.Len() > e.res.MaxQueue {
+			e.res.MaxQueue = e.queue.Len()
+		}
+
+		// 2. Complete clips whose playback ends this round.
+		for _, c := range e.active[now] {
+			e.ctrl.release(c.ticket)
+			e.pool.Release(c.bufSize)
+			e.nactive--
+			e.res.Completed++
+		}
+		delete(e.active, now)
+
+		// 3. Admit from the pending list.
+		e.queue.Drain(func(pd pending) bool {
+			// Batching: join a fresh stream of the same clip for free.
+			if e.cfg.BatchWindow > 0 {
+				if start, ok := e.lastStart[pd.clipID]; ok &&
+					units.Duration(now-start)*e.roundDur <= e.cfg.BatchWindow {
+					e.res.Serviced++
+					e.res.Batched++
+					resp := units.Duration(now)*e.roundDur - pd.arrival
+					responseSum += resp
+					e.responses = append(e.responses, resp)
+					return true
+				}
+			}
+			if !e.pool.Reserve(e.perClip) {
+				return false
+			}
+			pos := e.position[pd.clipID]
+			tk, ok := e.ctrl.admit(now, pos)
+			if !ok {
+				e.pool.Release(e.perClip)
+				return false
+			}
+			c := &clip{
+				doneRound: now + e.clipRounds,
+				ticket:    tk,
+				bufSize:   e.perClip,
+			}
+			e.active[c.doneRound] = append(e.active[c.doneRound], c)
+			e.nactive++
+			e.res.Serviced++
+			e.lastStart[pd.clipID] = now
+			resp := units.Duration(now)*e.roundDur - pd.arrival
+			responseSum += resp
+			e.responses = append(e.responses, resp)
+			return true
+		})
+		if e.nactive > e.res.PeakActive {
+			e.res.PeakActive = e.nactive
+		}
+
+		// 4. Failure-mode accounting and online rebuild.
+		if failRound >= 0 && now == failRound {
+			failed = true
+		}
+		if failed {
+			spare := e.accountFailure(now, now == failRound)
+			if e.cfg.Rebuild {
+				rebuildRemaining -= spare
+				if rebuildRemaining <= 0 {
+					failed = false
+					e.res.RebuildDone = true
+					e.res.RebuildTime = units.Duration(now-failRound+1) * e.roundDur
+				}
+			}
+		}
+	}
+
+	e.res.Rounds = totalRounds
+	e.res.Block = e.op.Block
+	e.res.Q, e.res.F = e.op.Q, e.op.F
+	if e.res.Serviced > 0 {
+		e.res.MeanResponse = responseSum / units.Duration(e.res.Serviced)
+		e.res.ResponseP95 = percentile(e.responses, 0.95)
+	}
+	return e.res, nil
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of the samples by the
+// nearest-rank method; the slice is sorted in place.
+func percentile(samples []units.Duration, p float64) units.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(math.Ceil(p*float64(len(samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return samples[idx]
+}

@@ -1,0 +1,192 @@
+// Package storage simulates the disk array at byte level: d disks holding
+// fixed-size blocks, with single-disk failure injection. It gives the
+// fault-tolerance schemes something real to reconstruct, so tests can
+// verify recovery bit-for-bit rather than by bookkeeping alone.
+//
+// The array is deliberately simple — a block store with failure state, no
+// timing. Timing lives in diskmodel; placement in layout; reconstruction
+// in recovery.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrFailed is returned when reading any block of a failed disk.
+var ErrFailed = errors.New("storage: disk failed")
+
+// ErrNotWritten is returned when reading a block that was never written.
+// Callers that treat absent blocks as zero-filled should use ReadZero.
+var ErrNotWritten = errors.New("storage: block not written")
+
+// Array is a simulated array of d disks, each a sparse sequence of
+// fixed-size blocks. It is safe for concurrent use.
+type Array struct {
+	mu        sync.RWMutex
+	d         int
+	blockSize int
+	disks     []map[int64][]byte
+	failed    []bool
+
+	// reads counts successful block reads per disk, for load assertions.
+	reads []int64
+}
+
+// NewArray creates an array of d disks with the given block size in bytes.
+func NewArray(d, blockSize int) (*Array, error) {
+	if d < 1 {
+		return nil, errors.New("storage: need at least one disk")
+	}
+	if blockSize < 1 {
+		return nil, errors.New("storage: block size must be positive")
+	}
+	a := &Array{
+		d:         d,
+		blockSize: blockSize,
+		disks:     make([]map[int64][]byte, d),
+		failed:    make([]bool, d),
+		reads:     make([]int64, d),
+	}
+	for i := range a.disks {
+		a.disks[i] = make(map[int64][]byte)
+	}
+	return a, nil
+}
+
+// Disks returns the number of disks.
+func (a *Array) Disks() int { return a.d }
+
+// BlockSize returns the block size in bytes.
+func (a *Array) BlockSize() int { return a.blockSize }
+
+func (a *Array) checkAddr(disk int, block int64) error {
+	if disk < 0 || disk >= a.d {
+		return fmt.Errorf("storage: disk %d out of range [0, %d)", disk, a.d)
+	}
+	if block < 0 {
+		return fmt.Errorf("storage: negative block %d", block)
+	}
+	return nil
+}
+
+// Write stores data (exactly blockSize bytes) at (disk, block). Writing to
+// a failed disk is rejected: the array models a crashed, not a degraded,
+// device.
+func (a *Array) Write(disk int, block int64, data []byte) error {
+	if err := a.checkAddr(disk, block); err != nil {
+		return err
+	}
+	if len(data) != a.blockSize {
+		return fmt.Errorf("storage: write of %d bytes, want block size %d", len(data), a.blockSize)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failed[disk] {
+		return fmt.Errorf("storage: write to disk %d: %w", disk, ErrFailed)
+	}
+	buf := make([]byte, a.blockSize)
+	copy(buf, data)
+	a.disks[disk][block] = buf
+	return nil
+}
+
+// Read returns a copy of the block at (disk, block). It fails with
+// ErrFailed for failed disks and ErrNotWritten for absent blocks.
+func (a *Array) Read(disk int, block int64) ([]byte, error) {
+	if err := a.checkAddr(disk, block); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failed[disk] {
+		return nil, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrFailed)
+	}
+	buf, ok := a.disks[disk][block]
+	if !ok {
+		return nil, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrNotWritten)
+	}
+	a.reads[disk]++
+	out := make([]byte, a.blockSize)
+	copy(out, buf)
+	return out, nil
+}
+
+// ReadZero is Read, except an absent block on a healthy disk reads as
+// zeroes — the convention parity maintenance uses for short groups.
+func (a *Array) ReadZero(disk int, block int64) ([]byte, error) {
+	out, err := a.Read(disk, block)
+	if errors.Is(err, ErrNotWritten) {
+		a.mu.Lock()
+		a.reads[disk]++
+		a.mu.Unlock()
+		return make([]byte, a.blockSize), nil
+	}
+	return out, err
+}
+
+// Fail marks a disk as failed. Its contents become unreadable until
+// Repair. Failing an already-failed disk is a no-op.
+func (a *Array) Fail(disk int) error {
+	if err := a.checkAddr(disk, 0); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.failed[disk] = true
+	return nil
+}
+
+// Repair clears the failure flag and erases the disk's contents — a
+// replaced drive comes back empty and must be rebuilt.
+func (a *Array) Repair(disk int) error {
+	if err := a.checkAddr(disk, 0); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.failed[disk] = false
+	a.disks[disk] = make(map[int64][]byte)
+	return nil
+}
+
+// Failed reports whether the disk is failed.
+func (a *Array) Failed(disk int) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return disk >= 0 && disk < a.d && a.failed[disk]
+}
+
+// FailedDisks returns the indices of all failed disks.
+func (a *Array) FailedDisks() []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []int
+	for i, f := range a.failed {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ReadCount returns the number of successful reads served by the disk
+// since creation, for load-balance assertions in tests.
+func (a *Array) ReadCount(disk int) int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if disk < 0 || disk >= a.d {
+		return 0
+	}
+	return a.reads[disk]
+}
+
+// ResetReadCounts zeroes all per-disk read counters.
+func (a *Array) ResetReadCounts() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.reads {
+		a.reads[i] = 0
+	}
+}

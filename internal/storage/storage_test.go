@@ -1,0 +1,202 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := NewArray(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func block(fill byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(0, 16); err == nil {
+		t.Error("accepted zero disks")
+	}
+	if _, err := NewArray(4, 0); err == nil {
+		t.Error("accepted zero block size")
+	}
+	a := newArray(t)
+	if a.Disks() != 4 || a.BlockSize() != 16 {
+		t.Errorf("geometry: %d disks, block %d", a.Disks(), a.BlockSize())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	a := newArray(t)
+	data := block(0xAB, 16)
+	if err := a.Write(2, 7, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Read(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read returned different bytes")
+	}
+	// Mutating the returned buffer must not affect the stored block.
+	got[0] = 0
+	got2, _ := a.Read(2, 7)
+	if got2[0] != 0xAB {
+		t.Fatal("Read returned aliased buffer")
+	}
+	// Mutating the written buffer must not either.
+	data[1] = 0
+	got3, _ := a.Read(2, 7)
+	if got3[1] != 0xAB {
+		t.Fatal("Write aliased caller's buffer")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	a := newArray(t)
+	if err := a.Write(4, 0, block(0, 16)); err == nil {
+		t.Error("accepted out-of-range disk")
+	}
+	if err := a.Write(-1, 0, block(0, 16)); err == nil {
+		t.Error("accepted negative disk")
+	}
+	if err := a.Write(0, -1, block(0, 16)); err == nil {
+		t.Error("accepted negative block")
+	}
+	if err := a.Write(0, 0, block(0, 15)); err == nil {
+		t.Error("accepted short block")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	a := newArray(t)
+	if _, err := a.Read(0, 0); !errors.Is(err, ErrNotWritten) {
+		t.Errorf("absent block: %v, want ErrNotWritten", err)
+	}
+	if _, err := a.Read(9, 0); err == nil {
+		t.Error("accepted out-of-range disk")
+	}
+	got, err := a.ReadZero(0, 0)
+	if err != nil {
+		t.Fatalf("ReadZero on absent block: %v", err)
+	}
+	if !bytes.Equal(got, block(0, 16)) {
+		t.Error("ReadZero returned non-zero data")
+	}
+}
+
+func TestFailRepair(t *testing.T) {
+	a := newArray(t)
+	if err := a.Write(1, 0, block(0x11, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Failed(1) || a.Failed(0) {
+		t.Fatal("failure flags wrong")
+	}
+	if _, err := a.Read(1, 0); !errors.Is(err, ErrFailed) {
+		t.Errorf("read of failed disk: %v, want ErrFailed", err)
+	}
+	if _, err := a.ReadZero(1, 0); !errors.Is(err, ErrFailed) {
+		t.Errorf("ReadZero of failed disk: %v, want ErrFailed", err)
+	}
+	if err := a.Write(1, 1, block(0, 16)); !errors.Is(err, ErrFailed) {
+		t.Errorf("write to failed disk: %v, want ErrFailed", err)
+	}
+	got := a.FailedDisks()
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("FailedDisks = %v", got)
+	}
+	// Repair brings the disk back empty.
+	if err := a.Repair(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Failed(1) {
+		t.Fatal("still failed after repair")
+	}
+	if _, err := a.Read(1, 0); !errors.Is(err, ErrNotWritten) {
+		t.Errorf("repaired disk should be empty: %v", err)
+	}
+}
+
+func TestFailValidation(t *testing.T) {
+	a := newArray(t)
+	if err := a.Fail(7); err == nil {
+		t.Error("accepted out-of-range disk")
+	}
+	if err := a.Repair(-2); err == nil {
+		t.Error("accepted negative disk")
+	}
+}
+
+func TestReadCounts(t *testing.T) {
+	a := newArray(t)
+	if err := a.Write(0, 0, block(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Read(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.ReadZero(0, 5); err != nil { // absent: still counted
+		t.Fatal(err)
+	}
+	if got := a.ReadCount(0); got != 4 {
+		t.Errorf("ReadCount(0) = %d, want 4", got)
+	}
+	if got := a.ReadCount(1); got != 0 {
+		t.Errorf("ReadCount(1) = %d, want 0", got)
+	}
+	if got := a.ReadCount(99); got != 0 {
+		t.Errorf("ReadCount(99) = %d, want 0", got)
+	}
+	a.ResetReadCounts()
+	if got := a.ReadCount(0); got != 0 {
+		t.Errorf("after reset: %d", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	a, err := NewArray(8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		go func(disk int) {
+			var err error
+			for i := int64(0); i < 50 && err == nil; i++ {
+				err = a.Write(disk, i, block(byte(disk), 32))
+			}
+			done <- err
+		}(g)
+		go func(disk int) {
+			var firstErr error
+			for i := int64(0); i < 50; i++ {
+				if _, err := a.ReadZero(disk, i); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			done <- firstErr
+		}(g)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

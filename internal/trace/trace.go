@@ -1,0 +1,102 @@
+// Package trace serializes experiment results as CSV so the figures can
+// be re-plotted outside Go. Columns are stable and documented per writer;
+// all writers emit a header row.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"ftcms/internal/experiments"
+)
+
+// WriteFigure5CSV emits scheme,p,clips,q,f,block_bits rows.
+func WriteFigure5CSV(w io.Writer, points []experiments.Figure5Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheme", "p", "clips", "q", "f", "block_bits"}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			pt.Scheme.String(),
+			fmt.Sprint(pt.P),
+			fmt.Sprint(pt.Clips),
+			fmt.Sprint(pt.Q),
+			fmt.Sprint(pt.F),
+			fmt.Sprint(int64(pt.Block)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure6CSV emits scheme,p,serviced,peak_active,mean_response_s
+// rows.
+func WriteFigure6CSV(w io.Writer, points []experiments.Figure6Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheme", "p", "serviced", "peak_active", "mean_response_s"}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			pt.Scheme.String(),
+			fmt.Sprint(pt.P),
+			fmt.Sprint(pt.Serviced),
+			fmt.Sprint(pt.PeakActive),
+			fmt.Sprintf("%.6f", pt.MeanResponse.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteContinuityCSV emits scheme,p,serviced,deadline_misses,lost_blocks
+// rows (E10).
+func WriteContinuityCSV(w io.Writer, points []experiments.ContinuityPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheme", "p", "serviced", "deadline_misses", "lost_blocks"}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			pt.Scheme.String(),
+			fmt.Sprint(pt.P),
+			fmt.Sprint(pt.Serviced),
+			fmt.Sprint(pt.DeadlineMisses),
+			fmt.Sprint(pt.LostBlocks),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRebuildCSV emits scheme,p,rebuild_s,mttdl_hours rows (E11).
+func WriteRebuildCSV(w io.Writer, points []experiments.RebuildPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheme", "p", "rebuild_s", "mttdl_hours"}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			pt.Scheme.String(),
+			fmt.Sprint(pt.P),
+			fmt.Sprintf("%.3f", pt.Rebuild.Seconds()),
+			fmt.Sprintf("%.6g", float64(pt.MTTDL)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/experiments"
+	"ftcms/internal/units"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteFigure5CSV(t *testing.T) {
+	points, err := experiments.Figure5(256 * units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure5CSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != len(points)+1 {
+		t.Fatalf("%d rows, want %d", len(rows), len(points)+1)
+	}
+	if rows[0][0] != "scheme" || rows[0][5] != "block_bits" {
+		t.Fatalf("header %v", rows[0])
+	}
+	for i, pt := range points {
+		if rows[i+1][0] != pt.Scheme.String() {
+			t.Fatalf("row %d scheme %q", i, rows[i+1][0])
+		}
+	}
+}
+
+func TestWriteFigure6CSV(t *testing.T) {
+	points := []experiments.Figure6Point{
+		{Scheme: analytic.Declustered, P: 4, Serviced: 100, PeakActive: 12, MeanResponse: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure6CSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 || rows[1][2] != "100" || rows[1][4] != "1.500000" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestWriteContinuityCSV(t *testing.T) {
+	points := []experiments.ContinuityPoint{
+		{Scheme: analytic.NonClustered, P: 8, Serviced: 5, DeadlineMisses: 7, LostBlocks: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteContinuityCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if rows[1][3] != "7" || rows[1][4] != "2" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestWriteRebuildCSV(t *testing.T) {
+	points, err := experiments.RebuildAblation(256 * units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRebuildCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != len(points)+1 {
+		t.Fatalf("%d rows, want %d", len(rows), len(points)+1)
+	}
+}
+
+// failWriter fails after n bytes, exercising the error paths.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	take := len(p)
+	if take > f.n {
+		take = f.n
+	}
+	f.n -= take
+	if take < len(p) {
+		return take, errFail
+	}
+	return take, nil
+}
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "synthetic write failure" }
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	f5 := []experiments.Figure5Point{{Scheme: analytic.Declustered, P: 4, Clips: 1, Q: 1, F: 1, Block: 8}}
+	f6 := []experiments.Figure6Point{{Scheme: analytic.Declustered, P: 4, Serviced: 1}}
+	cont := []experiments.ContinuityPoint{{Scheme: analytic.Declustered, P: 4}}
+	reb := []experiments.RebuildPoint{{Scheme: analytic.Declustered, P: 4, Rebuild: 1, MTTDL: 1}}
+	for _, n := range []int{0, 10} {
+		if err := WriteFigure5CSV(&failWriter{n: n}, f5); err == nil {
+			t.Errorf("Figure5 n=%d: error swallowed", n)
+		}
+		if err := WriteFigure6CSV(&failWriter{n: n}, f6); err == nil {
+			t.Errorf("Figure6 n=%d: error swallowed", n)
+		}
+		if err := WriteContinuityCSV(&failWriter{n: n}, cont); err == nil {
+			t.Errorf("Continuity n=%d: error swallowed", n)
+		}
+		if err := WriteRebuildCSV(&failWriter{n: n}, reb); err == nil {
+			t.Errorf("Rebuild n=%d: error swallowed", n)
+		}
+	}
+}

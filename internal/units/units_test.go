@@ -1,0 +1,166 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeConstants(t *testing.T) {
+	if Byte != 8 {
+		t.Fatalf("Byte = %d, want 8", Byte)
+	}
+	if KB != 8000 {
+		t.Fatalf("KB = %d bits, want 8000", KB)
+	}
+	if MB != 1000*KB || GB != 1000*MB {
+		t.Fatalf("decimal MB/GB scaling broken: MB=%d GB=%d", MB, GB)
+	}
+	if KiB != 8192 {
+		t.Fatalf("KiB = %d bits, want 8192", KiB)
+	}
+}
+
+func TestBytesTruncates(t *testing.T) {
+	if got := (Bits(17)).Bytes(); got != 2 {
+		t.Fatalf("Bits(17).Bytes() = %d, want 2", got)
+	}
+}
+
+func TestRateConstants(t *testing.T) {
+	if Mbps != 1e6 {
+		t.Fatalf("Mbps = %g, want 1e6", float64(Mbps))
+	}
+	if Gbps != 1000*Mbps {
+		t.Fatalf("Gbps scaling broken")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// The paper's own example: a 1.5 Mbps MPEG-1 clip consumes one 1.5 Mbit
+	// block per second.
+	got := TransferTime(Bits(1500000), 1.5*Mbps) // 1.5 Mbit
+	want := Duration(1.0)
+	if math.Abs(float64(got-want)) > 1e-12 {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero rate")
+		}
+	}()
+	TransferTime(MB, 0)
+}
+
+func TestSizeAtRate(t *testing.T) {
+	if got := SizeAtRate(45*Mbps, Second); got != 45000000 {
+		t.Fatalf("SizeAtRate = %d, want 45000000", got)
+	}
+	if got := SizeAtRate(Mbps, Millisecond); got != 1000 {
+		t.Fatalf("SizeAtRate(1Mbps, 1ms) = %d, want 1000", got)
+	}
+}
+
+func TestSizeAtRatePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative duration")
+		}
+	}()
+	SizeAtRate(Mbps, -Second)
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		in   Bits
+		want string
+	}{
+		{2 * GB, "2 GB"},
+		{256 * MB, "256 MB"},
+		{64 * KB, "64 KB"},
+		{16 * Byte, "16 B"},
+		{3, "3 bit"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bits(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := (45 * Mbps).String(); got != "45 Mbps" {
+		t.Errorf("BitRate.String() = %q, want \"45 Mbps\"", got)
+	}
+	if got := (17 * Millisecond).String(); got != "17 ms" {
+		t.Errorf("Duration.String() = %q, want \"17 ms\"", got)
+	}
+	if got := (2 * Second).String(); got != "2 s" {
+		t.Errorf("Duration.String() = %q, want \"2 s\"", got)
+	}
+	if got := (500 * Microsecond).String(); got != "500 us" {
+		t.Errorf("Duration.String() = %q, want \"500 us\"", got)
+	}
+}
+
+// Property: TransferTime and SizeAtRate are inverses up to truncation.
+func TestTransferSizeRoundTrip(t *testing.T) {
+	f := func(kb uint16, mbps uint8) bool {
+		size := Bits(int(kb)+1) * KB
+		rate := BitRate(int(mbps)+1) * Mbps
+		d := TransferTime(size, rate)
+		back := SizeAtRate(rate, d)
+		// Allow one bit of float slack.
+		diff := back - size
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer time scales linearly in size.
+func TestTransferTimeLinear(t *testing.T) {
+	f := func(kb uint16, mbps uint8) bool {
+		size := Bits(int(kb)+1) * KB
+		rate := BitRate(int(mbps)+1) * Mbps
+		a := TransferTime(size, rate)
+		b := TransferTime(2*size, rate)
+		return math.Abs(float64(b-2*a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitRateStringScales(t *testing.T) {
+	cases := []struct {
+		in   BitRate
+		want string
+	}{
+		{2 * Gbps, "2 Gbps"},
+		{500 * Kbps, "500 Kbps"},
+		{12, "12 bps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDurationSeconds(t *testing.T) {
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Seconds() = %g", got)
+	}
+}
+
+func TestBitsStringMixed(t *testing.T) {
+	// 12 bits: not a whole byte — falls through to the bit formatter.
+	if got := Bits(12).String(); got != "12 bit" {
+		t.Fatalf("Bits(12).String() = %q", got)
+	}
+}
