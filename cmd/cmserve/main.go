@@ -1,12 +1,20 @@
 // Command cmserve is a demonstration TCP streaming server built on the
 // core library: it stores synthetic clips in a fault-tolerant array,
 // paces rounds in (scaled) real time, and streams clip bytes to TCP
-// clients while tolerating a disk failure injected at runtime.
+// clients while tolerating disk failures injected at runtime.
 //
 // Protocol: a client connects and sends one line, "PLAY <clip>\n"; the
 // server responds with the clip bytes as rounds deliver them, then
-// closes. "LIST\n" returns the clip names. "FAIL <disk>\n" injects a
-// failure (for demos; a real deployment would not expose this).
+// closes. "LIST\n" returns the clip names. "STATS\n" reports counters,
+// including the failure-lifecycle mode. "FAIL <disk>\n" is a demo alias
+// for the fault injector: it schedules a fail-stop on the disk, which the
+// health detector then discovers from the disk's own read errors — the
+// server needs no operator command to degrade (a real deployment would
+// not expose this knob at all).
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
+// connections, lets active streams drain, then exits. Every client write
+// carries a deadline so one stalled client cannot wedge a handler.
 //
 // Usage:
 //
@@ -23,19 +31,43 @@ import (
 	"log"
 	"math/rand"
 	"net"
-
+	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"ftcms/internal/core"
 	"ftcms/internal/diskmodel"
+	"ftcms/internal/faultinject"
 	"ftcms/internal/units"
 )
 
 type server struct {
-	mu  sync.Mutex
-	srv *core.Server
+	mu       sync.Mutex
+	srv      *core.Server
+	injector *faultinject.Injector
+	d        int
+
+	// writeTimeout bounds every client write.
+	writeTimeout time.Duration
+	// closing is closed when shutdown begins: accept stops and new PLAY
+	// commands are refused while in-flight streams drain.
+	closing chan struct{}
+	// conns tracks active connection handlers for the drain.
+	conns sync.WaitGroup
+}
+
+func newServer(cs *core.Server, writeTimeout time.Duration) *server {
+	return &server{
+		srv:          cs,
+		injector:     cs.InjectFaults(faultinject.Plan{Seed: 1}),
+		d:            cs.Disks(),
+		writeTimeout: writeTimeout,
+		closing:      make(chan struct{}),
+	}
 }
 
 func main() {
@@ -46,6 +78,8 @@ func main() {
 	nclips := flag.Int("clips", 4, "synthetic clips to store")
 	clipKB := flag.Int("clipkb", 256, "clip size in KB")
 	speed := flag.Float64("speed", 100, "time acceleration factor")
+	spares := flag.Int("spares", 1, "hot spares for automatic online rebuild")
+	wtimeout := flag.Duration("wtimeout", 10*time.Second, "per-client write deadline")
 	flag.Parse()
 
 	cs, err := core.New(core.Config{
@@ -57,6 +91,7 @@ func main() {
 		Q:      8,
 		F:      2,
 		Buffer: 256 * units.MB,
+		Spares: *spares,
 	})
 	if err != nil {
 		log.Fatalf("cmserve: %v", err)
@@ -70,9 +105,10 @@ func main() {
 			log.Fatalf("cmserve: %v", err)
 		}
 	}
-	s := &server{srv: cs}
+	s := newServer(cs, *wtimeout)
 
-	// Round pacer: one Tick per (scaled) round duration.
+	// Round pacer: one Tick per (scaled) round duration. It keeps running
+	// through the drain so in-flight streams finish delivery.
 	go func() {
 		interval := time.Duration(float64(cs.RoundDuration().Seconds()) / *speed * float64(time.Second))
 		if interval < time.Millisecond {
@@ -91,27 +127,107 @@ func main() {
 	if err != nil {
 		log.Fatalf("cmserve: %v", err)
 	}
-	log.Printf("cmserve: %s scheme on %d disks, %d clips, listening on %s",
-		*schemeFlag, *d, *nclips, ln.Addr())
+	log.Printf("cmserve: %s scheme on %d disks (%d spares), %d clips, listening on %s",
+		*schemeFlag, *d, *spares, *nclips, ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("cmserve: %v: stopping accept, draining active streams", sig)
+		s.beginShutdown(ln)
+	}()
+
+	s.acceptLoop(ln)
+	if s.drain(60 * time.Second) {
+		log.Printf("cmserve: drained cleanly")
+	} else {
+		log.Printf("cmserve: drain timed out, exiting with streams active")
+	}
+}
+
+// Disks exposes the configured disk count (used for FAIL validation).
+func (s *server) disks() int { return s.d }
+
+// beginShutdown flips the server into draining mode and stops the accept
+// loop by closing the listener.
+func (s *server) beginShutdown(ln net.Listener) {
+	select {
+	case <-s.closing:
+		return // already shutting down
+	default:
+	}
+	close(s.closing)
+	ln.Close()
+}
+
+// draining reports whether shutdown has begun.
+func (s *server) draining() bool {
+	select {
+	case <-s.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// acceptLoop serves connections until the listener closes for shutdown.
+func (s *server) acceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if s.draining() {
+				return
+			}
 			log.Printf("cmserve: accept: %v", err)
 			continue
 		}
-		go s.handle(conn)
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			s.handle(conn)
+		}()
 	}
+}
+
+// drain waits for active connection handlers to finish, up to timeout.
+// It reports whether the drain completed.
+func (s *server) drain(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		s.conns.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// write sends bytes to the client under the per-connection write
+// deadline, so a stalled client cannot wedge the handler.
+func (s *server) write(conn net.Conn, data []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	_, err := conn.Write(data)
+	return err
+}
+
+func (s *server) printf(conn net.Conn, format string, args ...any) error {
+	return s.write(conn, []byte(fmt.Sprintf(format, args...)))
 }
 
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
 		return
 	}
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
-		fmt.Fprintln(conn, "ERR empty command")
+		s.printf(conn, "ERR empty command\n")
 		return
 	}
 	switch strings.ToUpper(fields[0]) {
@@ -123,32 +239,46 @@ func (s *server) handle(conn net.Conn) {
 			s.mu.Lock()
 			size := s.srv.ClipSize(name)
 			s.mu.Unlock()
-			fmt.Fprintf(conn, "%s %d\n", name, size)
+			if s.printf(conn, "%s %d\n", name, size) != nil {
+				return
+			}
 		}
 	case "STATS":
 		s.mu.Lock()
 		st := s.srv.Stats()
 		s.mu.Unlock()
-		fmt.Fprintf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v\n",
-			st.Rounds, st.Active, st.Served, st.Hiccups, st.Overflows, st.FailedDisks)
+		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d terminated=%d\n",
+			st.Rounds, st.Active, st.Served, st.Hiccups, st.Overflows, st.FailedDisks,
+			st.Mode, st.SparesLeft, st.Rebuilding, st.Terminated)
 	case "FAIL":
-		var disk int
-		if len(fields) < 2 || len(fields[1]) == 0 {
-			fmt.Fprintln(conn, "ERR usage: FAIL <disk>")
+		// Demo alias for the fault injector: schedule a fail-stop on the
+		// disk starting next round. The health detector notices from the
+		// read errors and degrades the server on its own — FAIL is not an
+		// operator command on the data path.
+		if len(fields) < 2 {
+			s.printf(conn, "ERR usage: FAIL <disk>\n")
 			return
 		}
-		fmt.Sscanf(fields[1], "%d", &disk)
-		s.mu.Lock()
-		err := s.srv.FailDisk(disk)
-		s.mu.Unlock()
+		disk, err := strconv.Atoi(fields[1])
 		if err != nil {
-			fmt.Fprintf(conn, "ERR %v\n", err)
+			s.printf(conn, "ERR usage: FAIL <disk>\n")
 			return
 		}
-		fmt.Fprintf(conn, "OK disk %d failed\n", disk)
+		if disk < 0 || disk >= s.disks() {
+			s.printf(conn, "ERR disk %d out of range [0, %d)\n", disk, s.disks())
+			return
+		}
+		s.mu.Lock()
+		s.injector.AddFailStop(faultinject.FailStop{Disk: disk, Round: s.injector.Round() + 1})
+		s.mu.Unlock()
+		s.printf(conn, "OK disk %d failed\n", disk)
 	case "PLAY":
 		if len(fields) < 2 {
-			fmt.Fprintln(conn, "ERR usage: PLAY <clip>")
+			s.printf(conn, "ERR usage: PLAY <clip>\n")
+			return
+		}
+		if s.draining() {
+			s.printf(conn, "ERR shutting down\n")
 			return
 		}
 		// Admission may be refused while the caps are full; behave like
@@ -165,7 +295,7 @@ func (s *server) handle(conn net.Conn) {
 			time.Sleep(5 * time.Millisecond)
 		}
 		if err != nil {
-			fmt.Fprintf(conn, "ERR %v\n", err)
+			s.printf(conn, "ERR %v\n", err)
 			return
 		}
 		buf := make([]byte, 64<<10)
@@ -174,7 +304,7 @@ func (s *server) handle(conn net.Conn) {
 			n, rerr := st.Read(buf)
 			s.mu.Unlock()
 			if n > 0 {
-				if _, werr := conn.Write(buf[:n]); werr != nil {
+				if s.write(conn, buf[:n]) != nil {
 					s.mu.Lock()
 					st.Close()
 					s.mu.Unlock()
@@ -185,11 +315,17 @@ func (s *server) handle(conn net.Conn) {
 				time.Sleep(time.Millisecond)
 				continue
 			}
+			if errors.Is(rerr, core.ErrStreamLost) {
+				// Second failure stranded the stream: tell the client why
+				// instead of silently closing.
+				s.printf(conn, "\nERR %v\n", rerr)
+				return
+			}
 			if rerr != nil {
 				return // EOF or closed
 			}
 		}
 	default:
-		fmt.Fprintln(conn, "ERR unknown command")
+		s.printf(conn, "ERR unknown command\n")
 	}
 }

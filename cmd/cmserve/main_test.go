@@ -16,9 +16,10 @@ import (
 )
 
 // testServer builds the demo server with a fast disk model, stores clips,
-// starts the round pacer and a TCP listener, and returns the address plus
-// the stored clip contents.
-func testServer(t *testing.T) (addr string, clips map[string][]byte) {
+// starts the round pacer and a TCP listener, and returns the address, the
+// stored clip contents, and the server/listener handles (for shutdown
+// tests).
+func testServer(t *testing.T) (addr string, clips map[string][]byte, s *server, ln net.Listener) {
 	t.Helper()
 	cs, err := core.New(core.Config{
 		Scheme: core.Declustered,
@@ -46,7 +47,7 @@ func testServer(t *testing.T) (addr string, clips map[string][]byte) {
 			t.Fatal(err)
 		}
 	}
-	s := &server{srv: cs}
+	s = newServer(cs, 10*time.Second)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -65,25 +66,17 @@ func testServer(t *testing.T) (addr string, clips map[string][]byte) {
 			}
 		}
 	}()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err = net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go s.handle(conn)
-		}
-	}()
+	go s.acceptLoop(ln)
 	t.Cleanup(func() {
-		ln.Close()
+		s.beginShutdown(ln)
 		close(stop)
 		wg.Wait()
 	})
-	return ln.Addr().String(), clips
+	return ln.Addr().String(), clips, s, ln
 }
 
 func send(t *testing.T, addr, cmd string) []byte {
@@ -109,7 +102,7 @@ func send(t *testing.T, addr, cmd string) []byte {
 }
 
 func TestHandleList(t *testing.T) {
-	addr, _ := testServer(t)
+	addr, _, _, _ := testServer(t)
 	out := string(send(t, addr, "LIST"))
 	if !strings.Contains(out, "clip-0 50000") || !strings.Contains(out, "clip-1 50000") {
 		t.Fatalf("LIST output:\n%s", out)
@@ -117,7 +110,7 @@ func TestHandleList(t *testing.T) {
 }
 
 func TestHandleStats(t *testing.T) {
-	addr, _ := testServer(t)
+	addr, _, _, _ := testServer(t)
 	out := string(send(t, addr, "STATS"))
 	if !strings.Contains(out, "rounds=") || !strings.Contains(out, "failed=[]") {
 		t.Fatalf("STATS output: %s", out)
@@ -125,7 +118,7 @@ func TestHandleStats(t *testing.T) {
 }
 
 func TestHandlePlayByteExact(t *testing.T) {
-	addr, clips := testServer(t)
+	addr, clips, _, _ := testServer(t)
 	got := send(t, addr, "PLAY clip-0")
 	if !bytes.Equal(got, clips["clip-0"]) {
 		t.Fatalf("PLAY returned %d bytes, want %d (exact)", len(got), len(clips["clip-0"]))
@@ -133,7 +126,7 @@ func TestHandlePlayByteExact(t *testing.T) {
 }
 
 func TestHandlePlayThroughFailure(t *testing.T) {
-	addr, clips := testServer(t)
+	addr, clips, _, _ := testServer(t)
 	if out := string(send(t, addr, "FAIL 3")); !strings.Contains(out, "OK disk 3 failed") {
 		t.Fatalf("FAIL output: %s", out)
 	}
@@ -147,7 +140,7 @@ func TestHandlePlayThroughFailure(t *testing.T) {
 }
 
 func TestHandleErrors(t *testing.T) {
-	addr, _ := testServer(t)
+	addr, _, _, _ := testServer(t)
 	for cmd, want := range map[string]string{
 		"PLAY":      "ERR usage",
 		"PLAY nope": "ERR",
@@ -165,7 +158,7 @@ func TestHandleErrors(t *testing.T) {
 // TestHandleConcurrentPlays: several clients stream simultaneously, all
 // byte-exact — exercises the server mutex.
 func TestHandleConcurrentPlays(t *testing.T) {
-	addr, clips := testServer(t)
+	addr, clips, _, _ := testServer(t)
 	type result struct {
 		name string
 		data []byte
@@ -199,5 +192,80 @@ func TestHandleConcurrentPlays(t *testing.T) {
 		if !bytes.Equal(r.data, clips[r.name]) {
 			t.Fatalf("concurrent PLAY %s returned %d bytes, want %d", r.name, len(r.data), len(clips[r.name]))
 		}
+	}
+}
+
+// TestFailIsDetectedNotCommanded: FAIL schedules an injected fault; the
+// disk shows up as failed only because the health detector declared it
+// from the stream's own read errors, and STATS reports degraded mode.
+func TestFailIsDetectedNotCommanded(t *testing.T) {
+	addr, clips, s, _ := testServer(t)
+	if out := string(send(t, addr, "FAIL 3")); !strings.Contains(out, "OK disk 3 failed") {
+		t.Fatalf("FAIL output: %s", out)
+	}
+	// The injector is armed but nothing has read disk 3 yet: not failed.
+	s.mu.Lock()
+	preFailed := len(s.srv.Stats().FailedDisks)
+	s.mu.Unlock()
+	if preFailed != 0 {
+		t.Fatalf("disk failed before any read — FAIL bypassed the detector")
+	}
+	got := send(t, addr, "PLAY clip-1")
+	if !bytes.Equal(got, clips["clip-1"]) {
+		t.Fatalf("PLAY through detection returned %d bytes, want %d", len(got), len(clips["clip-1"]))
+	}
+	out := string(send(t, addr, "STATS"))
+	if !strings.Contains(out, "failed=[3]") || !strings.Contains(out, "mode=degraded") {
+		t.Fatalf("STATS after detection: %s", out)
+	}
+}
+
+// TestGracefulShutdown: beginning shutdown stops new work but lets the
+// in-flight stream finish byte-exact, and the drain completes.
+func TestGracefulShutdown(t *testing.T) {
+	addr, clips, s, ln := testServer(t)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	fmt.Fprintf(conn, "PLAY clip-0\n")
+	// Wait for first bytes so the stream is unambiguously in flight.
+	buf := make([]byte, 64<<10)
+	var out bytes.Buffer
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("no bytes before shutdown: %v", err)
+	}
+	out.Write(buf[:n])
+
+	s.beginShutdown(ln)
+
+	// New connections are refused once the listener is closed.
+	if c2, err := net.DialTimeout("tcp", addr, 250*time.Millisecond); err == nil {
+		c2.SetDeadline(time.Now().Add(2 * time.Second))
+		fmt.Fprintf(c2, "PLAY clip-1\n")
+		reply := make([]byte, 256)
+		m, _ := c2.Read(reply)
+		if !strings.Contains(string(reply[:m]), "ERR shutting down") {
+			t.Errorf("PLAY during drain got %q, want refusal", string(reply[:m]))
+		}
+		c2.Close()
+	}
+
+	// The in-flight stream drains to completion, byte-exact.
+	for {
+		n, err := conn.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !bytes.Equal(out.Bytes(), clips["clip-0"]) {
+		t.Fatalf("drained stream delivered %d bytes, want %d exact", out.Len(), len(clips["clip-0"]))
+	}
+	if !s.drain(10 * time.Second) {
+		t.Fatal("drain did not complete")
 	}
 }

@@ -3,9 +3,12 @@ package core
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
+
+	"ftcms/internal/faultinject"
 )
 
 // chaosStream tracks one stream and the byte offset we expect its next
@@ -184,5 +187,189 @@ func TestChaos(t *testing.T) {
 			}
 			t.Logf("%s: verified %d bytes, %d completions, served=%d", scheme, verified, completed, stats.Served)
 		})
+	}
+}
+
+// TestChaosMultiFault layers a randomized, seeded multi-fault schedule —
+// two injected fail-stops (the second while the hot-spare rebuild of the
+// first may still be running), latent bad blocks, and a transient-error
+// window — over the random VCR workload. The invariants are the failure
+// lifecycle's:
+//
+//   - a corrupt byte is never delivered: every verified read matches the
+//     stored clip (a pipeline hiccup may skip a block, which is a
+//     reported loss, not corruption — streams past a hiccup stop strict
+//     verification);
+//   - a stream that does not finish cleanly ends with an explicit
+//     ErrStreamLost reason, never a silent stall;
+//   - recoverable scenarios (everything up to the second failure) stay
+//     bit-exact.
+func TestChaosMultiFault(t *testing.T) {
+	for _, scheme := range []Scheme{Declustered, DeclusteredDynamic, PrefetchParityDisk, PrefetchFlat, StreamingRAID, NonClustered} {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", scheme, seed), func(t *testing.T) {
+				d, p := 8, 4
+				switch scheme {
+				case Declustered, DeclusteredDynamic:
+					d, p = 7, 3
+				case PrefetchFlat:
+					d, p = 9, 4
+				}
+				cfg := testConfig(scheme, d, p)
+				cfg.Buffer = 256 * 1000 * 1000 * 8
+				cfg.Spares = 1
+				cfg.Faults = &faultinject.Plan{Seed: seed}
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed*100 + int64(len(scheme))))
+				clips := make([][]byte, 4)
+				for i := range clips {
+					clips[i] = clipBytes(seed*10+int64(i), 40_000+i*8000)
+					if err := s.AddClip(string(rune('a'+i)), clips[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Seeded schedule: two fail-stops on distinct disks, a few
+				// latent bad blocks, one transient window.
+				disk1 := rng.Intn(d)
+				disk2 := (disk1 + 1 + rng.Intn(d-1)) % d
+				failRound1 := int64(40 + rng.Intn(20))
+				failRound2 := failRound1 + int64(10+rng.Intn(30))
+				s.injector.AddFailStop(faultinject.FailStop{Disk: disk1, Round: failRound1})
+				s.injector.AddFailStop(faultinject.FailStop{Disk: disk2, Round: failRound2})
+				for i := 0; i < 3; i++ {
+					s.injector.AddBadBlock(faultinject.BadBlock{
+						Disk:  rng.Intn(d),
+						Block: int64(rng.Intn(30)),
+					})
+				}
+				s.injector.AddTransient(faultinject.Transient{
+					Disk: rng.Intn(d), Prob: 0.15,
+					From: failRound1 - 20, Until: failRound1,
+				})
+
+				var streams []*chaosStream
+				tainted := map[*chaosStream]bool{}
+				buf := make([]byte, 64<<10)
+				verified, completed, lost := 0, 0, 0
+
+				readAll := func(cs *chaosStream) {
+					if cs.paused || tainted[cs] {
+						return
+					}
+					for {
+						n, err := cs.st.Read(buf)
+						if n > 0 {
+							want := cs.clip[cs.offset:]
+							if int64(len(want)) > int64(n) {
+								want = want[:n]
+							}
+							if !bytes.Equal(buf[:n], want) {
+								// Distinguish a pipeline hiccup (a skipped
+								// block — reported loss) from corruption.
+								if s.Stats().Hiccups > 0 {
+									tainted[cs] = true
+									return
+								}
+								t.Fatalf("corrupt bytes at offset %d of stream", cs.offset)
+							}
+							cs.offset += int64(n)
+							verified += n
+						}
+						if errors.Is(err, io.EOF) {
+							if cs.offset != int64(len(cs.clip)) {
+								t.Fatalf("EOF at offset %d of %d", cs.offset, len(cs.clip))
+							}
+							completed++
+							return
+						}
+						if errors.Is(err, ErrStreamLost) {
+							// Explicit termination: the reason must be
+							// recorded on the stream too.
+							if !errors.Is(cs.st.Err(), ErrStreamLost) {
+								t.Fatalf("terminated stream lacks Err(): %v", cs.st.Err())
+							}
+							lost++
+							return
+						}
+						if errors.Is(err, ErrNoData) || n == 0 {
+							return
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+
+				for round := 0; round < 400; round++ {
+					switch rng.Intn(6) {
+					case 0, 1:
+						id := rng.Intn(len(clips))
+						st, err := s.OpenStream(string(rune('a' + id)))
+						if err == nil {
+							streams = append(streams, &chaosStream{st: st, clip: clips[id]})
+						} else if !errors.Is(err, ErrAdmission) {
+							t.Fatal(err)
+						}
+					case 2:
+						if len(streams) > 0 {
+							cs := streams[rng.Intn(len(streams))]
+							if !cs.st.done && !cs.paused {
+								if err := cs.st.Pause(); err != nil {
+									t.Fatal(err)
+								}
+								cs.paused = true
+							}
+						}
+					case 3, 4:
+						for _, cs := range streams {
+							if cs.paused && !cs.st.done {
+								if err := cs.st.Resume(); err == nil {
+									cs.paused = false
+								} else if !errors.Is(err, ErrAdmission) {
+									t.Fatal(err)
+								}
+								break
+							}
+						}
+					case 5:
+						if len(streams) > 0 && rng.Intn(3) == 0 {
+							i := rng.Intn(len(streams))
+							streams[i].st.Close()
+							streams = append(streams[:i], streams[i+1:]...)
+						}
+					}
+					if err := s.Tick(); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					for _, cs := range streams {
+						readAll(cs)
+					}
+					for i := 0; i < len(streams); {
+						if streams[i].st.done {
+							streams = append(streams[:i], streams[i+1:]...)
+						} else {
+							i++
+						}
+					}
+				}
+
+				stats := s.Stats()
+				if verified == 0 {
+					t.Fatal("multi-fault chaos verified no bytes")
+				}
+				if lost != stats.Terminated {
+					// Terminated-while-paused streams never read their
+					// error; allow stats to exceed observed losses only.
+					if lost > stats.Terminated {
+						t.Fatalf("observed %d lost streams, stats %d", lost, stats.Terminated)
+					}
+				}
+				t.Logf("%s seed %d: verified %d bytes, completed %d, lost %d, hiccups %d, lostBlocks %d, badRepairs %d, mode %s",
+					scheme, seed, verified, completed, lost, stats.Hiccups, stats.LostBlocks, stats.BadBlockRepairs, stats.Mode)
+			})
+		}
 	}
 }

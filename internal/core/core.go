@@ -22,6 +22,8 @@ import (
 	"ftcms/internal/admission"
 	"ftcms/internal/buffer"
 	"ftcms/internal/diskmodel"
+	"ftcms/internal/faultinject"
+	"ftcms/internal/health"
 	"ftcms/internal/layout"
 	"ftcms/internal/recovery"
 	"ftcms/internal/sched"
@@ -78,6 +80,19 @@ type Config struct {
 	// Capacity is the store's data capacity in blocks (defaults to
 	// 4096·d when zero).
 	Capacity int64
+	// Spares is the hot-spare budget: how many detected disk failures
+	// trigger an automatic online rebuild (0 = degraded mode persists
+	// until an operator calls RepairDisk, the pre-lifecycle behaviour).
+	Spares int
+	// Health tunes the failure detector; the zero value selects its
+	// documented defaults (3 attempts per read, 3 consecutive strikes to
+	// declare a disk failed, 8× slowdown counts as a timeout).
+	Health health.Config
+	// Faults, when non-nil, scripts deterministic fault injection into
+	// the array (see faultinject). Plan events at round ≥ 1 are safe:
+	// AddClip runs at round 0, before the injector's clock first
+	// advances.
+	Faults *faultinject.Plan
 }
 
 // Stats reports a server's running counters.
@@ -96,6 +111,30 @@ type Stats struct {
 	Overflows int64
 	// FailedDisks lists currently failed disks.
 	FailedDisks []int
+	// Mode is the failure-lifecycle state (healthy/rebuilding/degraded).
+	Mode Mode
+	// SparesLeft is the unused hot-spare count.
+	SparesLeft int
+	// Rebuilding is the disk an online rebuild is refilling (-1 when
+	// none).
+	Rebuilding int
+	// RebuildPending and RebuildTotal report online-rebuild progress in
+	// queue entries (both zero when no rebuild is active).
+	RebuildPending, RebuildTotal int
+	// RebuildsDone counts completed online rebuilds (disk rejoined).
+	RebuildsDone int
+	// DetectedFailures counts disk failures handled (detector-declared
+	// plus operator-injected).
+	DetectedFailures int64
+	// BadBlockRepairs counts latent bad blocks reconstructed and
+	// rewritten in place.
+	BadBlockRepairs int64
+	// Terminated counts streams ended early with an explicit
+	// unrecoverable-group error.
+	Terminated int
+	// LostBlocks counts blocks the online rebuild had to skip because a
+	// second failure made their group unrecoverable.
+	LostBlocks int64
 }
 
 // Server is a fault-tolerant continuous media server.
@@ -121,6 +160,19 @@ type Server struct {
 	nextStreamID int
 	served       int
 	hiccups      int64
+
+	// Failure lifecycle (failure.go).
+	detector         *health.Detector
+	injector         *faultinject.Injector
+	sparesLeft       int
+	rebuild          *rebuildState
+	rebuildQueue     []int
+	rebuildsDone     int
+	rebuiltBlocks    int64
+	detectedFailures int64
+	badBlockRepairs  int64
+	terminated       int
+	lostBlocks       int64
 
 	// prefetchDepth is how many blocks ahead of delivery fetching runs
 	// (p−1 for the pre-fetching schemes, 1 otherwise).
@@ -216,6 +268,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.sparesLeft = cfg.Spares
+	s.detector = health.NewDetector(cfg.D, cfg.Health)
+	s.detector.SetOnFail(s.failDeclared)
+	if cfg.Faults != nil {
+		s.injector = faultinject.New(*cfg.Faults)
+		arr.SetReadHook(s.injector.Hook)
+	}
 
 	switch cfg.Scheme {
 	case Declustered:
@@ -248,6 +307,9 @@ func New(cfg Config) (*Server, error) {
 
 // BlockSize returns the configured block size.
 func (s *Server) BlockSize() units.Bits { return s.cfg.Block }
+
+// Disks returns the configured disk count.
+func (s *Server) Disks() int { return s.cfg.D }
 
 // RoundDuration returns the playback time one round covers — b/r_p, or
 // (p−1)·b/r_p for streaming RAID's whole-group rounds.
@@ -320,9 +382,30 @@ func (s *Server) AddClip(name string, data []byte) error {
 	return nil
 }
 
-// FailDisk injects a single-disk failure. Streams continue via
-// reconstruction.
-func (s *Server) FailDisk(disk int) error { return s.store.Array.Fail(disk) }
+// FailDisk injects a disk failure by operator command — the lifecycle
+// entry point the health detector normally triggers by itself. Streams
+// continue via reconstruction; a hot spare, if available, starts an
+// online rebuild.
+func (s *Server) FailDisk(disk int) error {
+	if s.store.Array.Failed(disk) {
+		return nil // idempotent, like Array.Fail
+	}
+	if err := s.store.Array.Fail(disk); err != nil {
+		return err
+	}
+	s.onDiskFailed(disk)
+	return nil
+}
+
+// InjectFaults installs a fault plan at runtime (replacing any existing
+// injector), returning the injector so callers can mutate the plan —
+// the cmserve FAIL demo alias goes through this.
+func (s *Server) InjectFaults(plan faultinject.Plan) *faultinject.Injector {
+	s.injector = faultinject.New(plan)
+	s.injector.SetRound(s.engine.Round())
+	s.store.Array.SetReadHook(s.injector.Hook)
+	return s.injector
+}
 
 // RepairDisk clears the failure and rebuilds the disk's blocks from the
 // surviving members of each parity group (data via reconstruction, parity
@@ -330,6 +413,22 @@ func (s *Server) FailDisk(disk int) error { return s.store.Array.Fail(disk) }
 func (s *Server) RepairDisk(disk int) error {
 	if err := s.store.Array.Repair(disk); err != nil {
 		return err
+	}
+	// Operator replacement supersedes any in-flight online rebuild of
+	// the same disk and clears its detection history.
+	if s.rebuild != nil && s.rebuild.disk == disk {
+		s.rebuild = nil
+		s.nextRebuild()
+	}
+	for i := 0; i < len(s.rebuildQueue); i++ {
+		if s.rebuildQueue[i] == disk {
+			s.rebuildQueue = append(s.rebuildQueue[:i], s.rebuildQueue[i+1:]...)
+			i--
+		}
+	}
+	s.detector.Reset(disk)
+	if s.injector != nil {
+		s.injector.ClearDisk(disk) // replacement drive: old faults gone
 	}
 	// Rebuild: every stored data block either lives on the disk
 	// (reconstruct and rewrite) or has parity there (rewrite refreshes
@@ -359,14 +458,28 @@ func (s *Server) RepairDisk(disk int) error {
 
 // Stats returns the server's counters.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Rounds:      s.engine.Round(),
-		Active:      len(s.streams),
-		Served:      s.served,
-		Hiccups:     s.hiccups,
-		Overflows:   s.engine.Overflows,
-		FailedDisks: s.store.Array.FailedDisks(),
+	st := Stats{
+		Rounds:           s.engine.Round(),
+		Active:           len(s.streams),
+		Served:           s.served,
+		Hiccups:          s.hiccups,
+		Overflows:        s.engine.Overflows,
+		FailedDisks:      s.store.Array.FailedDisks(),
+		Mode:             s.Mode(),
+		SparesLeft:       s.sparesLeft,
+		Rebuilding:       -1,
+		RebuildsDone:     s.rebuildsDone,
+		DetectedFailures: s.detectedFailures,
+		BadBlockRepairs:  s.badBlockRepairs,
+		Terminated:       s.terminated,
+		LostBlocks:       s.lostBlocks,
 	}
+	if s.rebuild != nil {
+		st.Rebuilding = s.rebuild.disk
+		st.RebuildTotal = len(s.rebuild.queue)
+		st.RebuildPending = len(s.rebuild.queue) - s.rebuild.next
+	}
+	return st
 }
 
 // Clips returns the names of all stored clips in insertion-independent

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ftcms/internal/health"
+	"ftcms/internal/layout"
+	"ftcms/internal/recovery"
+	"ftcms/internal/storage"
+)
+
+// This file implements the failure lifecycle the paper assumes an
+// operator performs by hand: detect → degrade → rebuild → rejoin.
+//
+//   - Detection: every physical read in the streaming path goes through
+//     the health detector (bounded retry + backoff). k consecutive hard
+//     errors or timeouts on a disk declare it failed — the array is
+//     fail-stopped and the server flips to degraded mode with no
+//     operator command.
+//   - Degrade: blocks of the failed disk are served by parity
+//     reconstruction, exactly as before; latent bad blocks on healthy
+//     disks are reconstructed per-block and rewritten (sector remap).
+//   - Rebuild: when a hot spare is available, the failed disk is
+//     replaced and rebuilt online, byte-accurately, consuming only the
+//     idle block-read capacity each round leaves after stream service
+//     (mirroring sim/failure.go's spare accounting).
+//   - Rejoin: when every block is back, the spare is promoted to
+//     healthy and detection state clears.
+//   - Second failure: parity groups with two unreadable members are
+//     enumerated; only the streams that still need one of those groups
+//     are terminated, each with an explicit reason. Every other stream
+//     keeps its rate guarantee.
+
+// Mode is the server's failure-lifecycle state.
+type Mode string
+
+// Server modes.
+const (
+	// ModeHealthy: all disks serving.
+	ModeHealthy Mode = "healthy"
+	// ModeRebuilding: no failed disk, but a spare is still being
+	// refilled (reads of unrebuilt blocks reconstruct on the fly).
+	ModeRebuilding Mode = "rebuilding"
+	// ModeDegraded: at least one disk is failed (a rebuild may also be
+	// running).
+	ModeDegraded Mode = "degraded"
+)
+
+// ErrStreamLost is wrapped into the explicit error a stream ends with
+// when a second failure makes one of its parity groups unrecoverable.
+var ErrStreamLost = errors.New("core: stream lost to unrecoverable parity group")
+
+// rebuildState tracks one online rebuild.
+type rebuildState struct {
+	disk int
+	// queue lists, in ascending order, the logical data-block indices
+	// whose data block or parity block lives on the disk being rebuilt.
+	queue []int64
+	next  int
+	// skipped counts queue entries that could not be rebuilt because a
+	// second failure made their group unrecoverable. A rebuild that
+	// skips anything never rejoins: an absent block on a rebuilding
+	// disk reads as an explicit error, never as zeroes.
+	skipped int64
+}
+
+// Mode returns the server's current failure-lifecycle mode.
+func (s *Server) Mode() Mode {
+	if len(s.store.Array.FailedDisks()) > 0 {
+		return ModeDegraded
+	}
+	for i := 0; i < s.cfg.D; i++ {
+		if s.store.Array.State(i) == storage.Rebuilding {
+			return ModeRebuilding
+		}
+	}
+	return ModeHealthy
+}
+
+// Detector exposes the failure detector for inspection.
+func (s *Server) Detector() *health.Detector { return s.detector }
+
+// SparesLeft returns the number of unused hot spares.
+func (s *Server) SparesLeft() int { return s.sparesLeft }
+
+// onDiskFailed runs once per disk failure — whether declared by the
+// detector or injected by the operator FailDisk command. The array's
+// fail-stop flag is already set. It terminates the streams a second
+// failure strands and starts (or queues) an online rebuild if a hot
+// spare is available.
+func (s *Server) onDiskFailed(disk int) {
+	s.detectedFailures++
+	// A failure of the disk currently being rebuilt kills the spare:
+	// abandon the rebuild (a further spare, if any, restarts it).
+	if s.rebuild != nil && s.rebuild.disk == disk {
+		s.rebuild = nil
+	}
+	s.terminateUnrecoverable()
+	if s.sparesLeft > 0 {
+		if s.rebuild == nil {
+			s.startRebuild(disk)
+		} else {
+			s.rebuildQueue = append(s.rebuildQueue, disk)
+		}
+	}
+}
+
+// failDeclared is the health detector's OnFail callback: fail-stop the
+// disk in the array, then run the common failure path.
+func (s *Server) failDeclared(disk int) {
+	_ = s.store.Array.Fail(disk)
+	s.onDiskFailed(disk)
+}
+
+// startRebuild consumes a hot spare and begins the online rebuild of a
+// failed disk.
+func (s *Server) startRebuild(disk int) {
+	if err := s.store.Array.Replace(disk); err != nil {
+		return // not failed (already repaired) — nothing to rebuild
+	}
+	s.sparesLeft--
+	// The spare is new hardware: the failed device's scripted faults do
+	// not carry over (a fresh fault event can still target the slot).
+	if s.injector != nil {
+		s.injector.ClearDisk(disk)
+	}
+	var queue []int64
+	seenParity := make(map[layout.BlockAddr]bool)
+	for _, ci := range s.clips {
+		for n := int64(0); n < ci.blocks; n++ {
+			i := ci.block(n)
+			g := s.lay.GroupOf(i)
+			switch {
+			case s.lay.Place(i).Disk == disk:
+				queue = append(queue, i)
+			case g.Parity.Disk == disk && !seenParity[g.Parity]:
+				// One entry per parity block, not one per group member.
+				seenParity[g.Parity] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+	// Clip-map iteration is randomized; rebuild order must not be.
+	sort.Slice(queue, func(a, b int) bool { return queue[a] < queue[b] })
+	s.rebuild = &rebuildState{disk: disk, queue: queue}
+}
+
+// rebuildStep advances the online rebuild using only this round's idle
+// capacity: a block is rebuilt only if every disk it must read has
+// charges left under q. It runs after stream service each Tick, so
+// streams always have priority — the §4 contingency bandwidth doubles
+// as rebuild bandwidth only when failure reads leave it free.
+func (s *Server) rebuildStep() {
+	rb := s.rebuild
+	if rb == nil {
+		return
+	}
+	arr := s.store.Array
+	if arr.State(rb.disk) != storage.Rebuilding {
+		s.rebuild = nil // spare crashed or operator repaired the disk
+		s.nextRebuild()
+		return
+	}
+	q := s.cfg.Q
+	for rb.next < len(rb.queue) {
+		i := rb.queue[rb.next]
+		addr := s.lay.Place(i)
+		g := s.lay.GroupOf(i)
+		target := addr
+		var need []layout.BlockAddr
+		if addr.Disk == rb.disk {
+			for k, li := range g.Data {
+				if li != i {
+					need = append(need, g.DataAddr[k])
+				}
+			}
+			need = append(need, g.Parity)
+		} else {
+			// The group's parity lives on the rebuilding disk: recompute
+			// it from the data members.
+			target = g.Parity
+			need = g.DataAddr
+		}
+		dead := false
+		idle := true
+		for _, a := range need {
+			if arr.Failed(a.Disk) {
+				dead = true
+				break
+			}
+			if s.engine.Load(a.Disk) >= q {
+				idle = false
+				break
+			}
+		}
+		if dead {
+			// Second failure took a source: this block is unrecoverable
+			// for now. Leave it absent (explicit error on read) and move
+			// on — never write a guess.
+			rb.skipped++
+			s.lostBlocks++
+			rb.next++
+			continue
+		}
+		if !idle {
+			return // out of idle capacity; resume next round
+		}
+		var data []byte
+		var err error
+		if addr.Disk == rb.disk {
+			for _, a := range need {
+				s.charge(a.Disk)
+			}
+			data, err = s.reconstructMonitored(i)
+		} else {
+			bs := s.store.Array.BlockSize()
+			data = make([]byte, bs)
+			srcs := make([][]byte, 0, len(need))
+			for _, a := range need {
+				s.charge(a.Disk)
+				buf, rerr := s.readMember(a)
+				if rerr != nil {
+					err = rerr
+					break
+				}
+				srcs = append(srcs, buf)
+			}
+			if err == nil {
+				recovery.XOR(data, srcs...)
+			}
+		}
+		if err != nil {
+			rb.skipped++
+			s.lostBlocks++
+			rb.next++
+			continue
+		}
+		if werr := arr.Write(rb.disk, target.Block, data); werr != nil {
+			// Spare crashed mid-write; abandon.
+			s.rebuild = nil
+			s.nextRebuild()
+			return
+		}
+		s.rebuiltBlocks++
+		rb.next++
+	}
+	// Queue exhausted.
+	if rb.skipped == 0 {
+		_ = arr.Rejoin(rb.disk)
+		s.detector.Reset(rb.disk)
+		s.rebuildsDone++
+	}
+	// With skipped blocks the disk stays Rebuilding: its absent blocks
+	// must keep erroring explicitly rather than zero-filling.
+	s.rebuild = nil
+	s.nextRebuild()
+}
+
+// nextRebuild starts the next queued rebuild, if spares remain.
+func (s *Server) nextRebuild() {
+	for s.rebuild == nil && len(s.rebuildQueue) > 0 && s.sparesLeft > 0 {
+		disk := s.rebuildQueue[0]
+		s.rebuildQueue = s.rebuildQueue[1:]
+		if s.store.Array.Failed(disk) {
+			s.startRebuild(disk)
+		}
+	}
+}
+
+// readMonitored reads one logical block through the failure detector:
+// bounded retry with backoff, per-block reconstruction for latent bad
+// blocks (with rewrite — the sector-remap model) and for blocks not yet
+// rebuilt onto a spare (which are opportunistically installed). It
+// returns an error satisfying errors.Is(err, storage.ErrFailed) when the
+// disk is truly unresponsive — the caller then takes the degraded path.
+func (s *Server) readMonitored(logical int64, addr layout.BlockAddr) ([]byte, error) {
+	arr := s.store.Array
+	data, err := s.detector.Read(addr.Disk, func() ([]byte, float64, error) {
+		return arr.ReadTimed(addr.Disk, addr.Block)
+	})
+	if err == nil {
+		return data, nil
+	}
+	switch {
+	case errors.Is(err, storage.ErrBadBlock):
+		// Latent sector error on an otherwise healthy disk: reconstruct
+		// the block from its parity group and rewrite it in place.
+		data, rerr := s.reconstructCharged(logical)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if werr := arr.Write(addr.Disk, addr.Block, data); werr == nil {
+			if s.injector != nil {
+				s.injector.ClearBadBlock(addr.Disk, addr.Block)
+			}
+			s.badBlockRepairs++
+		}
+		return data, nil
+	case errors.Is(err, storage.ErrNotWritten) && arr.State(addr.Disk) == storage.Rebuilding:
+		// Not yet rebuilt: serve by reconstruction and install the block
+		// on the spare while we have it (free rebuild progress).
+		data, rerr := s.reconstructCharged(logical)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if arr.Write(addr.Disk, addr.Block, data) == nil {
+			s.rebuiltBlocks++
+		}
+		return data, nil
+	}
+	return nil, err
+}
+
+// readMember reads one surviving parity-group member through the
+// detector, preserving the short-group convention: an absent block on a
+// healthy disk is zeroes. Absent blocks on a rebuilding disk stay
+// errors — they have real, not-yet-rebuilt contents.
+func (s *Server) readMember(a layout.BlockAddr) ([]byte, error) {
+	arr := s.store.Array
+	if arr.Failed(a.Disk) {
+		return nil, fmt.Errorf("storage: disk %d: %w", a.Disk, storage.ErrFailed)
+	}
+	data, err := s.detector.Read(a.Disk, func() ([]byte, float64, error) {
+		return arr.ReadTimed(a.Disk, a.Block)
+	})
+	if errors.Is(err, storage.ErrNotWritten) && arr.State(a.Disk) == storage.Healthy {
+		return make([]byte, arr.BlockSize()), nil
+	}
+	return data, err
+}
+
+// reconstructMonitored rebuilds logical block i from the surviving
+// members of its parity group, reading every member through the
+// detector (so a failing survivor is detected here, not three reads
+// later). It fails with recovery.ErrUnrecoverable when any member is
+// unavailable after retries.
+func (s *Server) reconstructMonitored(i int64) ([]byte, error) {
+	g := s.lay.GroupOf(i)
+	bs := s.store.Array.BlockSize()
+	srcs := make([][]byte, 0, len(g.Data))
+	for k, li := range g.Data {
+		if li == i {
+			continue
+		}
+		a := g.DataAddr[k]
+		buf, err := s.readMember(a)
+		if err != nil {
+			return nil, fmt.Errorf("%w: disk %d also unavailable: %v", recovery.ErrUnrecoverable, a.Disk, err)
+		}
+		srcs = append(srcs, buf)
+	}
+	pbuf, err := s.readMember(g.Parity)
+	if err != nil {
+		return nil, fmt.Errorf("%w: parity disk %d also unavailable: %v", recovery.ErrUnrecoverable, g.Parity.Disk, err)
+	}
+	srcs = append(srcs, pbuf)
+	out := make([]byte, bs)
+	recovery.XOR(out, srcs...)
+	return out, nil
+}
+
+// reconstructCharged is reconstructMonitored plus the round-ledger
+// charges for every survivor read.
+func (s *Server) reconstructCharged(i int64) ([]byte, error) {
+	g := s.lay.GroupOf(i)
+	for k, li := range g.Data {
+		if li != i {
+			s.charge(g.DataAddr[k].Disk)
+		}
+	}
+	s.charge(g.Parity.Disk)
+	return s.reconstructMonitored(i)
+}
+
+// blockReadable reports whether the physical block at a can currently
+// produce its bytes directly (without reconstruction).
+func (s *Server) blockReadable(a layout.BlockAddr) bool {
+	switch s.store.Array.State(a.Disk) {
+	case storage.Failed:
+		return false
+	case storage.Rebuilding:
+		return s.store.Array.Written(a.Disk, a.Block)
+	}
+	return true
+}
+
+// blockUnrecoverable reports whether logical data block i can currently
+// be served neither directly nor by reconstruction — its disk is down
+// and so is another member of its parity group.
+func (s *Server) blockUnrecoverable(i int64) bool {
+	if s.blockReadable(s.lay.Place(i)) {
+		return false
+	}
+	g := s.lay.GroupOf(i)
+	for k, li := range g.Data {
+		if li == i {
+			continue
+		}
+		if !s.blockReadable(g.DataAddr[k]) {
+			return true
+		}
+	}
+	return !s.blockReadable(g.Parity)
+}
+
+// UnrecoverableGroups enumerates (up to max, unlimited when max <= 0)
+// logical data blocks of stored clips that currently cannot be served at
+// all — the blocks a second failure stranded. Empty in every
+// single-failure state.
+func (s *Server) UnrecoverableGroups(max int) []int64 {
+	var out []int64
+	for _, name := range s.Clips() {
+		ci := s.clips[name]
+		for n := int64(0); n < ci.blocks; n++ {
+			i := ci.block(n)
+			if s.blockUnrecoverable(i) {
+				out = append(out, i)
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// terminateUnrecoverable ends, with an explicit reason, every active
+// stream whose remaining playback needs a block in an unrecoverable
+// parity group. Every other stream is untouched — its rate guarantee
+// stands.
+func (s *Server) terminateUnrecoverable() {
+	if len(s.store.Array.FailedDisks()) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(s.streams))
+	for id := range s.streams {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := s.streams[id]
+		for n := st.nextDeliver; n < st.clip.blocks; n++ {
+			i := st.clip.block(n)
+			if s.blockUnrecoverable(i) {
+				addr := s.lay.Place(i)
+				s.terminate(st, fmt.Errorf("%w: clip block %d at %v, failed disks %v",
+					ErrStreamLost, n, addr, s.store.Array.FailedDisks()))
+				break
+			}
+		}
+	}
+}
+
+// terminate ends one stream with an explicit reason: resources release,
+// the stream's reader drains what was already delivered and then
+// receives the reason instead of io.EOF.
+func (s *Server) terminate(st *Stream, reason error) {
+	if st.done {
+		return
+	}
+	st.termErr = reason
+	st.done = true
+	s.terminated++
+	if st.paused {
+		delete(s.streams, st.id)
+		return
+	}
+	s.release(st)
+}

@@ -9,6 +9,7 @@ import (
 	"ftcms/internal/buffer"
 	"ftcms/internal/layout"
 	"ftcms/internal/recovery"
+	"ftcms/internal/storage"
 	"ftcms/internal/units"
 )
 
@@ -50,6 +51,10 @@ type Stream struct {
 	// deliveredBytes counts payload moved into readable so far.
 	deliveredBytes int64
 	done           bool
+	// termErr is the explicit reason the server terminated the stream
+	// (an unrecoverable parity group after a second failure); the reader
+	// receives it, after draining delivered bytes, instead of io.EOF.
+	termErr error
 	// paused marks a stream that released its bandwidth and buffer and
 	// holds its position for Resume.
 	paused bool
@@ -256,12 +261,20 @@ func (st *Stream) Resume() error {
 // Len returns the clip payload size in bytes.
 func (st *Stream) Len() int64 { return st.clip.size }
 
+// Err returns the explicit reason the server terminated the stream, or
+// nil for streams that finished normally (or are still playing). A
+// non-nil Err wraps ErrStreamLost.
+func (st *Stream) Err() error { return st.termErr }
+
 // Read implements io.Reader over the delivered bytes. It returns
 // ErrNoData when the pipeline has not delivered the next block yet and
 // io.EOF once the whole clip has been read.
 func (st *Stream) Read(p []byte) (int, error) {
 	if len(st.readable) == 0 {
 		if st.done {
+			if st.termErr != nil {
+				return 0, st.termErr
+			}
 			if st.deliveredBytes >= st.clip.size {
 				return 0, io.EOF
 			}
@@ -275,12 +288,17 @@ func (st *Stream) Read(p []byte) (int, error) {
 }
 
 // Tick advances one service round: every active stream fetches its due
-// block(s) — reconstructing across the failure if needed — and delivers
-// one round's worth of payload to its reader. It returns the first
-// unrecoverable error (double failure); per-stream hiccups are counted in
-// Stats instead of failing the round.
+// block(s) — reconstructing across a failure if needed — and delivers
+// one round's worth of payload to its reader. A stream whose block falls
+// in an unrecoverable parity group (second failure) is terminated with
+// an explicit reason rather than failing the round; every other stream
+// is served normally. Idle capacity left after stream service drives the
+// online rebuild. Tick itself errors only on programming bugs.
 func (s *Server) Tick() error {
 	s.engine.BeginRound()
+	if s.injector != nil {
+		s.injector.SetRound(s.engine.Round())
+	}
 	perRound := int64(1)
 	if s.groupFetch {
 		perRound = int64(s.cfg.P - 1)
@@ -297,58 +315,86 @@ func (s *Server) Tick() error {
 	}
 
 	for _, id := range ids {
-		st := s.streams[id]
-		// Fetch phase: keep the pipeline prefetchDepth blocks ahead of
-		// delivery (whole groups at once for streaming RAID).
-		target := st.nextDeliver + s.prefetchDepth
-		if target > st.clip.blocks {
-			target = st.clip.blocks
+		st, ok := s.streams[id]
+		if !ok || st.done {
+			continue // terminated earlier this round (failure cascade)
 		}
-		fetchBudget := perRound
-		for st.nextFetch < target && fetchBudget > 0 {
-			if err := s.fetchInto(st, st.nextFetch); err != nil {
+		if err := s.tickStream(st, perRound); err != nil {
+			return err
+		}
+	}
+	s.rebuildStep()
+	return nil
+}
+
+// tickStream runs one stream's fetch and delivery phases for the round.
+func (s *Server) tickStream(st *Stream, perRound int64) error {
+	// Fetch phase: keep the pipeline prefetchDepth blocks ahead of
+	// delivery (whole groups at once for streaming RAID).
+	target := st.nextDeliver + s.prefetchDepth
+	if target > st.clip.blocks {
+		target = st.clip.blocks
+	}
+	fetchBudget := perRound
+	for st.nextFetch < target && fetchBudget > 0 {
+		if err := s.fetchInto(st, st.nextFetch); err != nil {
+			if errors.Is(err, recovery.ErrUnrecoverable) {
+				s.terminate(st, fmt.Errorf("%w: %v", ErrStreamLost, err))
+				return nil
+			}
+			return err
+		}
+		st.nextFetch++
+		fetchBudget--
+	}
+	// Delivery may (re)start only once the pipeline is full — at
+	// stream start and again after a Resume.
+	if !st.started && st.nextFetch >= target {
+		st.started = true
+	}
+	// Delivery phase: one block of playback per round once started.
+	if st.started {
+		for k := int64(0); k < perRound && st.nextDeliver < st.clip.blocks; k++ {
+			if err := s.deliver(st); err != nil {
+				if errors.Is(err, recovery.ErrUnrecoverable) {
+					s.terminate(st, fmt.Errorf("%w: %v", ErrStreamLost, err))
+					return nil
+				}
 				return err
 			}
-			st.nextFetch++
-			fetchBudget--
 		}
-		// Delivery may (re)start only once the pipeline is full — at
-		// stream start and again after a Resume.
-		if !st.started && st.nextFetch >= target {
-			st.started = true
-		}
-		// Delivery phase: one block of playback per round once started.
-		if st.started {
-			for k := int64(0); k < perRound && st.nextDeliver < st.clip.blocks; k++ {
-				if err := s.deliver(st); err != nil {
-					return err
-				}
-			}
-		}
-		if st.nextDeliver >= st.clip.blocks {
-			st.done = true
-			s.served++
-			s.release(st)
-		}
+	}
+	if st.nextDeliver >= st.clip.blocks {
+		st.done = true
+		s.served++
+		s.release(st)
 	}
 	return nil
 }
 
 // fetchInto fetches clip block n (clip-relative) for the stream, charging
-// the engine for every physical read. When the block's disk has failed,
-// the pre-fetching schemes fetch the group's parity block instead (§6);
-// the others fetch the surviving group members and reconstruct (§4).
+// the engine for every physical read. Healthy-disk reads go through the
+// failure detector (bounded retry, bad-block repair, timeout scoring);
+// when the block's disk has failed — whether declared by the detector or
+// injected — the pre-fetching schemes fetch the group's parity block
+// instead (§6) and the others fetch the surviving members and
+// reconstruct (§4).
 func (s *Server) fetchInto(st *Stream, n int64) error {
 	logical := st.clip.block(n)
 	addr := s.lay.Place(logical)
 	if !s.store.Array.Failed(addr.Disk) {
 		s.charge(addr.Disk)
-		data, err := s.store.ReadBlock(logical)
-		if err != nil {
+		data, err := s.readMonitored(logical, addr)
+		if err == nil {
+			st.fetched[n] = data
+			return nil
+		}
+		if !errors.Is(err, storage.ErrFailed) {
 			return err
 		}
-		st.fetched[n] = data
-		return nil
+		// The disk proved unresponsive — the detector may just have
+		// declared it failed. Fall through to the degraded path either
+		// way: data must still flow this round.
 	}
 	if s.prefetchDepth > 1 {
 		// Pre-fetching schemes: fetch only the parity block now;
@@ -358,23 +404,16 @@ func (s *Server) fetchInto(st *Stream, n int64) error {
 			return fmt.Errorf("%w: parity disk %d also failed", recovery.ErrUnrecoverable, g.Parity.Disk)
 		}
 		s.charge(g.Parity.Disk)
-		pbuf, err := s.store.Array.ReadZero(g.Parity.Disk, g.Parity.Block)
+		pbuf, err := s.readMember(g.Parity)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: parity disk %d unavailable: %v", recovery.ErrUnrecoverable, g.Parity.Disk, err)
 		}
 		st.parity[n] = pbuf
 		return nil
 	}
 	// Declustered / non-clustered: read the surviving members and parity
 	// now.
-	g := s.lay.GroupOf(logical)
-	for k, li := range g.Data {
-		if li != logical {
-			s.charge(g.DataAddr[k].Disk)
-		}
-	}
-	s.charge(g.Parity.Disk)
-	data, err := s.store.Reconstruct(logical)
+	data, err := s.reconstructCharged(logical)
 	if err != nil {
 		return err
 	}
@@ -462,9 +501,9 @@ func (s *Server) deliver(st *Stream) error {
 }
 
 // reconstructFromDisk rebuilds clip block n from its parity block plus
-// sibling reads, preferring buffered siblings and charging disk reads for
-// the rest. It returns nil data (no error) when a sibling's disk is also
-// failed.
+// sibling reads, preferring buffered siblings and charging disk reads
+// for the rest. A sibling on another failed disk makes the group
+// unrecoverable.
 func (s *Server) reconstructFromDisk(st *Stream, n int64, pbuf []byte) ([]byte, error) {
 	logical := st.clip.block(n)
 	g := s.lay.GroupOf(logical)
@@ -477,14 +516,11 @@ func (s *Server) reconstructFromDisk(st *Stream, n int64, pbuf []byte) ([]byte, 
 		sib, have := st.fetched[m]
 		if !have {
 			addr := s.lay.Place(li)
-			if s.store.Array.Failed(addr.Disk) {
-				return nil, nil
-			}
 			s.charge(addr.Disk)
 			var err error
-			sib, err = s.store.Array.ReadZero(addr.Disk, addr.Block)
+			sib, err = s.readMember(addr)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: disk %d also unavailable: %v", recovery.ErrUnrecoverable, addr.Disk, err)
 			}
 		}
 		srcs = append(srcs, sib)

@@ -1,0 +1,268 @@
+// Package health is the failure detector the paper assumes away: it
+// turns raw per-read outcomes (success, hard error, latent bad block,
+// slow response) into disk lifecycle decisions, so the server flips to
+// degraded mode by itself instead of being told a disk died.
+//
+// The detector is deliberately simple and deterministic — the classic
+// consecutive-error counter with a timeout channel:
+//
+//   - every block read goes through bounded retry with backoff (Read);
+//   - a hard error (storage.ErrFailed or any unclassified error)
+//     increments the disk's consecutive-error count; any success resets
+//     it;
+//   - a read slower than SlowFactor × nominal counts as a timeout, which
+//     is scored like a hard error — a disk that answers too late misses
+//     round deadlines just as surely as one that does not answer;
+//   - FailThreshold consecutive strikes declare the disk failed, firing
+//     the OnFail callback exactly once per declaration;
+//   - storage.ErrBadBlock indicts a block, not the device: it is retried
+//     once (controller hiccups happen) and surfaced to the caller for
+//     per-block reconstruction without counting against the disk;
+//   - storage.ErrNotWritten is not a fault at all — the disk answered.
+package health
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"ftcms/internal/storage"
+)
+
+// State is the detector's opinion of one disk.
+type State int
+
+// Detector states.
+const (
+	// OK: no outstanding suspicion.
+	OK State = iota
+	// Suspect: at least one strike, below the failure threshold.
+	Suspect
+	// Down: declared failed; stays Down until Reset.
+	Down
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return "unknown"
+}
+
+// Config tunes a Detector. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// Retries is how many times a failed read attempt is retried before
+	// the error is surfaced (default 2, i.e. up to 3 attempts).
+	Retries int
+	// FailThreshold is k: consecutive hard errors or timeouts on a disk
+	// that declare it failed (default 3).
+	FailThreshold int
+	// SlowFactor: a read whose injected service-time multiplier reaches
+	// this counts as a timeout strike (default 8; the paper's Equation 1
+	// budgets leave far less than 8× slack, so a disk this slow has
+	// already blown its round).
+	SlowFactor float64
+	// Backoff, when non-nil, is called before retry attempt n (1-based).
+	// Synchronous drivers (tests, the tick-driven core) leave it nil;
+	// wall-clock servers can pass ExponentialBackoff.
+	Backoff func(attempt int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.SlowFactor <= 1 {
+		c.SlowFactor = 8
+	}
+	return c
+}
+
+// ExponentialBackoff returns a Backoff that sleeps base << (attempt-1),
+// capped at 32× base.
+func ExponentialBackoff(base time.Duration) func(attempt int) {
+	return func(attempt int) {
+		shift := attempt - 1
+		if shift > 5 {
+			shift = 5
+		}
+		time.Sleep(base << shift)
+	}
+}
+
+// Detector watches d disks. Safe for concurrent use; the OnFail
+// callback runs without the detector's lock held.
+type Detector struct {
+	mu     sync.Mutex
+	cfg    Config
+	consec []int
+	state  []State
+	onFail func(disk int)
+
+	// counters for Stats
+	hardErrors int64
+	timeouts   int64
+	badBlocks  int64
+	declared   int64
+}
+
+// Stats is a snapshot of the detector's counters.
+type Stats struct {
+	// HardErrors counts hard read errors observed (after classification,
+	// before retry collapsing).
+	HardErrors int64
+	// Timeouts counts slow reads scored as timeout strikes.
+	Timeouts int64
+	// BadBlocks counts latent-sector errors observed.
+	BadBlocks int64
+	// Declared counts disks declared failed.
+	Declared int64
+}
+
+// NewDetector creates a detector for d disks.
+func NewDetector(d int, cfg Config) *Detector {
+	return &Detector{
+		cfg:    cfg.withDefaults(),
+		consec: make([]int, d),
+		state:  make([]State, d),
+	}
+}
+
+// SetOnFail installs the callback fired (once per declaration) when a
+// disk crosses the failure threshold. The server uses it to fail-stop
+// the disk in the array and flip to degraded mode.
+func (dt *Detector) SetOnFail(fn func(disk int)) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.onFail = fn
+}
+
+// State returns the detector's opinion of the disk.
+func (dt *Detector) State(disk int) State {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if disk < 0 || disk >= len(dt.state) {
+		return OK
+	}
+	return dt.state[disk]
+}
+
+// ConsecutiveErrors returns the disk's current strike count.
+func (dt *Detector) ConsecutiveErrors(disk int) int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if disk < 0 || disk >= len(dt.consec) {
+		return 0
+	}
+	return dt.consec[disk]
+}
+
+// Stats returns a counter snapshot.
+func (dt *Detector) Stats() Stats {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return Stats{HardErrors: dt.hardErrors, Timeouts: dt.timeouts, BadBlocks: dt.badBlocks, Declared: dt.declared}
+}
+
+// Reset clears the disk's strikes and state — called when a rebuilt disk
+// rejoins or an operator repairs it.
+func (dt *Detector) Reset(disk int) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if disk < 0 || disk >= len(dt.state) {
+		return
+	}
+	dt.consec[disk] = 0
+	dt.state[disk] = OK
+}
+
+// Observe records one read outcome for a disk and returns the disk's
+// state afterwards. err == nil with a modest slowdown is a success and
+// clears strikes; a slowdown ≥ SlowFactor is a timeout strike even if
+// data came back; hard errors are strikes; bad blocks and absent blocks
+// are not.
+func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
+	dt.mu.Lock()
+	if disk < 0 || disk >= len(dt.state) {
+		dt.mu.Unlock()
+		return OK
+	}
+	strike := false
+	switch {
+	case err == nil:
+		if slowdown >= dt.cfg.SlowFactor {
+			dt.timeouts++
+			strike = true
+		}
+	case errors.Is(err, storage.ErrBadBlock):
+		dt.badBlocks++
+	case errors.Is(err, storage.ErrNotWritten):
+		// The disk answered; the block is absent. Not a fault.
+	default:
+		dt.hardErrors++
+		strike = true
+	}
+
+	var fire func(int)
+	if strike {
+		dt.consec[disk]++
+		if dt.state[disk] != Down {
+			if dt.consec[disk] >= dt.cfg.FailThreshold {
+				dt.state[disk] = Down
+				dt.declared++
+				fire = dt.onFail
+			} else {
+				dt.state[disk] = Suspect
+			}
+		}
+	} else if err == nil && dt.state[disk] != Down {
+		dt.consec[disk] = 0
+		dt.state[disk] = OK
+	}
+	st := dt.state[disk]
+	dt.mu.Unlock()
+	if fire != nil {
+		fire(disk)
+	}
+	return st
+}
+
+// Read performs one monitored block read with bounded retry and backoff:
+// attempt() is tried up to Retries+1 times; every outcome is Observed.
+// Hard errors and timeouts retry; a bad block retries once then
+// surfaces (reconstruction is the cure, not persistence); ErrNotWritten
+// surfaces immediately. The returned error is the last attempt's.
+func (dt *Detector) Read(disk int, attempt func() (data []byte, slowdown float64, err error)) ([]byte, error) {
+	dt.mu.Lock()
+	cfg := dt.cfg
+	dt.mu.Unlock()
+	var lastErr error
+	for try := 0; try <= cfg.Retries; try++ {
+		if try > 0 && cfg.Backoff != nil {
+			cfg.Backoff(try)
+		}
+		data, slowdown, err := attempt()
+		dt.Observe(disk, slowdown, err)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if errors.Is(err, storage.ErrNotWritten) {
+			return nil, err
+		}
+		if errors.Is(err, storage.ErrBadBlock) && try >= 1 {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}

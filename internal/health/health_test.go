@@ -1,0 +1,189 @@
+package health
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ftcms/internal/storage"
+)
+
+func TestConsecutiveHardErrorsDeclareFailure(t *testing.T) {
+	dt := NewDetector(4, Config{FailThreshold: 3})
+	var failed []int
+	dt.SetOnFail(func(d int) { failed = append(failed, d) })
+
+	if st := dt.Observe(1, 1, storage.ErrFailed); st != Suspect {
+		t.Fatalf("after 1 error: %v, want Suspect", st)
+	}
+	dt.Observe(1, 1, storage.ErrFailed)
+	if st := dt.Observe(1, 1, storage.ErrFailed); st != Down {
+		t.Fatalf("after 3 errors: %v, want Down", st)
+	}
+	if len(failed) != 1 || failed[0] != 1 {
+		t.Fatalf("OnFail fired %v, want [1]", failed)
+	}
+	// Further errors do not re-fire.
+	dt.Observe(1, 1, storage.ErrFailed)
+	if len(failed) != 1 {
+		t.Fatalf("OnFail re-fired: %v", failed)
+	}
+	// Other disks unaffected.
+	if st := dt.State(0); st != OK {
+		t.Fatalf("disk 0: %v, want OK", st)
+	}
+}
+
+func TestSuccessResetsStrikes(t *testing.T) {
+	dt := NewDetector(2, Config{FailThreshold: 3})
+	dt.Observe(0, 1, storage.ErrFailed)
+	dt.Observe(0, 1, storage.ErrFailed)
+	dt.Observe(0, 1, nil)
+	if got := dt.ConsecutiveErrors(0); got != 0 {
+		t.Fatalf("strikes after success = %d, want 0", got)
+	}
+	if st := dt.State(0); st != OK {
+		t.Fatalf("state = %v, want OK", st)
+	}
+	dt.Observe(0, 1, storage.ErrFailed)
+	dt.Observe(0, 1, storage.ErrFailed)
+	if st := dt.State(0); st != Suspect {
+		t.Fatalf("interleaved errors must not accumulate to Down: %v", st)
+	}
+}
+
+func TestTimeoutsCountAsStrikes(t *testing.T) {
+	dt := NewDetector(2, Config{FailThreshold: 2, SlowFactor: 4})
+	var fired bool
+	dt.SetOnFail(func(int) { fired = true })
+	dt.Observe(0, 4, nil) // slow but successful: strike
+	dt.Observe(0, 2, nil) // mildly slow: success, resets
+	if got := dt.ConsecutiveErrors(0); got != 0 {
+		t.Fatalf("strikes = %d, want 0 after fast-enough read", got)
+	}
+	dt.Observe(0, 5, nil)
+	dt.Observe(0, 9, nil)
+	if !fired || dt.State(0) != Down {
+		t.Fatalf("two timeouts at threshold 2: fired=%v state=%v", fired, dt.State(0))
+	}
+	if s := dt.Stats(); s.Timeouts != 3 {
+		t.Fatalf("Timeouts = %d, want 3", s.Timeouts)
+	}
+}
+
+func TestBadBlockAndNotWrittenAreNotDiskStrikes(t *testing.T) {
+	dt := NewDetector(1, Config{FailThreshold: 1})
+	var fired bool
+	dt.SetOnFail(func(int) { fired = true })
+	dt.Observe(0, 1, fmt.Errorf("wrapped: %w", storage.ErrBadBlock))
+	dt.Observe(0, 1, fmt.Errorf("wrapped: %w", storage.ErrNotWritten))
+	if fired || dt.State(0) != OK {
+		t.Fatalf("media/absent errors declared the disk failed (state %v)", dt.State(0))
+	}
+	if s := dt.Stats(); s.BadBlocks != 1 {
+		t.Fatalf("BadBlocks = %d, want 1", s.BadBlocks)
+	}
+}
+
+func TestResetClearsDown(t *testing.T) {
+	dt := NewDetector(1, Config{FailThreshold: 1})
+	dt.Observe(0, 1, storage.ErrFailed)
+	if dt.State(0) != Down {
+		t.Fatal("not Down")
+	}
+	dt.Reset(0)
+	if dt.State(0) != OK || dt.ConsecutiveErrors(0) != 0 {
+		t.Fatalf("after Reset: %v, %d strikes", dt.State(0), dt.ConsecutiveErrors(0))
+	}
+}
+
+func TestReadRetriesTransientErrors(t *testing.T) {
+	dt := NewDetector(1, Config{Retries: 2, FailThreshold: 10})
+	attempts := 0
+	data, err := dt.Read(0, func() ([]byte, float64, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, 1, storage.ErrFailed
+		}
+		return []byte{42}, 1, nil
+	})
+	if err != nil || len(data) != 1 || data[0] != 42 {
+		t.Fatalf("Read = %v, %v after %d attempts", data, err, attempts)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	// Success reset the strike count.
+	if got := dt.ConsecutiveErrors(0); got != 0 {
+		t.Fatalf("strikes = %d, want 0", got)
+	}
+}
+
+func TestReadExhaustsRetriesAndDeclares(t *testing.T) {
+	dt := NewDetector(1, Config{Retries: 2, FailThreshold: 3})
+	var fired bool
+	dt.SetOnFail(func(int) { fired = true })
+	attempts := 0
+	_, err := dt.Read(0, func() ([]byte, float64, error) {
+		attempts++
+		return nil, 1, storage.ErrFailed
+	})
+	if !errors.Is(err, storage.ErrFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	// 3 consecutive failures ≥ threshold 3 → declared during the read.
+	if !fired || dt.State(0) != Down {
+		t.Fatalf("fired=%v state=%v, want declaration", fired, dt.State(0))
+	}
+}
+
+func TestReadBadBlockSurfacesAfterOneRetry(t *testing.T) {
+	dt := NewDetector(1, Config{Retries: 5})
+	attempts := 0
+	_, err := dt.Read(0, func() ([]byte, float64, error) {
+		attempts++
+		return nil, 1, storage.ErrBadBlock
+	})
+	if !errors.Is(err, storage.ErrBadBlock) {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one retry for a media error)", attempts)
+	}
+}
+
+func TestReadNotWrittenSurfacesImmediately(t *testing.T) {
+	dt := NewDetector(1, Config{Retries: 5})
+	attempts := 0
+	_, err := dt.Read(0, func() ([]byte, float64, error) {
+		attempts++
+		return nil, 1, storage.ErrNotWritten
+	})
+	if !errors.Is(err, storage.ErrNotWritten) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d, want immediate ErrNotWritten", err, attempts)
+	}
+}
+
+func TestReadBackoffCalledBetweenRetries(t *testing.T) {
+	var waits []int
+	dt := NewDetector(1, Config{Retries: 2, FailThreshold: 99, Backoff: func(n int) { waits = append(waits, n) }})
+	_, _ = dt.Read(0, func() ([]byte, float64, error) { return nil, 1, storage.ErrFailed })
+	if len(waits) != 2 || waits[0] != 1 || waits[1] != 2 {
+		t.Fatalf("backoff calls = %v, want [1 2]", waits)
+	}
+}
+
+func TestExponentialBackoffSleeps(t *testing.T) {
+	b := ExponentialBackoff(time.Millisecond)
+	start := time.Now()
+	b(1)
+	b(2)
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("backoff slept only %v", elapsed)
+	}
+	b(99) // capped shift must not overflow
+}

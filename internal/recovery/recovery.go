@@ -86,17 +86,21 @@ func (s *Store) rebuildParity(g layout.Group) error {
 }
 
 // ReadBlock returns logical block i, reconstructing it from its parity
-// group when its disk has failed.
+// group when its disk has failed, when the block is a latent bad block,
+// or when it has not yet been rebuilt onto a replacement spare.
 func (s *Store) ReadBlock(i int64) ([]byte, error) {
 	addr := s.Layout.Place(i)
 	buf, err := s.Array.Read(addr.Disk, addr.Block)
 	if err == nil {
 		return buf, nil
 	}
-	if !errors.Is(err, storage.ErrFailed) {
-		return nil, err
+	switch {
+	case errors.Is(err, storage.ErrFailed), errors.Is(err, storage.ErrBadBlock):
+		return s.Reconstruct(i)
+	case errors.Is(err, storage.ErrNotWritten) && s.Array.State(addr.Disk) == storage.Rebuilding:
+		return s.Reconstruct(i)
 	}
-	return s.Reconstruct(i)
+	return nil, err
 }
 
 // Reconstruct rebuilds logical block i from the surviving members of its

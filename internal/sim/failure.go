@@ -1,8 +1,143 @@
 package sim
 
 import (
+	"fmt"
+	"sort"
+
 	"ftcms/internal/analytic"
+	"ftcms/internal/units"
 )
+
+// initTrace normalizes the failure script: the legacy
+// FailDisk/FailAt/Rebuild shorthand becomes a one-event trace, events are
+// validated and ordered by time.
+func (e *engine) initTrace() error {
+	trace := e.cfg.Trace
+	if len(trace) == 0 && e.cfg.FailDisk >= 0 && e.cfg.FailDisk < e.cfg.D {
+		trace = []FailureEvent{{Disk: e.cfg.FailDisk, At: e.cfg.FailAt, Rebuild: e.cfg.Rebuild}}
+	}
+	for _, ev := range trace {
+		if ev.Disk < 0 || ev.Disk >= e.cfg.D {
+			return fmt.Errorf("sim: trace disk %d out of range [0, %d)", ev.Disk, e.cfg.D)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("sim: trace event at negative time %v", ev.At)
+		}
+	}
+	e.trace = append([]FailureEvent(nil), trace...)
+	sort.SliceStable(e.trace, func(i, j int) bool { return e.trace[i].At < e.trace[j].At })
+	return nil
+}
+
+// rebuildTarget is the number of reconstruction reads a full online
+// rebuild of one disk needs (whole-group slots for streaming RAID, where
+// the cluster read that serves a group also yields the lost block).
+func (e *engine) rebuildTarget() int64 {
+	blocksOnDisk := int64(e.cfg.Disk.Capacity / e.op.Block)
+	if e.cfg.Scheme == analytic.StreamingRAID {
+		return blocksOnDisk
+	}
+	return blocksOnDisk * int64(e.cfg.P-1)
+}
+
+// independent reports whether two failed disks are in disjoint parity
+// domains — both then degrade to ordinary single failures. The clustered
+// schemes confine every parity group to one cluster; the declustered and
+// flat layouts spread groups across all disks, so any pair overlaps.
+func (e *engine) independent(x, y int) bool {
+	switch e.cfg.Scheme {
+	case analytic.PrefetchParityDisk, analytic.StreamingRAID, analytic.NonClustered:
+		return x/e.cfg.P != y/e.cfg.P
+	}
+	return false
+}
+
+// dueLoad is the number of blocks due from disk x this round — the load
+// that is lost outright while x is the younger disk of a dependent double
+// failure (its groups cannot reconstruct).
+func (e *engine) dueLoad(now int64, x int) int64 {
+	p := e.cfg.P
+	switch e.cfg.Scheme {
+	case analytic.Declustered:
+		if e.cfg.Dynamic {
+			return int64(e.ctrl.(dynamicCtrl).d.DiskLoad(now, x))
+		}
+		return int64(e.ctrl.(staticCtrl).s.DiskLoad(now, x))
+	case analytic.PrefetchFlat:
+		return int64(e.ctrl.(staticCtrl).s.DiskLoad(now, x))
+	case analytic.PrefetchParityDisk, analytic.NonClustered:
+		if x%p == p-1 {
+			return 0 // parity disk: no data blocks due
+		}
+		return int64(e.ctrl.(simpleCtrl).s.UnitLoad(now, x/p*(p-1)+x%p))
+	case analytic.StreamingRAID:
+		// Every active group read of the cluster loses its block: the
+		// group is short two members.
+		return int64(e.ctrl.(simpleCtrl).s.UnitLoad(now, x/p))
+	}
+	return 0
+}
+
+// failureStep activates scripted failures due this round and accounts
+// every outstanding one. The oldest failure of each dependent set is
+// accounted per-scheme (reconstruction load, deadline misses, rebuild
+// spare); each younger dependent failure loses its due blocks outright
+// and its rebuild stalls until it becomes the oldest.
+func (e *engine) failureStep(now int64) {
+	for e.nextEvent < len(e.trace) {
+		ev := e.trace[e.nextEvent]
+		round := int64(float64(ev.At) / float64(e.roundDur))
+		if round > now {
+			break
+		}
+		e.nextEvent++
+		alreadyFailed := false
+		for _, f := range e.failures {
+			if f.disk == ev.Disk {
+				alreadyFailed = true
+				break
+			}
+		}
+		if alreadyFailed {
+			continue
+		}
+		f := &failureState{disk: ev.Disk, failRound: now, rebuild: ev.Rebuild}
+		if ev.Rebuild {
+			f.remaining = e.rebuildTarget()
+			e.rebuildsReq++
+		}
+		e.failures = append(e.failures, f)
+	}
+
+	for idx := 0; idx < len(e.failures); {
+		f := e.failures[idx]
+		shadowed := false
+		for _, older := range e.failures[:idx] {
+			if !e.independent(older.disk, f.disk) {
+				shadowed = true
+				break
+			}
+		}
+		if shadowed {
+			e.res.LostBlocks += e.dueLoad(now, f.disk)
+			idx++
+			continue
+		}
+		spare := e.accountFailure(now, f.disk, now == f.failRound)
+		if f.rebuild {
+			f.remaining -= spare
+			if f.remaining <= 0 {
+				e.res.RebuildsDone++
+				if e.res.RebuildTime == 0 {
+					e.res.RebuildTime = units.Duration(now-f.failRound+1) * e.roundDur
+				}
+				e.failures = append(e.failures[:idx], e.failures[idx+1:]...)
+				continue
+			}
+		}
+		idx++
+	}
+}
 
 // accountFailure charges every surviving disk with the reconstruction
 // reads its scheme generates for the failed disk during this round,
@@ -30,8 +165,7 @@ import (
 //     every surviving disk of the cluster serves every clip of the
 //     cluster; any excess over q is a deadline miss, and at the failure
 //     round itself the blocks already due from the failed disk are lost.
-func (e *engine) accountFailure(now int64, transition bool) (spare int64) {
-	x := e.cfg.FailDisk
+func (e *engine) accountFailure(now int64, x int, transition bool) (spare int64) {
 	d, p := e.cfg.D, e.cfg.P
 	q := e.op.Q
 

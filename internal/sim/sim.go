@@ -74,6 +74,15 @@ type Config struct {
 	// to reading surviving group members, until blocks·(p−1) reads have
 	// been served. The failed disk rejoins when the rebuild finishes.
 	Rebuild bool
+	// Trace scripts a multi-event failure sequence (fail → rebuild →
+	// second failure → …). When non-empty it supersedes the
+	// FailDisk/FailAt/Rebuild single-event shorthand. While two dependent
+	// failures overlap (same parity domain: any pair for the declustered
+	// and flat schemes, same cluster for the clustered ones), the younger
+	// failed disk's due blocks are counted as LostBlocks each round and
+	// its rebuild stalls; independent failures are each accounted as
+	// ordinary single failures.
+	Trace []FailureEvent
 	// Selector overrides uniform clip choice when non-nil.
 	Selector workload.Selector
 	// Arrivals overrides the generated Poisson trace when non-nil (e.g.
@@ -85,6 +94,18 @@ type Config struct {
 	// the same clip that started within the window, consuming no extra
 	// disk bandwidth or buffer — the classic VoD multicast optimization.
 	BatchWindow units.Duration
+}
+
+// FailureEvent is one scripted disk failure in a Config.Trace.
+type FailureEvent struct {
+	// Disk fails at time At. Re-failing a disk that has since been
+	// rebuilt starts a fresh failure; re-failing a still-failed disk is
+	// ignored.
+	Disk int
+	// At is the failure time.
+	At units.Duration
+	// Rebuild starts an online rebuild onto a hot spare immediately.
+	Rebuild bool
 }
 
 // Result carries the run's metrics.
@@ -119,10 +140,14 @@ type Result struct {
 	// guarantees zero).
 	LostBlocks int64
 	// RebuildTime is how long the online rebuild took (zero when Rebuild
-	// is off or the rebuild did not finish inside the run).
+	// is off or the rebuild did not finish inside the run). With a
+	// multi-event Trace it is the first completed rebuild's duration.
 	RebuildTime units.Duration
-	// RebuildDone reports whether the rebuild finished inside the run.
+	// RebuildDone reports whether every requested rebuild finished
+	// inside the run.
 	RebuildDone bool
+	// RebuildsDone counts completed online rebuilds across the trace.
+	RebuildsDone int
 }
 
 // clip is one active stream. Failure accounting reads the controllers'
@@ -192,7 +217,24 @@ type engine struct {
 	// row(C).
 	position []startPos
 
+	// Failure-trace state (failure.go): pending scripted events and the
+	// failures currently outstanding, oldest first.
+	trace       []FailureEvent
+	nextEvent   int
+	failures    []*failureState
+	rebuildsReq int
+
 	res Result
+}
+
+// failureState is one outstanding disk failure from the trace.
+type failureState struct {
+	disk      int
+	failRound int64
+	rebuild   bool
+	// remaining is the number of reconstruction reads the online rebuild
+	// still needs (group slots for streaming RAID).
+	remaining int64
 }
 
 type pending struct {
@@ -375,22 +417,8 @@ func (e *engine) run() (Result, error) {
 	}
 
 	totalRounds := int64(float64(e.cfg.Duration)/float64(e.roundDur)) + 1
-	failRound := int64(-1)
-	if e.cfg.FailDisk >= 0 && e.cfg.FailDisk < e.cfg.D {
-		failRound = int64(float64(e.cfg.FailAt) / float64(e.roundDur))
-	}
-	// Online rebuild bookkeeping: reads still needed to resurrect the
-	// failed disk onto a spare (§4's contingency bandwidth doubles as
-	// rebuild bandwidth). Streaming RAID rebuilds at group granularity.
-	failed := false
-	rebuildRemaining := int64(0)
-	if failRound >= 0 && e.cfg.Rebuild {
-		blocksOnDisk := int64(e.cfg.Disk.Capacity / e.op.Block)
-		if e.cfg.Scheme == analytic.StreamingRAID {
-			rebuildRemaining = blocksOnDisk
-		} else {
-			rebuildRemaining = blocksOnDisk * int64(e.cfg.P-1)
-		}
+	if err := e.initTrace(); err != nil {
+		return Result{}, err
 	}
 
 	var responseSum units.Duration
@@ -460,23 +488,11 @@ func (e *engine) run() (Result, error) {
 			e.res.PeakActive = e.nactive
 		}
 
-		// 4. Failure-mode accounting and online rebuild.
-		if failRound >= 0 && now == failRound {
-			failed = true
-		}
-		if failed {
-			spare := e.accountFailure(now, now == failRound)
-			if e.cfg.Rebuild {
-				rebuildRemaining -= spare
-				if rebuildRemaining <= 0 {
-					failed = false
-					e.res.RebuildDone = true
-					e.res.RebuildTime = units.Duration(now-failRound+1) * e.roundDur
-				}
-			}
-		}
+		// 4. Failure-mode accounting and online rebuilds (failure.go).
+		e.failureStep(now)
 	}
 
+	e.res.RebuildDone = e.rebuildsReq > 0 && e.res.RebuildsDone == e.rebuildsReq
 	e.res.Rounds = totalRounds
 	e.res.Block = e.op.Block
 	e.res.Q, e.res.F = e.op.Q, e.op.F

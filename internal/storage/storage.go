@@ -1,11 +1,26 @@
 // Package storage simulates the disk array at byte level: d disks holding
-// fixed-size blocks, with single-disk failure injection. It gives the
-// fault-tolerance schemes something real to reconstruct, so tests can
-// verify recovery bit-for-bit rather than by bookkeeping alone.
+// fixed-size blocks, with failure injection. It gives the fault-tolerance
+// schemes something real to reconstruct, so tests can verify recovery
+// bit-for-bit rather than by bookkeeping alone.
 //
-// The array is deliberately simple — a block store with failure state, no
-// timing. Timing lives in diskmodel; placement in layout; reconstruction
-// in recovery.
+// The array is deliberately simple — a block store with per-disk failure
+// state, no timing. Timing lives in diskmodel; placement in layout;
+// reconstruction in recovery. Failure *injection* (latent bad blocks,
+// transient errors, slow disks) lives in faultinject and reaches the
+// array through the per-operation ReadHook; failure *detection* lives in
+// health.
+//
+// A disk is in one of three states:
+//
+//   - Healthy: reads and writes served normally.
+//   - Failed: every read and write is rejected with ErrFailed — a
+//     crashed, fail-stop device.
+//   - Rebuilding: a hot spare has been swapped in for a failed disk. The
+//     spare starts empty and is written block by block by the online
+//     rebuild. Present blocks read normally; absent blocks return
+//     ErrNotWritten and are NOT zero-filled by ReadZero — an unrebuilt
+//     block must never masquerade as zeroes, or a concurrent second
+//     failure would silently corrupt reconstructions that XOR it in.
 package storage
 
 import (
@@ -14,12 +29,53 @@ import (
 	"sync"
 )
 
-// ErrFailed is returned when reading any block of a failed disk.
+// ErrFailed is returned when reading or writing any block of a failed
+// disk (and by injected hard errors, so detection treats them alike).
 var ErrFailed = errors.New("storage: disk failed")
 
 // ErrNotWritten is returned when reading a block that was never written.
 // Callers that treat absent blocks as zero-filled should use ReadZero.
 var ErrNotWritten = errors.New("storage: block not written")
+
+// ErrBadBlock is returned for a latent sector error: the disk responds
+// but this one block is unreadable. Unlike ErrFailed it indicts a block,
+// not a device — the cure is reconstructing the block from its parity
+// group and rewriting it, not failing the disk.
+var ErrBadBlock = errors.New("storage: unreadable block (latent sector error)")
+
+// DiskState is the lifecycle state of one disk.
+type DiskState int
+
+// Disk lifecycle states.
+const (
+	// Healthy disks serve reads and writes.
+	Healthy DiskState = iota
+	// Failed disks reject every operation with ErrFailed.
+	Failed
+	// Rebuilding disks are empty spares being refilled by an online
+	// rebuild; absent blocks read as ErrNotWritten, never as zeroes.
+	Rebuilding
+)
+
+// String names the state for logs and error messages.
+func (s DiskState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Failed:
+		return "failed"
+	case Rebuilding:
+		return "rebuilding"
+	}
+	return fmt.Sprintf("DiskState(%d)", int(s))
+}
+
+// ReadHook inspects a physical block read before the array serves it. A
+// non-nil error is injected in place of the data (the block itself is
+// untouched); slowdown scales the read's nominal service time (values
+// below 1 are treated as 1) and feeds the health detector's timeout
+// accounting. Hooks must not call back into the Array.
+type ReadHook func(disk int, block int64) (slowdown float64, err error)
 
 // Array is a simulated array of d disks, each a sparse sequence of
 // fixed-size blocks. It is safe for concurrent use.
@@ -28,7 +84,8 @@ type Array struct {
 	d         int
 	blockSize int
 	disks     []map[int64][]byte
-	failed    []bool
+	state     []DiskState
+	hook      ReadHook
 
 	// reads counts successful block reads per disk, for load assertions.
 	reads []int64
@@ -46,7 +103,7 @@ func NewArray(d, blockSize int) (*Array, error) {
 		d:         d,
 		blockSize: blockSize,
 		disks:     make([]map[int64][]byte, d),
-		failed:    make([]bool, d),
+		state:     make([]DiskState, d),
 		reads:     make([]int64, d),
 	}
 	for i := range a.disks {
@@ -61,6 +118,14 @@ func (a *Array) Disks() int { return a.d }
 // BlockSize returns the block size in bytes.
 func (a *Array) BlockSize() int { return a.blockSize }
 
+// SetReadHook installs (or, with nil, removes) the fault-injection hook
+// consulted on every physical read of a non-failed disk.
+func (a *Array) SetReadHook(h ReadHook) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.hook = h
+}
+
 func (a *Array) checkAddr(disk int, block int64) error {
 	if disk < 0 || disk >= a.d {
 		return fmt.Errorf("storage: disk %d out of range [0, %d)", disk, a.d)
@@ -71,9 +136,10 @@ func (a *Array) checkAddr(disk int, block int64) error {
 	return nil
 }
 
-// Write stores data (exactly blockSize bytes) at (disk, block). Writing to
-// a failed disk is rejected: the array models a crashed, not a degraded,
-// device.
+// Write stores data (exactly blockSize bytes) at (disk, block). Writing
+// to a failed disk is rejected: the array models a crashed, not a
+// degraded, device. Rebuilding disks accept writes — that is how the
+// online rebuild refills the spare.
 func (a *Array) Write(disk int, block int64, data []byte) error {
 	if err := a.checkAddr(disk, block); err != nil {
 		return err
@@ -83,7 +149,7 @@ func (a *Array) Write(disk int, block int64, data []byte) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.failed[disk] {
+	if a.state[disk] == Failed {
 		return fmt.Errorf("storage: write to disk %d: %w", disk, ErrFailed)
 	}
 	buf := make([]byte, a.blockSize)
@@ -93,31 +159,62 @@ func (a *Array) Write(disk int, block int64, data []byte) error {
 }
 
 // Read returns a copy of the block at (disk, block). It fails with
-// ErrFailed for failed disks and ErrNotWritten for absent blocks.
+// ErrFailed for failed disks, ErrNotWritten for absent blocks, and
+// whatever the installed ReadHook injects.
 func (a *Array) Read(disk int, block int64) ([]byte, error) {
+	out, _, err := a.ReadTimed(disk, block)
+	return out, err
+}
+
+// ReadTimed is Read plus the service-time multiplier the fault-injection
+// hook reported for this read (1 when no hook is installed or the hook
+// left timing alone). The health detector consumes the multiplier as its
+// timeout signal.
+func (a *Array) ReadTimed(disk int, block int64) ([]byte, float64, error) {
 	if err := a.checkAddr(disk, block); err != nil {
-		return nil, err
+		return nil, 1, err
+	}
+	a.mu.RLock()
+	h := a.hook
+	failed := a.state[disk] == Failed
+	a.mu.RUnlock()
+	if failed {
+		return nil, 1, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrFailed)
+	}
+	slow := 1.0
+	if h != nil {
+		var err error
+		slow, err = h(disk, block)
+		if slow < 1 {
+			slow = 1
+		}
+		if err != nil {
+			return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, err)
+		}
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.failed[disk] {
-		return nil, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrFailed)
+	if a.state[disk] == Failed { // re-check: may have failed while hook ran
+		return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrFailed)
 	}
 	buf, ok := a.disks[disk][block]
 	if !ok {
-		return nil, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrNotWritten)
+		return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrNotWritten)
 	}
 	a.reads[disk]++
 	out := make([]byte, a.blockSize)
 	copy(out, buf)
-	return out, nil
+	return out, slow, nil
 }
 
-// ReadZero is Read, except an absent block on a healthy disk reads as
-// zeroes — the convention parity maintenance uses for short groups.
+// ReadZero is Read, except an absent block on a *healthy* disk reads as
+// zeroes — the convention parity maintenance uses for short groups. On a
+// rebuilding disk an absent block stays ErrNotWritten: it has real
+// contents that simply have not been rebuilt yet, and zero-filling it
+// would corrupt any reconstruction that XORs it in.
 func (a *Array) ReadZero(disk int, block int64) ([]byte, error) {
 	out, err := a.Read(disk, block)
-	if errors.Is(err, ErrNotWritten) {
+	if errors.Is(err, ErrNotWritten) && a.State(disk) == Healthy {
 		a.mu.Lock()
 		a.reads[disk]++
 		a.mu.Unlock()
@@ -126,36 +223,100 @@ func (a *Array) ReadZero(disk int, block int64) ([]byte, error) {
 	return out, err
 }
 
+// Written reports whether (disk, block) currently holds a written block.
+// It consults neither the read hook nor the failure state and does not
+// count as a read — a planning probe for rebuild and recoverability
+// enumeration, not a data access.
+func (a *Array) Written(disk int, block int64) bool {
+	if a.checkAddr(disk, block) != nil {
+		return false
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	_, ok := a.disks[disk][block]
+	return ok
+}
+
 // Fail marks a disk as failed. Its contents become unreadable until
-// Repair. Failing an already-failed disk is a no-op.
+// Repair or Replace. Fail is idempotent: failing an already-failed disk
+// is a no-op, and failing a rebuilding disk fails the spare (its partial
+// contents are discarded — the spare crashed too).
 func (a *Array) Fail(disk int) error {
 	if err := a.checkAddr(disk, 0); err != nil {
 		return err
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.failed[disk] = true
+	a.state[disk] = Failed
 	return nil
 }
 
-// Repair clears the failure flag and erases the disk's contents — a
-// replaced drive comes back empty and must be rebuilt.
+// Replace swaps a hot spare in for a failed disk: the slot transitions
+// Failed → Rebuilding with empty contents. The online rebuild then
+// refills it with Write and declares it live with Rejoin. Replacing a
+// non-failed disk is an error.
+func (a *Array) Replace(disk int) error {
+	if err := a.checkAddr(disk, 0); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state[disk] != Failed {
+		return fmt.Errorf("storage: replace disk %d: disk is %v, not failed", disk, a.state[disk])
+	}
+	a.state[disk] = Rebuilding
+	a.disks[disk] = make(map[int64][]byte)
+	return nil
+}
+
+// Rejoin promotes a fully-rebuilt spare to healthy. Rejoining a disk
+// that is not rebuilding is an error.
+func (a *Array) Rejoin(disk int) error {
+	if err := a.checkAddr(disk, 0); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state[disk] != Rebuilding {
+		return fmt.Errorf("storage: rejoin disk %d: disk is %v, not rebuilding", disk, a.state[disk])
+	}
+	a.state[disk] = Healthy
+	return nil
+}
+
+// Repair clears the failure flag and erases the disk's contents in one
+// step — a replaced drive comes back empty, immediately healthy, and
+// must be rebuilt by the caller before its blocks are read. The online
+// rebuild path uses Replace/Rejoin instead so partially-rebuilt blocks
+// are never zero-filled.
 func (a *Array) Repair(disk int) error {
 	if err := a.checkAddr(disk, 0); err != nil {
 		return err
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.failed[disk] = false
+	a.state[disk] = Healthy
 	a.disks[disk] = make(map[int64][]byte)
 	return nil
 }
 
-// Failed reports whether the disk is failed.
+// State returns the disk's lifecycle state (Healthy for out-of-range
+// indices, matching Failed's tolerance).
+func (a *Array) State(disk int) DiskState {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if disk < 0 || disk >= a.d {
+		return Healthy
+	}
+	return a.state[disk]
+}
+
+// Failed reports whether the disk is failed (a rebuilding disk is not:
+// it serves the blocks already rebuilt).
 func (a *Array) Failed(disk int) bool {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	return disk >= 0 && disk < a.d && a.failed[disk]
+	return disk >= 0 && disk < a.d && a.state[disk] == Failed
 }
 
 // FailedDisks returns the indices of all failed disks.
@@ -163,8 +324,8 @@ func (a *Array) FailedDisks() []int {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	var out []int
-	for i, f := range a.failed {
-		if f {
+	for i, st := range a.state {
+		if st == Failed {
 			out = append(out, i)
 		}
 	}

@@ -200,3 +200,152 @@ func TestConcurrentAccess(t *testing.T) {
 		}
 	}
 }
+
+func TestFailIdempotent(t *testing.T) {
+	a := newArray(t)
+	if err := a.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fail(1); err != nil {
+		t.Fatalf("second Fail errored: %v", err)
+	}
+	if !a.Failed(1) || a.State(1) != Failed {
+		t.Fatalf("disk 1 state = %v, want Failed", a.State(1))
+	}
+}
+
+func TestReplaceRejoinLifecycle(t *testing.T) {
+	a := newArray(t)
+	if err := a.Write(2, 0, block(0xAB, 16)); err != nil {
+		t.Fatal(err)
+	}
+	// Replace requires a failed disk.
+	if err := a.Replace(2); err == nil {
+		t.Error("Replace accepted a healthy disk")
+	}
+	if err := a.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Replace(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.State(2) != Rebuilding {
+		t.Fatalf("state = %v, want Rebuilding", a.State(2))
+	}
+	if a.Failed(2) {
+		t.Error("rebuilding disk reports Failed")
+	}
+	// The spare comes up empty: absent blocks are ErrNotWritten, and
+	// ReadZero must NOT zero-fill them.
+	if _, err := a.Read(2, 0); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("read of unrebuilt block: %v, want ErrNotWritten", err)
+	}
+	if _, err := a.ReadZero(2, 0); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("ReadZero of unrebuilt block: %v, want ErrNotWritten", err)
+	}
+	// Rebuild writes are accepted; rebuilt blocks read back.
+	if err := a.Write(2, 0, block(0xCD, 16)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Read(2, 0)
+	if err != nil || !bytes.Equal(got, block(0xCD, 16)) {
+		t.Fatalf("rebuilt block read = %v, %v", got, err)
+	}
+	if err := a.Rejoin(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.State(2) != Healthy {
+		t.Fatalf("state after Rejoin = %v, want Healthy", a.State(2))
+	}
+	// ReadZero zero-fills absent blocks again once healthy.
+	if got, err := a.ReadZero(2, 9); err != nil || !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatalf("ReadZero on healthy disk = %v, %v", got, err)
+	}
+	if err := a.Rejoin(2); err == nil {
+		t.Error("Rejoin accepted a healthy disk")
+	}
+}
+
+func TestFailDuringRebuildFailsSpare(t *testing.T) {
+	a := newArray(t)
+	if err := a.Fail(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Replace(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Write(3, 0, block(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fail(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.State(3) != Failed {
+		t.Fatalf("state = %v, want Failed", a.State(3))
+	}
+	if _, err := a.Read(3, 0); !errors.Is(err, ErrFailed) {
+		t.Fatalf("read of re-failed spare: %v, want ErrFailed", err)
+	}
+}
+
+func TestReadHookInjection(t *testing.T) {
+	a := newArray(t)
+	if err := a.Write(0, 0, block(7, 16)); err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	a.SetReadHook(func(disk int, blk int64) (float64, error) {
+		calls++
+		if disk == 0 && blk == 0 && calls == 1 {
+			return 1, ErrBadBlock
+		}
+		return 3.5, nil
+	})
+	if _, err := a.Read(0, 0); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("first read: %v, want ErrBadBlock", err)
+	}
+	got, slow, err := a.ReadTimed(0, 0)
+	if err != nil || !bytes.Equal(got, block(7, 16)) {
+		t.Fatalf("second read = %v, %v", got, err)
+	}
+	if slow != 3.5 {
+		t.Fatalf("slowdown = %v, want 3.5", slow)
+	}
+	// Hook does not fire for failed disks: ErrFailed wins.
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	before := calls
+	if _, err := a.Read(0, 0); !errors.Is(err, ErrFailed) {
+		t.Fatalf("read of failed disk: %v, want ErrFailed", err)
+	}
+	if calls != before {
+		t.Error("hook fired for a failed disk")
+	}
+	// Removing the hook restores plain reads.
+	a.SetReadHook(nil)
+	if err := a.Repair(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadZero(0, 5); err != nil {
+		t.Fatalf("ReadZero after hook removal: %v", err)
+	}
+}
+
+func TestRepairRestoresHealthyFromAnyState(t *testing.T) {
+	a := newArray(t)
+	for _, setup := range []func() error{
+		func() error { return a.Fail(1) },
+		func() error { _ = a.Fail(1); return a.Replace(1) },
+	} {
+		if err := setup(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Repair(1); err != nil {
+			t.Fatal(err)
+		}
+		if a.State(1) != Healthy {
+			t.Fatalf("state after Repair = %v, want Healthy", a.State(1))
+		}
+	}
+}
