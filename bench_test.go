@@ -19,6 +19,7 @@ package ftcms
 
 import (
 	"io"
+	"strconv"
 	"testing"
 
 	"ftcms/internal/admission"
@@ -89,7 +90,7 @@ func benchFigure5(b *testing.B, buffer units.Bits) {
 		}
 	}
 	for _, pt := range points {
-		b.ReportMetric(float64(pt.Clips), "clips/"+short(pt.Scheme)+"-p"+itoa(pt.P))
+		b.ReportMetric(float64(pt.Clips), "clips/"+pt.Scheme.Short()+"-p"+strconv.Itoa(pt.P))
 	}
 }
 
@@ -106,7 +107,7 @@ func benchFigure6(b *testing.B, buffer units.Bits) {
 		}
 	}
 	for _, pt := range points {
-		b.ReportMetric(float64(pt.Serviced), "serviced/"+short(pt.Scheme)+"-p"+itoa(pt.P))
+		b.ReportMetric(float64(pt.Serviced), "serviced/"+pt.Scheme.Short()+"-p"+strconv.Itoa(pt.P))
 	}
 }
 
@@ -139,7 +140,7 @@ func BenchmarkFailureContinuity(b *testing.B) {
 		}
 	}
 	for _, pt := range pts {
-		b.ReportMetric(float64(pt.DeadlineMisses), "misses/"+short(pt.Scheme)+"-p"+itoa(pt.P))
+		b.ReportMetric(float64(pt.DeadlineMisses), "misses/"+pt.Scheme.Short()+"-p"+strconv.Itoa(pt.P))
 	}
 }
 
@@ -195,37 +196,6 @@ func BenchmarkSimRound(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-}
-
-func short(s analytic.Scheme) string {
-	switch s {
-	case analytic.Declustered:
-		return "decl"
-	case analytic.PrefetchFlat:
-		return "pflat"
-	case analytic.PrefetchParityDisk:
-		return "ppd"
-	case analytic.StreamingRAID:
-		return "sraid"
-	case analytic.NonClustered:
-		return "nc"
-	default:
-		return "unk"
-	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }
 
 func BenchmarkAblationRebuild(b *testing.B) {

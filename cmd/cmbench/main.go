@@ -1,0 +1,280 @@
+// Command cmbench runs the repository's headline benchmarks outside `go
+// test` and emits a machine-readable JSON report (BENCH_1.json by
+// default): per-benchmark ns/op, throughput and allocation counts, the
+// figure headline metrics (clips for Figure 5, serviced clips for
+// Figure 6), and the speedup against the recorded pre-overhaul baseline.
+//
+// The XOR kernel and the experiment sweeps are benchmarked in both their
+// old and new forms — a byte-wise reference kernel next to the word-wise
+// one, and single-worker sweeps next to the parallel ones — so one run
+// documents the before/after honestly on the machine it ran on.
+//
+// Usage:
+//
+//	cmbench            # full suite -> BENCH_1.json
+//	cmbench -o out.json
+//	cmbench -quick     # skip the slow simulation benchmarks
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"ftcms/internal/admission"
+	"ftcms/internal/analytic"
+	"ftcms/internal/bibd"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/experiments"
+	"ftcms/internal/layout"
+	"ftcms/internal/pgt"
+	"ftcms/internal/recovery"
+	"ftcms/internal/sim"
+	"ftcms/internal/units"
+)
+
+// seedBaseline records ns/op measured at the pre-overhaul seed commit on
+// the reference machine (1 CPU, Intel Xeon 2.70 GHz), keyed by benchmark
+// name. The report computes speedup = baseline / measured for matching
+// names; on other machines the ratio is indicative, not exact.
+var seedBaseline = map[string]float64{
+	"XOR":                745890,
+	"DeclusteredPlace":   15.61,
+	"DeclusteredGroupOf": 691.4,
+	"AdmissionDynamic":   6534,
+	"Figure5_256MB":      95542,
+	"Figure6_256MB":      475834081,
+	"SimRound":           20362658,
+}
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Iterations  int                `json:"iterations"`
+	// SpeedupVsSeed is seedBaseline[Name] / NsPerOp when a baseline is
+	// recorded for this name.
+	SpeedupVsSeed float64            `json:"speedup_vs_seed,omitempty"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	GOOS     string        `json:"goos"`
+	GOARCH   string        `json:"goarch"`
+	CPUs     int           `json:"cpus"`
+	Baseline string        `json:"baseline"`
+	Results  []benchResult `json:"results"`
+}
+
+// naiveXOR is the seed commit's byte-at-a-time kernel, kept here as the
+// "before" side of the XOR comparison.
+func naiveXOR(dst []byte, srcs ...[]byte) {
+	for i := range dst {
+		var v byte
+		for _, s := range srcs {
+			v ^= s[i]
+		}
+		dst[i] = v
+	}
+}
+
+func xorInputs() ([]byte, [][]byte) {
+	bs := 256 * 1024
+	srcs := make([][]byte, 7)
+	for i := range srcs {
+		srcs[i] = make([]byte, bs)
+		for j := range srcs[i] {
+			srcs[i][j] = byte(i*31 + j)
+		}
+	}
+	return make([]byte, bs), srcs
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output JSON path")
+	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound)")
+	flag.Parse()
+
+	type bench struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	benches := []bench{
+		{"XORNaive", func(b *testing.B) {
+			dst, srcs := xorInputs()
+			b.SetBytes(int64(len(dst) * len(srcs)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				naiveXOR(dst, srcs...)
+			}
+		}},
+		{"XOR", func(b *testing.B) {
+			dst, srcs := xorInputs()
+			b.SetBytes(int64(len(dst) * len(srcs)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recovery.XOR(dst, srcs...)
+			}
+		}},
+		{"DeclusteredPlace", func(b *testing.B) {
+			l, err := layout.NewDeclustered(32, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = l.Place(int64(i % 100000))
+			}
+		}},
+		{"DeclusteredGroupOf", func(b *testing.B) {
+			l, err := layout.NewDeclustered(32, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = l.GroupOf(int64(i % 100000))
+			}
+		}},
+		{"AdmissionDynamic", func(b *testing.B) {
+			des, err := bibd.New(32, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tab, err := pgt.New(des)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dy, err := admission.NewDynamic(tab, 23)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if tk, ok := dy.Admit(int64(i), i%32, i%tab.R); ok {
+					dy.Release(tk)
+				}
+			}
+		}},
+		{"Figure5_256MB_seq", func(b *testing.B) {
+			benchFigure5(b, 1)
+		}},
+		{"Figure5_256MB", func(b *testing.B) {
+			benchFigure5(b, 0)
+		}},
+	}
+	if !*quick {
+		benches = append(benches,
+			bench{"Figure6_256MB_seq", func(b *testing.B) { benchFigure6(b, 1) }},
+			bench{"Figure6_256MB", func(b *testing.B) { benchFigure6(b, 0) }},
+			bench{"SimRound", func(b *testing.B) {
+				cat := experiments.PaperCatalog()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(sim.Config{
+						Scheme: analytic.Declustered, Disk: diskmodel.Default(), D: 32, P: 4,
+						Buffer: 256 * units.MB, Catalog: cat, ArrivalRate: 20,
+						Duration: 600 * units.Second, Seed: int64(i), FailDisk: -1,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+	}
+
+	rep := report{
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		Baseline: "seed commit, 1-CPU Intel Xeon 2.70 GHz (ns/op)",
+	}
+	for _, bc := range benches {
+		fmt.Fprintf(os.Stderr, "cmbench: running %s...\n", bc.name)
+		r := testing.Benchmark(bc.fn)
+		br := benchResult{
+			Name:        bc.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			br.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		if len(r.Extra) > 0 {
+			br.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				br.Metrics[k] = v
+			}
+		}
+		if base, ok := seedBaseline[bc.name]; ok && br.NsPerOp > 0 {
+			br.SpeedupVsSeed = base / br.NsPerOp
+		}
+		rep.Results = append(rep.Results, br)
+		fmt.Fprintf(os.Stderr, "cmbench: %-20s %12.1f ns/op", bc.name, br.NsPerOp)
+		if br.MBPerS > 0 {
+			fmt.Fprintf(os.Stderr, "  %8.1f MB/s", br.MBPerS)
+		}
+		if br.SpeedupVsSeed > 0 {
+			fmt.Fprintf(os.Stderr, "  %5.2fx vs seed", br.SpeedupVsSeed)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cmbench: wrote %s\n", *out)
+}
+
+func benchFigure5(b *testing.B, workers int) {
+	var points []experiments.Figure5Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Figure5Workers(256*units.MB, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, pt := range points {
+		b.ReportMetric(float64(pt.Clips), "clips/"+pt.Scheme.Short()+"-p"+strconv.Itoa(pt.P))
+	}
+}
+
+func benchFigure6(b *testing.B, workers int) {
+	var points []experiments.Figure6Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Figure6(experiments.Figure6Config{
+			Buffer: 256 * units.MB, Seed: 1, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, pt := range points {
+		b.ReportMetric(float64(pt.Serviced), "serviced/"+pt.Scheme.Short()+"-p"+strconv.Itoa(pt.P))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmbench:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ftcms/internal/analytic"
@@ -31,13 +33,13 @@ import (
 	"ftcms/internal/units"
 )
 
-var schemeNames = map[string]analytic.Scheme{
-	"declustered":          analytic.Declustered,
-	"prefetch-flat":        analytic.PrefetchFlat,
-	"prefetch-parity-disk": analytic.PrefetchParityDisk,
-	"streaming-raid":       analytic.StreamingRAID,
-	"non-clustered":        analytic.NonClustered,
-}
+var schemeNames = func() map[string]analytic.Scheme {
+	m := make(map[string]analytic.Scheme, len(analytic.Schemes()))
+	for _, s := range analytic.Schemes() {
+		m[s.Key()] = s
+	}
+	return m
+}()
 
 func main() {
 	grid := flag.Bool("grid", false, "run the full Figure 6 grid (both buffer sizes)")
@@ -57,11 +59,39 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of tables (-grid and -continuity)")
 	batch := flag.Float64("batch", 0, "batching window in seconds (0: off): requests piggyback on same-clip streams")
 	mixed := flag.Bool("mixed", false, "run the E16 mixed-rate workload (audio + MPEG-1 + MPEG-2, declustered)")
+	workers := flag.Int("workers", 0, "parallel sweep workers for -grid (0: one per CPU, 1: sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	buffer, err := cliutil.ParseSize(*bufferFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	switch {
@@ -88,7 +118,7 @@ func main() {
 	case *grid:
 		for _, b := range experiments.BufferSizes {
 			if *csvOut {
-				pts, err := experiments.Figure6(experiments.Figure6Config{Buffer: b, Seed: *seed})
+				pts, err := experiments.Figure6(experiments.Figure6Config{Buffer: b, Seed: *seed, Workers: *workers})
 				if err != nil {
 					fatal(err)
 				}
@@ -97,7 +127,7 @@ func main() {
 				}
 				continue
 			}
-			if err := experiments.WriteFigure6(os.Stdout, experiments.Figure6Config{Buffer: b, Seed: *seed}); err != nil {
+			if err := experiments.WriteFigure6(os.Stdout, experiments.Figure6Config{Buffer: b, Seed: *seed, Workers: *workers}); err != nil {
 				fatal(err)
 			}
 			fmt.Println()

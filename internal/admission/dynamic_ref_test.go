@@ -1,0 +1,145 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftcms/internal/bibd"
+	"ftcms/internal/pgt"
+)
+
+// refDynamic is a deliberately naive implementation of the §5.2 condition
+// — full rescans of every phase × row on every query — used to pin the
+// incremental controller's O(|Δ_l|) fast path.
+type refDynamic struct {
+	t        *pgt.Table
+	q        int
+	count    [][]int
+	deltaHas [][]bool
+}
+
+func newRefDynamic(t *pgt.Table, q int) *refDynamic {
+	r := &refDynamic{t: t, q: q}
+	r.count = make([][]int, t.R)
+	r.deltaHas = make([][]bool, t.R)
+	for l := 0; l < t.R; l++ {
+		r.count[l] = make([]int, t.D)
+		r.deltaHas[l] = make([]bool, t.D)
+		for _, delta := range t.Deltas(l) {
+			r.deltaHas[l][delta] = true
+		}
+	}
+	return r
+}
+
+func (r *refDynamic) serviceCount(c int) int {
+	total := 0
+	for l := 0; l < r.t.R; l++ {
+		total += r.count[l][c]
+	}
+	return total
+}
+
+func (r *refDynamic) maxCont(ci int) int {
+	d := r.t.D
+	best := 0
+	for l := 0; l < r.t.R; l++ {
+		for cj := 0; cj < d; cj++ {
+			if r.count[l][cj] <= best {
+				continue
+			}
+			delta := ((ci-cj)%d + d) % d
+			if delta != 0 && r.deltaHas[l][delta] {
+				best = r.count[l][cj]
+			}
+		}
+	}
+	return best
+}
+
+func (r *refDynamic) canAdmit(row, c int) bool {
+	r.count[row][c]++
+	ok := true
+	for ci := 0; ci < r.t.D && ok; ci++ {
+		if r.serviceCount(ci)+r.maxCont(ci) > r.q {
+			ok = false
+		}
+	}
+	r.count[row][c]--
+	return ok
+}
+
+func refTable(t *testing.T, d, p int) *pgt.Table {
+	t.Helper()
+	des, err := bibd.New(d, p)
+	if err != nil {
+		t.Fatalf("bibd.New(%d, %d): %v", d, p, err)
+	}
+	tab, err := pgt.New(des)
+	if err != nil {
+		t.Fatalf("pgt.New: %v", err)
+	}
+	return tab
+}
+
+// TestDynamicMatchesNaiveReference drives the incremental controller and
+// the naive full-rescan reference through the same random admit/release
+// sequence and demands identical admission decisions and identical
+// per-phase service counts and contingency maxima at every step.
+func TestDynamicMatchesNaiveReference(t *testing.T) {
+	cases := []struct{ d, p, q int }{
+		{7, 3, 3},
+		{7, 3, 5},
+		{13, 4, 4},
+		{9, 3, 6},
+	}
+	for _, tc := range cases {
+		tab := refTable(t, tc.d, tc.p)
+		dy, err := NewDynamic(tab, tc.q)
+		if err != nil {
+			t.Fatalf("NewDynamic: %v", err)
+		}
+		ref := newRefDynamic(tab, tc.q)
+		rng := rand.New(rand.NewSource(int64(tc.d*1000 + tc.p*10 + tc.q)))
+		var tickets []Ticket
+		for step := 0; step < 4000; step++ {
+			if len(tickets) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(tickets))
+				tk := tickets[k]
+				tickets[k] = tickets[len(tickets)-1]
+				tickets = tickets[:len(tickets)-1]
+				dy.Release(tk)
+				ref.count[tk.row][tk.phase]--
+			} else {
+				now := int64(rng.Intn(100))
+				disk := rng.Intn(tc.d)
+				row := rng.Intn(tab.R)
+				c := dy.phase(now, disk)
+				want := ref.canAdmit(row, c)
+				got := dy.CanAdmit(now, disk, row)
+				if got != want {
+					t.Fatalf("d=%d p=%d q=%d step %d: CanAdmit(row=%d, phase=%d) = %v, reference %v",
+						tc.d, tc.p, tc.q, step, row, c, got, want)
+				}
+				tk, ok := dy.Admit(now, disk, row)
+				if ok != want {
+					t.Fatalf("step %d: Admit disagreed with CanAdmit", step)
+				}
+				if ok {
+					ref.count[row][c]++
+					tickets = append(tickets, tk)
+				}
+			}
+			for ci := 0; ci < tc.d; ci++ {
+				if dy.serviceCount(ci) != ref.serviceCount(ci) {
+					t.Fatalf("d=%d p=%d q=%d step %d: serviceCount(%d) = %d, reference %d",
+						tc.d, tc.p, tc.q, step, ci, dy.serviceCount(ci), ref.serviceCount(ci))
+				}
+				if dy.maxCont(ci) != ref.maxCont(ci) {
+					t.Fatalf("d=%d p=%d q=%d step %d: maxCont(%d) = %d, reference %d",
+						tc.d, tc.p, tc.q, step, ci, dy.maxCont(ci), ref.maxCont(ci))
+				}
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"math"
 
 	"ftcms/internal/diskmodel"
+	"ftcms/internal/parallel"
 	"ftcms/internal/units"
 )
 
@@ -73,6 +74,47 @@ func (s Scheme) String() string {
 		return "Non-clustered"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Key returns the scheme's canonical string key — the name the buffer,
+// reliability and core packages switch on and cmsim's -scheme flag
+// accepts. (The §5 dynamic-reservation variant shares Declustered's
+// capacity analysis; its runtime key "declustered-dynamic" is selected
+// separately by the simulator's Dynamic knob.)
+func (s Scheme) Key() string {
+	switch s {
+	case Declustered:
+		return "declustered"
+	case PrefetchFlat:
+		return "prefetch-flat"
+	case PrefetchParityDisk:
+		return "prefetch-parity-disk"
+	case StreamingRAID:
+		return "streaming-raid"
+	case NonClustered:
+		return "non-clustered"
+	default:
+		return "unknown"
+	}
+}
+
+// Short returns a compact label for benchmark metric names and other
+// width-constrained output.
+func (s Scheme) Short() string {
+	switch s {
+	case Declustered:
+		return "decl"
+	case PrefetchFlat:
+		return "pflat"
+	case PrefetchParityDisk:
+		return "ppd"
+	case StreamingRAID:
+		return "sraid"
+	case NonClustered:
+		return "nc"
+	default:
+		return "unk"
 	}
 }
 
@@ -376,18 +418,38 @@ func solveWithF(p int, solve func(f int) (Result, error), enough func(Result, in
 // max(pmin, 2) to d (restricted to feasible geometries), and the point
 // maximizing Clips wins.
 func Optimize(c Config, s Scheme) (Result, error) {
+	return OptimizeWorkers(c, s, 0)
+}
+
+// OptimizeWorkers is Optimize with an explicit worker count for the
+// p-sweep (1 forces the sequential path; <= 0 means one worker per CPU).
+// Candidate solves are independent and the best-point scan runs over the
+// collected results in ascending p, so the chosen operating point is
+// identical to the sequential sweep's for any worker count.
+func OptimizeWorkers(c Config, s Scheme, workers int) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
+	pmin := c.MinGroupSize()
+	n := c.D - pmin + 1
+	var results []Result
+	var feasible []bool
+	if n > 0 {
+		results = make([]Result, n)
+		feasible = make([]bool, n)
+		_ = parallel.ForEach(n, workers, func(k int) error {
+			res, err := Solve(c, s, pmin+k)
+			if err == nil {
+				results[k], feasible[k] = res, true
+			}
+			return nil
+		})
+	}
 	var best Result
 	found := false
-	for p := c.MinGroupSize(); p <= c.D; p++ {
-		res, err := Solve(c, s, p)
-		if err != nil {
-			continue
-		}
-		if !found || res.Clips > best.Clips {
-			best, found = res, true
+	for k := 0; k < n; k++ {
+		if feasible[k] && (!found || results[k].Clips > best.Clips) {
+			best, found = results[k], true
 		}
 	}
 	if !found {

@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ftcms/internal/admission"
 	"ftcms/internal/buffer"
@@ -179,6 +180,27 @@ type Server struct {
 	prefetchDepth int64
 	// groupFetch is set for streaming RAID: fetch a whole group at once.
 	groupFetch bool
+
+	// blockPool recycles block-sized buffers between the fetch/
+	// reconstruction paths and delivery, keeping the steady-state data
+	// path allocation-free.
+	blockPool sync.Pool
+}
+
+// getBlock returns a block-sized buffer with unspecified contents.
+func (s *Server) getBlock() []byte {
+	if b, ok := s.blockPool.Get().(*[]byte); ok {
+		return *b
+	}
+	return make([]byte, s.store.Array.BlockSize())
+}
+
+// putBlock recycles a block buffer. Callers must drop every reference
+// first; delivered payload is always copied out before the put.
+func (s *Server) putBlock(b []byte) {
+	if len(b) == s.store.Array.BlockSize() {
+		s.blockPool.Put(&b)
+	}
 }
 
 type clipInfo struct {

@@ -215,29 +215,31 @@ func (s *Server) rebuildStep() {
 			}
 			data, err = s.reconstructMonitored(i)
 		} else {
-			bs := s.store.Array.BlockSize()
-			data = make([]byte, bs)
-			srcs := make([][]byte, 0, len(need))
+			data = s.getBlock()
+			clear(data)
+			member := s.getBlock()
 			for _, a := range need {
 				s.charge(a.Disk)
-				buf, rerr := s.readMember(a)
-				if rerr != nil {
+				if rerr := s.readMemberInto(a, member); rerr != nil {
 					err = rerr
 					break
 				}
-				srcs = append(srcs, buf)
+				recovery.XORInto(data, member)
 			}
-			if err == nil {
-				recovery.XOR(data, srcs...)
-			}
+			s.putBlock(member)
 		}
 		if err != nil {
+			if data != nil {
+				s.putBlock(data)
+			}
 			rb.skipped++
 			s.lostBlocks++
 			rb.next++
 			continue
 		}
-		if werr := arr.Write(rb.disk, target.Block, data); werr != nil {
+		werr := arr.Write(rb.disk, target.Block, data)
+		s.putBlock(data)
+		if werr != nil {
 			// Spare crashed mid-write; abandon.
 			s.rebuild = nil
 			s.nextRebuild()
@@ -331,6 +333,24 @@ func (s *Server) readMember(a layout.BlockAddr) ([]byte, error) {
 	return data, err
 }
 
+// readMemberInto is readMember filling a caller-owned scratch buffer, so
+// the XOR accumulation loops allocate nothing per member read.
+func (s *Server) readMemberInto(a layout.BlockAddr, dst []byte) error {
+	arr := s.store.Array
+	if arr.Failed(a.Disk) {
+		return fmt.Errorf("storage: disk %d: %w", a.Disk, storage.ErrFailed)
+	}
+	_, err := s.detector.Read(a.Disk, func() ([]byte, float64, error) {
+		slow, rerr := arr.ReadTimedInto(a.Disk, a.Block, dst)
+		return dst, slow, rerr
+	})
+	if errors.Is(err, storage.ErrNotWritten) && arr.State(a.Disk) == storage.Healthy {
+		clear(dst)
+		return nil
+	}
+	return err
+}
+
 // reconstructMonitored rebuilds logical block i from the surviving
 // members of its parity group, reading every member through the
 // detector (so a failing survivor is detected here, not three reads
@@ -338,26 +358,26 @@ func (s *Server) readMember(a layout.BlockAddr) ([]byte, error) {
 // unavailable after retries.
 func (s *Server) reconstructMonitored(i int64) ([]byte, error) {
 	g := s.lay.GroupOf(i)
-	bs := s.store.Array.BlockSize()
-	srcs := make([][]byte, 0, len(g.Data))
+	out := s.getBlock()
+	clear(out)
+	member := s.getBlock()
+	defer s.putBlock(member)
 	for k, li := range g.Data {
 		if li == i {
 			continue
 		}
 		a := g.DataAddr[k]
-		buf, err := s.readMember(a)
-		if err != nil {
+		if err := s.readMemberInto(a, member); err != nil {
+			s.putBlock(out)
 			return nil, fmt.Errorf("%w: disk %d also unavailable: %v", recovery.ErrUnrecoverable, a.Disk, err)
 		}
-		srcs = append(srcs, buf)
+		recovery.XORInto(out, member)
 	}
-	pbuf, err := s.readMember(g.Parity)
-	if err != nil {
+	if err := s.readMemberInto(g.Parity, member); err != nil {
+		s.putBlock(out)
 		return nil, fmt.Errorf("%w: parity disk %d also unavailable: %v", recovery.ErrUnrecoverable, g.Parity.Disk, err)
 	}
-	srcs = append(srcs, pbuf)
-	out := make([]byte, bs)
-	recovery.XOR(out, srcs...)
+	recovery.XORInto(out, member)
 	return out, nil
 }
 

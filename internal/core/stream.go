@@ -160,6 +160,7 @@ func (st *Stream) Close() error {
 	}
 	st.done = true
 	st.readable = nil
+	st.recyclePipeline()
 	if st.paused {
 		delete(st.srv.streams, st.id) // bandwidth/buffer already released
 		return nil
@@ -182,8 +183,7 @@ func (st *Stream) Pause() error {
 	st.paused = true
 	// Drop the pipeline: blocks not yet delivered are re-fetched on
 	// resume (the buffer they lived in is being handed back).
-	st.fetched = make(map[int64][]byte)
-	st.parity = make(map[int64][]byte)
+	st.recyclePipeline()
 	st.nextFetch = st.nextDeliver
 	st.started = false
 	st.srv.release(st)
@@ -215,11 +215,24 @@ func (st *Stream) SeekTo(offset int64) error {
 	}
 	st.nextDeliver = block
 	st.nextFetch = block
-	st.fetched = make(map[int64][]byte)
-	st.parity = make(map[int64][]byte)
+	st.recyclePipeline()
 	st.readable = nil
 	st.deliveredBytes = block * bs
 	return nil
+}
+
+// recyclePipeline hands every buffered pipeline block back to the
+// server's block pool and resets the caches. Safe because map entries
+// are single-owner: readable holds copies, never the cached slices.
+func (st *Stream) recyclePipeline() {
+	for _, b := range st.fetched {
+		st.srv.putBlock(b)
+	}
+	for _, b := range st.parity {
+		st.srv.putBlock(b)
+	}
+	st.fetched = make(map[int64][]byte)
+	st.parity = make(map[int64][]byte)
 }
 
 // Resume re-admits a paused stream at its saved position. On
@@ -434,26 +447,30 @@ func (s *Server) reconstructPending(st *Stream, n int64) {
 		if !pending {
 			continue
 		}
-		srcs := [][]byte{pbuf}
 		complete := true
 		for _, lj := range g.Data {
 			if lj == li {
 				continue
 			}
-			sib, have := st.fetched[(lj-st.clip.start)/st.clip.stride]
-			if !have {
+			if _, have := st.fetched[(lj-st.clip.start)/st.clip.stride]; !have {
 				complete = false
 				break
 			}
-			srcs = append(srcs, sib)
 		}
 		if !complete {
 			continue // group not fully fetched yet; retry next delivery
 		}
-		data := make([]byte, s.store.Array.BlockSize())
-		recovery.XOR(data, srcs...)
+		data := s.getBlock()
+		copy(data, pbuf)
+		for _, lj := range g.Data {
+			if lj == li {
+				continue
+			}
+			recovery.XORInto(data, st.fetched[(lj-st.clip.start)/st.clip.stride])
+		}
 		st.fetched[m] = data
 		delete(st.parity, m)
+		s.putBlock(pbuf)
 	}
 }
 
@@ -474,6 +491,7 @@ func (s *Server) deliver(st *Stream) error {
 			if rebuilt != nil {
 				data, ok = rebuilt, true
 				delete(st.parity, n)
+				s.putBlock(pbuf)
 			}
 		}
 	}
@@ -481,7 +499,10 @@ func (s *Server) deliver(st *Stream) error {
 		// The pipeline failed to produce the block in time.
 		s.hiccups++
 		st.nextDeliver++
-		delete(st.parity, n)
+		if pbuf, have := st.parity[n]; have {
+			delete(st.parity, n)
+			s.putBlock(pbuf)
+		}
 		return nil
 	}
 	// Trim the final block to the clip's true payload length.
@@ -496,6 +517,7 @@ func (s *Server) deliver(st *Stream) error {
 		st.deliveredBytes += hi - lo
 	}
 	delete(st.fetched, n)
+	s.putBlock(data)
 	st.nextDeliver++
 	return nil
 }
@@ -507,26 +529,27 @@ func (s *Server) deliver(st *Stream) error {
 func (s *Server) reconstructFromDisk(st *Stream, n int64, pbuf []byte) ([]byte, error) {
 	logical := st.clip.block(n)
 	g := s.lay.GroupOf(logical)
-	srcs := [][]byte{pbuf}
+	out := s.getBlock()
+	copy(out, pbuf)
+	scratch := s.getBlock()
+	defer s.putBlock(scratch)
 	for _, li := range g.Data {
 		if li == logical {
 			continue
 		}
 		m := (li - st.clip.start) / st.clip.stride
-		sib, have := st.fetched[m]
-		if !have {
-			addr := s.lay.Place(li)
-			s.charge(addr.Disk)
-			var err error
-			sib, err = s.readMember(addr)
-			if err != nil {
-				return nil, fmt.Errorf("%w: disk %d also unavailable: %v", recovery.ErrUnrecoverable, addr.Disk, err)
-			}
+		if sib, have := st.fetched[m]; have {
+			recovery.XORInto(out, sib)
+			continue
 		}
-		srcs = append(srcs, sib)
+		addr := s.lay.Place(li)
+		s.charge(addr.Disk)
+		if err := s.readMemberInto(addr, scratch); err != nil {
+			s.putBlock(out)
+			return nil, fmt.Errorf("%w: disk %d also unavailable: %v", recovery.ErrUnrecoverable, addr.Disk, err)
+		}
+		recovery.XORInto(out, scratch)
 	}
-	out := make([]byte, s.store.Array.BlockSize())
-	recovery.XOR(out, srcs...)
 	return out, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"ftcms/internal/analytic"
 	"ftcms/internal/diskmodel"
+	"ftcms/internal/parallel"
 	"ftcms/internal/sim"
 	"ftcms/internal/units"
 )
@@ -27,7 +28,9 @@ type AdmissionAblationPoint struct {
 	DynamicWorstQLoad int
 }
 
-// AdmissionAblation runs E8 for one buffer size.
+// AdmissionAblation runs E8 for one buffer size, one parallel worker per
+// parity group size (each point runs its three policy variants in
+// sequence on one worker).
 func AdmissionAblation(buffer units.Bits, seed int64) ([]AdmissionAblationPoint, error) {
 	cat := PaperCatalog()
 	base := sim.Config{
@@ -35,21 +38,20 @@ func AdmissionAblation(buffer units.Bits, seed int64) ([]AdmissionAblationPoint,
 		ArrivalRate: 20, Duration: 600 * units.Second, Seed: seed,
 		FailDisk: -1, Scheme: analytic.Declustered,
 	}
-	var out []AdmissionAblationPoint
-	for _, p := range GroupSizes {
-		pt := AdmissionAblationPoint{P: p}
+	return parallel.Map(len(GroupSizes), 0, func(k int) (AdmissionAblationPoint, error) {
+		pt := AdmissionAblationPoint{P: GroupSizes[k]}
 		cfg := base
-		cfg.P = p
+		cfg.P = GroupSizes[k]
 		res, err := sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return pt, err
 		}
 		pt.StaticServiced, pt.StaticResponse, pt.BypassMaxQueue = res.Serviced, res.MeanResponse, res.MaxQueue
 
 		cfg.Dynamic = true
 		res, err = sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return pt, err
 		}
 		pt.DynamicServiced, pt.DynamicResponse = res.Serviced, res.MeanResponse
 
@@ -57,12 +59,11 @@ func AdmissionAblation(buffer units.Bits, seed int64) ([]AdmissionAblationPoint,
 		cfg.QueueBypass = -1
 		res, err = sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return pt, err
 		}
 		pt.StrictServiced, pt.StrictResponse, pt.StrictMaxQueue = res.Serviced, res.MeanResponse, res.MaxQueue
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // WriteAdmissionAblation renders E8.
@@ -159,8 +160,8 @@ func FailureContinuity(buffer units.Bits, seed int64) ([]ContinuityPoint, error)
 		{analytic.StreamingRAID, 8},
 		{analytic.NonClustered, 8},
 	}
-	var out []ContinuityPoint
-	for _, c := range cases {
+	return parallel.Map(len(cases), 0, func(k int) (ContinuityPoint, error) {
+		c := cases[k]
 		res, err := sim.Run(sim.Config{
 			Scheme: c.s, Disk: diskmodel.Default(), D: 32, P: c.p,
 			Buffer: buffer, Catalog: cat, ArrivalRate: 20,
@@ -168,14 +169,13 @@ func FailureContinuity(buffer units.Bits, seed int64) ([]ContinuityPoint, error)
 			FailDisk: 5, FailAt: 100 * units.Second,
 		})
 		if err != nil {
-			return nil, err
+			return ContinuityPoint{}, err
 		}
-		out = append(out, ContinuityPoint{
+		return ContinuityPoint{
 			Scheme: c.s, P: c.p, Serviced: res.Serviced,
 			DeadlineMisses: res.DeadlineMisses, LostBlocks: res.LostBlocks,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // WriteFailureContinuity renders E10.

@@ -14,6 +14,7 @@ import (
 
 	"ftcms/internal/analytic"
 	"ftcms/internal/diskmodel"
+	"ftcms/internal/parallel"
 	"ftcms/internal/sim"
 	"ftcms/internal/units"
 	"ftcms/internal/workload"
@@ -57,22 +58,30 @@ type Figure5Point struct {
 	Block units.Bits
 }
 
-// Figure5 computes the full Figure 5 panel for one buffer size (E4/E5).
+// Figure5 computes the full Figure 5 panel for one buffer size (E4/E5),
+// fanning the scheme×p grid out over one worker per CPU. Each grid point
+// is an independent closed-form solve, and results are index-addressed,
+// so the output is identical to the sequential sweep.
 func Figure5(buffer units.Bits) ([]Figure5Point, error) {
+	return Figure5Workers(buffer, 0)
+}
+
+// Figure5Workers is Figure5 with an explicit worker count (1 forces the
+// sequential path; <= 0 means one worker per CPU).
+func Figure5Workers(buffer units.Bits, workers int) ([]Figure5Point, error) {
 	cfg := PaperAnalyticConfig(buffer)
-	var out []Figure5Point
-	for _, s := range analytic.Schemes() {
-		for _, p := range GroupSizes {
-			res, err := analytic.Solve(cfg, s, p)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %v p=%d: %w", s, p, err)
-			}
-			out = append(out, Figure5Point{
-				Scheme: s, P: p, Clips: res.Clips, Q: res.Q, F: res.F, Block: res.Block,
-			})
+	schemes := analytic.Schemes()
+	return parallel.Map(len(schemes)*len(GroupSizes), workers, func(k int) (Figure5Point, error) {
+		s := schemes[k/len(GroupSizes)]
+		p := GroupSizes[k%len(GroupSizes)]
+		res, err := analytic.Solve(cfg, s, p)
+		if err != nil {
+			return Figure5Point{}, fmt.Errorf("experiments: %v p=%d: %w", s, p, err)
 		}
-	}
-	return out, nil
+		return Figure5Point{
+			Scheme: s, P: p, Clips: res.Clips, Q: res.Q, F: res.F, Block: res.Block,
+		}, nil
+	})
 }
 
 // WriteFigure5 renders the panel as a table.
@@ -122,39 +131,44 @@ type Figure6Config struct {
 	Seed int64
 	// Duration defaults to the paper's 600 time units when zero.
 	Duration units.Duration
+	// Workers bounds the sweep's parallelism: <= 0 means one worker per
+	// CPU, 1 forces the sequential path. Every (scheme, p) run is an
+	// independent simulation with its own seeded RNG, so the panel is
+	// bit-identical for any worker count.
+	Workers int
 }
 
-// Figure6 runs the full simulated panel for one buffer size (E6/E7).
+// Figure6 runs the full simulated panel for one buffer size (E6/E7),
+// fanning the scheme×p grid out over cfg.Workers.
 func Figure6(cfg Figure6Config) ([]Figure6Point, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 600 * units.Second
 	}
 	cat := PaperCatalog()
-	var out []Figure6Point
-	for _, s := range analytic.Schemes() {
-		for _, p := range GroupSizes {
-			res, err := sim.Run(sim.Config{
-				Scheme:      s,
-				Disk:        diskmodel.Default(),
-				D:           32,
-				P:           p,
-				Buffer:      cfg.Buffer,
-				Catalog:     cat,
-				ArrivalRate: 20,
-				Duration:    cfg.Duration,
-				Seed:        cfg.Seed,
-				FailDisk:    -1,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %v p=%d: %w", s, p, err)
-			}
-			out = append(out, Figure6Point{
-				Scheme: s, P: p, Serviced: res.Serviced,
-				MeanResponse: res.MeanResponse, PeakActive: res.PeakActive,
-			})
+	schemes := analytic.Schemes()
+	return parallel.Map(len(schemes)*len(GroupSizes), cfg.Workers, func(k int) (Figure6Point, error) {
+		s := schemes[k/len(GroupSizes)]
+		p := GroupSizes[k%len(GroupSizes)]
+		res, err := sim.Run(sim.Config{
+			Scheme:      s,
+			Disk:        diskmodel.Default(),
+			D:           32,
+			P:           p,
+			Buffer:      cfg.Buffer,
+			Catalog:     cat,
+			ArrivalRate: 20,
+			Duration:    cfg.Duration,
+			Seed:        cfg.Seed,
+			FailDisk:    -1,
+		})
+		if err != nil {
+			return Figure6Point{}, fmt.Errorf("experiments: %v p=%d: %w", s, p, err)
 		}
-	}
-	return out, nil
+		return Figure6Point{
+			Scheme: s, P: p, Serviced: res.Serviced,
+			MeanResponse: res.MeanResponse, PeakActive: res.PeakActive,
+		}, nil
+	})
 }
 
 // WriteFigure6 renders the panel as a table.

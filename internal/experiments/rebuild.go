@@ -7,6 +7,7 @@ import (
 
 	"ftcms/internal/analytic"
 	"ftcms/internal/diskmodel"
+	"ftcms/internal/parallel"
 	"ftcms/internal/reliability"
 	"ftcms/internal/units"
 )
@@ -27,70 +28,50 @@ type RebuildPoint struct {
 	MTTDL reliability.Hours
 }
 
-// schemeName maps analytic schemes to the string keys the reliability
-// and buffer packages use.
-func schemeName(s analytic.Scheme) string {
-	switch s {
-	case analytic.Declustered:
-		return "declustered"
-	case analytic.PrefetchFlat:
-		return "prefetch-flat"
-	case analytic.PrefetchParityDisk:
-		return "prefetch-parity-disk"
-	case analytic.StreamingRAID:
-		return "streaming-raid"
-	case analytic.NonClustered:
-		return "non-clustered"
-	default:
-		return "unknown"
-	}
-}
-
 // RebuildAblation computes E11 for one buffer size. Every scheme rebuilds
 // with one spare block-read per contributing disk per round on top of its
 // reserved contingency (the f of the declustered/flat operating points;
 // 1 for the schemes that reserve none).
 func RebuildAblation(buffer units.Bits) ([]RebuildPoint, error) {
 	cfg := PaperAnalyticConfig(buffer)
-	var out []RebuildPoint
-	for _, s := range analytic.Schemes() {
-		for _, p := range GroupSizes {
-			op, err := analytic.Solve(cfg, s, p)
-			if err != nil {
-				return nil, err
-			}
-			blocks := int64(cfg.Disk.Capacity / op.Block)
-			f := op.F
-			if f < 1 {
-				f = 1
-			}
-			// Contribution spread: all d disks' survivors for the
-			// declustered/flat layouts, the cluster for the rest.
-			spread := cfg.D
-			switch s {
-			case analytic.PrefetchParityDisk, analytic.StreamingRAID, analytic.NonClustered:
-				spread = p
-			}
-			rt, err := reliability.RebuildTime(blocks, p, spread, f, cfg.Disk.RoundDuration(op.Block))
-			if err != nil {
-				return nil, err
-			}
-			hours := reliability.Hours(rt.Seconds() / 3600)
-			if hours < 1 {
-				hours = 1
-			}
-			crit, err := reliability.CriticalDisks(schemeName(s), cfg.D, p)
-			if err != nil {
-				return nil, err
-			}
-			mttdl, err := reliability.MTTDL(reliability.PaperDiskMTTF, cfg.D, crit, hours)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, RebuildPoint{Scheme: s, P: p, Rebuild: rt, MTTDL: mttdl})
+	schemes := analytic.Schemes()
+	return parallel.Map(len(schemes)*len(GroupSizes), 0, func(k int) (RebuildPoint, error) {
+		s := schemes[k/len(GroupSizes)]
+		p := GroupSizes[k%len(GroupSizes)]
+		op, err := analytic.Solve(cfg, s, p)
+		if err != nil {
+			return RebuildPoint{}, err
 		}
-	}
-	return out, nil
+		blocks := int64(cfg.Disk.Capacity / op.Block)
+		f := op.F
+		if f < 1 {
+			f = 1
+		}
+		// Contribution spread: all d disks' survivors for the
+		// declustered/flat layouts, the cluster for the rest.
+		spread := cfg.D
+		switch s {
+		case analytic.PrefetchParityDisk, analytic.StreamingRAID, analytic.NonClustered:
+			spread = p
+		}
+		rt, err := reliability.RebuildTime(blocks, p, spread, f, cfg.Disk.RoundDuration(op.Block))
+		if err != nil {
+			return RebuildPoint{}, err
+		}
+		hours := reliability.Hours(rt.Seconds() / 3600)
+		if hours < 1 {
+			hours = 1
+		}
+		crit, err := reliability.CriticalDisks(s.Key(), cfg.D, p)
+		if err != nil {
+			return RebuildPoint{}, err
+		}
+		mttdl, err := reliability.MTTDL(reliability.PaperDiskMTTF, cfg.D, crit, hours)
+		if err != nil {
+			return RebuildPoint{}, err
+		}
+		return RebuildPoint{Scheme: s, P: p, Rebuild: rt, MTTDL: mttdl}, nil
+	})
 }
 
 // WriteRebuildAblation renders E11.
@@ -122,24 +103,31 @@ type ConservatismPoint struct {
 func ConservatismAblation(buffer units.Bits, trials int, seed int64) ([]ConservatismPoint, error) {
 	cfg := PaperAnalyticConfig(buffer)
 	model := diskmodel.DefaultSeekModel()
-	var out []ConservatismPoint
+	type gridCase struct {
+		s analytic.Scheme
+		p int
+	}
+	var grid []gridCase
 	for _, s := range analytic.Schemes() {
 		if s == analytic.StreamingRAID {
 			continue // its round equation differs; Equation 1 does not apply
 		}
 		for _, p := range GroupSizes {
-			op, err := analytic.Solve(cfg, s, p)
-			if err != nil {
-				return nil, err
-			}
-			ratio, err := cfg.Disk.Equation1Conservatism(model, op.Q, op.Block, trials, seed)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, ConservatismPoint{Scheme: s, P: p, Q: op.Q, Ratio: ratio})
+			grid = append(grid, gridCase{s, p})
 		}
 	}
-	return out, nil
+	return parallel.Map(len(grid), 0, func(k int) (ConservatismPoint, error) {
+		s, p := grid[k].s, grid[k].p
+		op, err := analytic.Solve(cfg, s, p)
+		if err != nil {
+			return ConservatismPoint{}, err
+		}
+		ratio, err := cfg.Disk.Equation1Conservatism(model, op.Q, op.Block, trials, seed)
+		if err != nil {
+			return ConservatismPoint{}, err
+		}
+		return ConservatismPoint{Scheme: s, P: p, Q: op.Q, Ratio: ratio}, nil
+	})
 }
 
 // WriteConservatismAblation renders E13.

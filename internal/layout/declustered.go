@@ -51,19 +51,9 @@ func (l *Declustered) Rows() int { return l.Table.R }
 
 // parityResidue returns ρ such that on (disk, row), windows n ≡ ρ (mod p)
 // hold parity: the rotation picks disk for window n iff
-// disks[(p−1−n%p) mod p] == disk.
+// disks[(p−1−n%p) mod p] == disk. The table precomputes it per cell.
 func (l *Declustered) parityResidue(disk, row int) int {
-	s := l.Table.Set(row, disk)
-	disks := l.Table.Disks(s)
-	p := len(disks)
-	idx := -1
-	for i, m := range disks {
-		if m == disk {
-			idx = i
-			break
-		}
-	}
-	return (p - 1 - idx) % p
+	return l.Table.ParityResidue(disk, row)
 }
 
 // dataWindow returns the window of the t-th data (non-parity) block in the
@@ -142,14 +132,26 @@ func (l *Declustered) RowOf(i int64) int {
 
 // GroupOf implements Layout: the parity group of logical block i consists
 // of the window-n occurrence of its set; every non-parity member is a data
-// block.
+// block. The group is assembled straight from the table — set membership,
+// row and parity residue are all precomputed lookups — so the whole call
+// costs two small slice allocations.
 func (l *Declustered) GroupOf(i int64) Group {
 	addr := l.Place(i)
-	g := l.Table.GroupFor(addr.Disk, int(addr.Block))
-	var out Group
-	for idx, m := range g.Members {
-		a := BlockAddr{Disk: m.Disk, Block: int64(m.Block)}
-		if idx == g.Parity {
+	t := l.Table
+	r := int64(t.R)
+	row := int(addr.Block % r)
+	n := addr.Block / r
+	s := t.Set(row, addr.Disk)
+	pd := t.ParityDisk(s, int(n))
+	disks := t.Disks(s)
+	out := Group{
+		Data:     make([]int64, 0, len(disks)-1),
+		DataAddr: make([]BlockAddr, 0, len(disks)-1),
+	}
+	for _, m := range disks {
+		mrow := t.RowOf(s, m)
+		a := BlockAddr{Disk: m, Block: n*r + int64(mrow)}
+		if m == pd {
 			out.Parity = a
 			continue
 		}
@@ -210,7 +212,7 @@ func (l *SuperClipped) Place(row int, i int64) BlockAddr {
 	d := int64(l.Table.D)
 	disk := int(i % d)
 	t := i / d
-	rho := (&Declustered{Table: l.Table}).parityResidue(disk, row)
+	rho := l.Table.ParityResidue(disk, row)
 	n := dataWindow(t, rho, l.Table.P)
 	return BlockAddr{Disk: disk, Block: n*int64(l.Table.R) + int64(row)}
 }
@@ -222,7 +224,7 @@ func (l *SuperClipped) LogicalAt(addr BlockAddr) (row int, i int64) {
 	r := int64(l.Table.R)
 	row = int(addr.Block % r)
 	n := addr.Block / r
-	rho := (&Declustered{Table: l.Table}).parityResidue(addr.Disk, row)
+	rho := l.Table.ParityResidue(addr.Disk, row)
 	t := dataIndexOf(n, rho, l.Table.P)
 	if t < 0 {
 		return -1, -1
@@ -243,10 +245,17 @@ type SuperBlock struct {
 // own (row, index) identity.
 func (l *SuperClipped) GroupOf(row int, i int64) (data []SuperBlock, dataAddr []BlockAddr, parity BlockAddr) {
 	addr := l.Place(row, i)
-	g := l.Table.GroupFor(addr.Disk, int(addr.Block))
-	for idx, m := range g.Members {
-		a := BlockAddr{Disk: m.Disk, Block: int64(m.Block)}
-		if idx == g.Parity {
+	t := l.Table
+	r := int64(t.R)
+	n := addr.Block / r
+	s := t.Set(row, addr.Disk)
+	pd := t.ParityDisk(s, int(n))
+	disks := t.Disks(s)
+	data = make([]SuperBlock, 0, len(disks)-1)
+	dataAddr = make([]BlockAddr, 0, len(disks)-1)
+	for _, m := range disks {
+		a := BlockAddr{Disk: m, Block: n*r + int64(t.RowOf(s, m))}
+		if m == pd {
 			parity = a
 			continue
 		}

@@ -79,12 +79,10 @@ func (l *Interleaved) KindAt(addr BlockAddr) Kind {
 func (l *Interleaved) GroupOf(x int64) Group {
 	row, i := l.split(x)
 	data, addrs, parity := l.S.GroupOf(row, i)
-	var g Group
+	g := Group{Data: make([]int64, len(data)), DataAddr: addrs, Parity: parity}
 	for k, sb := range data {
-		g.Data = append(g.Data, l.join(sb.Row, sb.Index))
-		g.DataAddr = append(g.DataAddr, addrs[k])
+		g.Data[k] = l.join(sb.Row, sb.Index)
 	}
-	g.Parity = parity
 	return g
 }
 

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	errs := map[int]error{3: errors.New("e3"), 7: errors.New("e7"), 42: errors.New("e42")}
+	for _, workers := range []int{2, 8} {
+		err := ForEach(100, workers, func(i int) error { return errs[i] })
+		if err != errs[3] {
+			t.Fatalf("workers=%d: got %v, want lowest-index error e3", workers, err)
+		}
+	}
+	// Sequential path reports the same error.
+	if err := ForEach(100, 1, func(i int) error { return errs[i] }); err != errs[3] {
+		t.Fatalf("sequential: got %v, want e3", err)
+	}
+}
+
+func TestMapIndexAddressed(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Map(50, workers, func(i int) (string, error) {
+			return fmt.Sprintf("v%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != fmt.Sprintf("v%d", i) {
+				t.Fatalf("workers=%d: out[%d] = %q", workers, i, v)
+			}
+		}
+	}
+	if out, err := Map(10, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	}); err == nil || out != nil {
+		t.Fatalf("Map with error: got (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachNoGoroutineLeak checks the pool drains completely: after
+// ForEach returns (including on error), no worker goroutines linger.
+func TestForEachNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 10; round++ {
+		_ = ForEach(64, 16, func(i int) error {
+			if i%9 == 0 {
+				return errors.New("e")
+			}
+			return nil
+		})
+	}
+	// Allow the runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -34,6 +34,10 @@ type Table struct {
 	cell [][]int // cell[row][col] = set index
 	// rowIn[s*D + disk] = row where set s appears in column disk, or -1.
 	rowIn []int
+	// rho[row*D + col] = parity residue ρ of the (col, row) block
+	// sequence: windows n ≡ ρ (mod p) hold parity there. Precomputed so
+	// placement arithmetic is pure table reads.
+	rho []int
 }
 
 // New builds the PGT for a design. The design's per-object replication
@@ -69,8 +73,28 @@ func New(d *bibd.Design) (*Table, error) {
 			t.rowIn[s*t.D+col] = row
 		}
 	}
+	t.rho = make([]int, r*t.D)
+	for row := 0; row < r; row++ {
+		for col := 0; col < t.D; col++ {
+			disks := d.Sets[t.cell[row][col]]
+			p := len(disks)
+			idx := 0
+			for i, m := range disks {
+				if m == col {
+					idx = i
+					break
+				}
+			}
+			t.rho[row*t.D+col] = (p - 1 - idx) % p
+		}
+	}
 	return t, nil
 }
+
+// ParityResidue returns ρ for (disk, row): within the block sequence of
+// that PGT cell, windows n ≡ ρ (mod p) hold parity (the backwards
+// rotation of ParityDisk lands on disk exactly at those windows).
+func (t *Table) ParityResidue(disk, row int) int { return t.rho[row*t.D+disk] }
 
 // Set returns the set index in cell (row, col).
 func (t *Table) Set(row, col int) int { return t.cell[row][col] }

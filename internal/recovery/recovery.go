@@ -14,27 +14,11 @@ package recovery
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ftcms/internal/layout"
 	"ftcms/internal/storage"
 )
-
-// XOR sets dst to the byte-wise XOR of all srcs. All slices must share
-// dst's length. With zero sources dst is zeroed. dst must not alias any
-// source: it is cleared before accumulation.
-func XOR(dst []byte, srcs ...[]byte) {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for _, s := range srcs {
-		if len(s) != len(dst) {
-			panic(fmt.Sprintf("recovery: XOR length mismatch: %d vs %d", len(s), len(dst)))
-		}
-		for i, b := range s {
-			dst[i] ^= b
-		}
-	}
-}
 
 // ErrUnrecoverable is returned when a block cannot be served: more than
 // one disk of its parity group has failed.
@@ -46,7 +30,22 @@ type Store struct {
 	Layout layout.Layout
 	// Array holds the bytes.
 	Array *storage.Array
+
+	// scratch pools block-sized buffers so the steady-state parity
+	// write/rebuild path allocates nothing.
+	scratch sync.Pool
 }
+
+// getBuf returns a block-sized scratch buffer (contents unspecified).
+func (s *Store) getBuf() []byte {
+	if b, ok := s.scratch.Get().(*[]byte); ok {
+		return *b
+	}
+	return make([]byte, s.Array.BlockSize())
+}
+
+// putBuf returns a scratch buffer to the pool.
+func (s *Store) putBuf(b []byte) { s.scratch.Put(&b) }
 
 // NewStore validates that the array matches the layout's disk count.
 func NewStore(l layout.Layout, a *storage.Array) (*Store, error) {
@@ -71,17 +70,17 @@ func (s *Store) WriteBlock(i int64, data []byte) error {
 }
 
 func (s *Store) rebuildParity(g layout.Group) error {
-	bs := s.Array.BlockSize()
-	parity := make([]byte, bs)
-	srcs := make([][]byte, 0, len(g.DataAddr))
+	parity := s.getBuf()
+	defer s.putBuf(parity)
+	member := s.getBuf()
+	defer s.putBuf(member)
+	clear(parity)
 	for _, a := range g.DataAddr {
-		buf, err := s.Array.ReadZero(a.Disk, a.Block)
-		if err != nil {
+		if err := s.Array.ReadZeroInto(a.Disk, a.Block, member); err != nil {
 			return fmt.Errorf("recovery: rebuilding parity: %w", err)
 		}
-		srcs = append(srcs, buf)
+		XORInto(parity, member)
 	}
-	XOR(parity, srcs...)
 	return s.Array.Write(g.Parity.Disk, g.Parity.Block, parity)
 }
 
@@ -108,26 +107,23 @@ func (s *Store) ReadBlock(i int64) ([]byte, error) {
 // ErrUnrecoverable if any other member of the group is also unreadable.
 func (s *Store) Reconstruct(i int64) ([]byte, error) {
 	g := s.Layout.GroupOf(i)
-	bs := s.Array.BlockSize()
-	srcs := make([][]byte, 0, len(g.Data))
+	out := make([]byte, s.Array.BlockSize())
+	member := s.getBuf()
+	defer s.putBuf(member)
 	for k, li := range g.Data {
 		if li == i {
 			continue
 		}
 		a := g.DataAddr[k]
-		buf, err := s.Array.ReadZero(a.Disk, a.Block)
-		if err != nil {
+		if err := s.Array.ReadZeroInto(a.Disk, a.Block, member); err != nil {
 			return nil, fmt.Errorf("%w: disk %d also unavailable", ErrUnrecoverable, a.Disk)
 		}
-		srcs = append(srcs, buf)
+		XORInto(out, member)
 	}
-	pbuf, err := s.Array.ReadZero(g.Parity.Disk, g.Parity.Block)
-	if err != nil {
+	if err := s.Array.ReadZeroInto(g.Parity.Disk, g.Parity.Block, member); err != nil {
 		return nil, fmt.Errorf("%w: parity disk %d also unavailable", ErrUnrecoverable, g.Parity.Disk)
 	}
-	srcs = append(srcs, pbuf)
-	out := make([]byte, bs)
-	XOR(out, srcs...)
+	XORInto(out, member)
 	return out, nil
 }
 
@@ -158,17 +154,17 @@ func (s *Store) DegradedReadSet(i int64, failedDisk int) []layout.BlockAddr {
 // a test/fsck helper.
 func (s *Store) VerifyParity(i int64) error {
 	g := s.Layout.GroupOf(i)
-	bs := s.Array.BlockSize()
-	want := make([]byte, bs)
-	srcs := make([][]byte, 0, len(g.DataAddr))
+	want := s.getBuf()
+	defer s.putBuf(want)
+	member := s.getBuf()
+	defer s.putBuf(member)
+	clear(want)
 	for _, a := range g.DataAddr {
-		buf, err := s.Array.ReadZero(a.Disk, a.Block)
-		if err != nil {
+		if err := s.Array.ReadZeroInto(a.Disk, a.Block, member); err != nil {
 			return err
 		}
-		srcs = append(srcs, buf)
+		XORInto(want, member)
 	}
-	XOR(want, srcs...)
 	got, err := s.Array.ReadZero(g.Parity.Disk, g.Parity.Block)
 	if err != nil {
 		return err

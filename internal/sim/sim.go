@@ -29,6 +29,7 @@ import (
 	"ftcms/internal/bibd"
 	"ftcms/internal/buffer"
 	"ftcms/internal/diskmodel"
+	"ftcms/internal/parallel"
 	"ftcms/internal/pgt"
 	"ftcms/internal/units"
 	"ftcms/internal/workload"
@@ -148,6 +149,21 @@ type Result struct {
 	RebuildDone bool
 	// RebuildsDone counts completed online rebuilds across the trace.
 	RebuildsDone int
+}
+
+// RunMany executes one independent simulation per seed, fanned out over
+// the given worker count (<= 0 means one worker per CPU, 1 forces a
+// sequential loop). Each run builds its own engine and RNG from its
+// seed, and results are index-addressed per seed, so out[i] is
+// bit-identical to Run with cfg.Seed = seeds[i] regardless of worker
+// count. The catalog (and any explicit trace) in cfg is shared across
+// runs and must not be mutated concurrently; Run itself only reads it.
+func RunMany(cfg Config, seeds []int64, workers int) ([]Result, error) {
+	return parallel.Map(len(seeds), workers, func(i int) (Result, error) {
+		c := cfg
+		c.Seed = seeds[i]
+		return Run(c)
+	})
 }
 
 // clip is one active stream. Failure accounting reads the controllers'
@@ -288,21 +304,13 @@ func newEngine(cfg Config, op analytic.Result) (*engine, error) {
 	}
 
 	d, p := cfg.D, cfg.P
-	schemeName := ""
+	schemeName := cfg.Scheme.Key()
 	switch cfg.Scheme {
 	case analytic.Declustered:
-		schemeName = "declustered"
 		if cfg.Dynamic {
 			schemeName = "declustered-dynamic"
 		}
-	case analytic.PrefetchFlat:
-		schemeName = "prefetch-flat"
-	case analytic.PrefetchParityDisk:
-		schemeName = "prefetch-parity-disk"
-	case analytic.StreamingRAID:
-		schemeName = "streaming-raid"
-	case analytic.NonClustered:
-		schemeName = "non-clustered"
+	case analytic.PrefetchFlat, analytic.PrefetchParityDisk, analytic.StreamingRAID, analytic.NonClustered:
 	default:
 		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
 	}

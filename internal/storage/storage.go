@@ -152,9 +152,15 @@ func (a *Array) Write(disk int, block int64, data []byte) error {
 	if a.state[disk] == Failed {
 		return fmt.Errorf("storage: write to disk %d: %w", disk, ErrFailed)
 	}
-	buf := make([]byte, a.blockSize)
+	// Overwrites reuse the stored buffer: Read hands out copies, so no
+	// caller can hold a reference into it, and the steady-state parity
+	// rewrite path stays allocation-free.
+	buf, ok := a.disks[disk][block]
+	if !ok {
+		buf = make([]byte, a.blockSize)
+		a.disks[disk][block] = buf
+	}
 	copy(buf, data)
-	a.disks[disk][block] = buf
 	return nil
 }
 
@@ -166,11 +172,48 @@ func (a *Array) Read(disk int, block int64) ([]byte, error) {
 	return out, err
 }
 
+// ReadInto copies the block at (disk, block) into dst, which must be
+// exactly blockSize bytes, with Read's error semantics. It exists so hot
+// paths (parity rebuild, reconstruction) can reuse scratch buffers
+// instead of allocating a copy per read.
+func (a *Array) ReadInto(disk int, block int64, dst []byte) error {
+	_, _, err := a.readTimed(disk, block, dst)
+	return err
+}
+
+// ReadZeroInto is ReadInto with ReadZero's short-group convention: an
+// absent block on a healthy disk fills dst with zeroes.
+func (a *Array) ReadZeroInto(disk int, block int64, dst []byte) error {
+	err := a.ReadInto(disk, block, dst)
+	if errors.Is(err, ErrNotWritten) && a.State(disk) == Healthy {
+		a.mu.Lock()
+		a.reads[disk]++
+		a.mu.Unlock()
+		clear(dst)
+		return nil
+	}
+	return err
+}
+
 // ReadTimed is Read plus the service-time multiplier the fault-injection
 // hook reported for this read (1 when no hook is installed or the hook
 // left timing alone). The health detector consumes the multiplier as its
 // timeout signal.
 func (a *Array) ReadTimed(disk int, block int64) ([]byte, float64, error) {
+	return a.readTimed(disk, block, nil)
+}
+
+// ReadTimedInto is ReadTimed copying into dst (which must be blockSize
+// bytes) instead of allocating.
+func (a *Array) ReadTimedInto(disk int, block int64, dst []byte) (float64, error) {
+	_, slow, err := a.readTimed(disk, block, dst)
+	return slow, err
+}
+
+// readTimed serves a physical read, copying the block into dst when
+// non-nil (dst must then be blockSize bytes) and into a fresh buffer
+// otherwise.
+func (a *Array) readTimed(disk int, block int64, dst []byte) ([]byte, float64, error) {
 	if err := a.checkAddr(disk, block); err != nil {
 		return nil, 1, err
 	}
@@ -202,6 +245,13 @@ func (a *Array) ReadTimed(disk int, block int64) ([]byte, float64, error) {
 		return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrNotWritten)
 	}
 	a.reads[disk]++
+	if dst != nil {
+		if len(dst) != a.blockSize {
+			return nil, slow, fmt.Errorf("storage: read into %d bytes, want block size %d", len(dst), a.blockSize)
+		}
+		copy(dst, buf)
+		return dst, slow, nil
+	}
 	out := make([]byte, a.blockSize)
 	copy(out, buf)
 	return out, slow, nil
