@@ -9,9 +9,14 @@
 // one, and single-worker sweeps next to the parallel ones — so one run
 // documents the before/after honestly on the machine it ran on.
 //
+// The -cluster flag swaps in the cluster-tier suite (BENCH_2.json by
+// default): stream routing/spillover cost, cluster round cost with
+// failover traffic, and the multi-node simulation end to end.
+//
 // Usage:
 //
-//	cmbench            # full suite -> BENCH_1.json
+//	cmbench            # full single-array suite -> BENCH_1.json
+//	cmbench -cluster   # cluster routing/admission suite -> BENCH_2.json
 //	cmbench -o out.json
 //	cmbench -quick     # skip the slow simulation benchmarks
 package main
@@ -20,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -28,6 +34,8 @@ import (
 	"ftcms/internal/admission"
 	"ftcms/internal/analytic"
 	"ftcms/internal/bibd"
+	"ftcms/internal/cluster"
+	"ftcms/internal/core"
 	"ftcms/internal/diskmodel"
 	"ftcms/internal/experiments"
 	"ftcms/internal/layout"
@@ -52,12 +60,12 @@ var seedBaseline = map[string]float64{
 }
 
 type benchResult struct {
-	Name        string             `json:"name"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	MBPerS      float64            `json:"mb_per_s,omitempty"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Iterations  int                `json:"iterations"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
 	// SpeedupVsSeed is seedBaseline[Name] / NsPerOp when a baseline is
 	// recorded for this name.
 	SpeedupVsSeed float64            `json:"speedup_vs_seed,omitempty"`
@@ -96,15 +104,24 @@ func xorInputs() ([]byte, [][]byte) {
 	return make([]byte, bs), srcs
 }
 
-func main() {
-	out := flag.String("o", "BENCH_1.json", "output JSON path")
-	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound)")
-	flag.Parse()
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
 
-	type bench struct {
-		name string
-		fn   func(b *testing.B)
+func main() {
+	out := flag.String("o", "", "output JSON path (default BENCH_1.json, BENCH_2.json with -cluster)")
+	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim)")
+	clusterSuite := flag.Bool("cluster", false, "run the cluster routing/admission suite instead")
+	flag.Parse()
+	if *out == "" {
+		if *clusterSuite {
+			*out = "BENCH_2.json"
+		} else {
+			*out = "BENCH_1.json"
+		}
 	}
+
 	benches := []bench{
 		{"XORNaive", func(b *testing.B) {
 			dst, srcs := xorInputs()
@@ -193,6 +210,9 @@ func main() {
 			}},
 		)
 	}
+	if *clusterSuite {
+		benches = clusterBenches(*quick)
+	}
 
 	rep := report{
 		GOOS:     runtime.GOOS,
@@ -272,6 +292,139 @@ func benchFigure6(b *testing.B, workers int) {
 	for _, pt := range points {
 		b.ReportMetric(float64(pt.Serviced), "serviced/"+pt.Scheme.Short()+"-p"+strconv.Itoa(pt.P))
 	}
+}
+
+// benchCluster builds a cluster of small declustered arrays with nclips
+// replicated clips of clipBytes bytes each.
+func benchCluster(b *testing.B, nodes, rep, nclips, clipBytes int) *cluster.Cluster {
+	b.Helper()
+	cfg := cluster.Config{Replication: rep}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, core.Config{
+			Scheme: core.Declustered,
+			Disk:   diskmodel.Default(),
+			D:      7, P: 3,
+			Block: 64 * units.KB,
+			Q:     8, F: 2,
+			Buffer: 256 * units.MB,
+		})
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, clipBytes)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	for i := 0; i < nclips; i++ {
+		if err := cl.AddClip(fmt.Sprintf("clip-%d", i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl
+}
+
+// clusterBenches is the -cluster suite: stream routing, node-failure
+// failover, cluster round cost under delivery, and the multi-node
+// simulation.
+func clusterBenches(quick bool) []bench {
+	benches := []bench{
+		// Routing + admission decision cost: open on the least-loaded
+		// live replica (with spillover bookkeeping), then release.
+		{"ClusterRoute", func(b *testing.B) {
+			cl := benchCluster(b, 4, 2, 16, 256_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := cl.OpenStream(fmt.Sprintf("clip-%d", i%16))
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.Close()
+			}
+		}},
+		// Failover cost: kill a node with in-flight streams; each stream
+		// of a replicated clip re-admits on a surviving replica.
+		{"ClusterFailover", func(b *testing.B) {
+			cl := benchCluster(b, 3, 2, 8, 256_000)
+			var streams []*cluster.Stream
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for _, st := range streams {
+					st.Close()
+				}
+				streams = streams[:0]
+				if err := cl.RejoinNode(0); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 16; j++ {
+					st, err := cl.OpenStream(fmt.Sprintf("clip-%d", j%8))
+					if err != nil {
+						break // replicas full; bench what was admitted
+					}
+					streams = append(streams, st)
+				}
+				b.StartTimer()
+				if err := cl.FailNode(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Sustained cluster round cost: Tick all nodes and drain one read
+		// per stream, reopening streams as they finish.
+		{"ClusterTick", func(b *testing.B) {
+			cl := benchCluster(b, 3, 2, 8, 4_000_000)
+			var streams []*cluster.Stream
+			for j := 0; ; j++ {
+				st, err := cl.OpenStream(fmt.Sprintf("clip-%d", j%8))
+				if err != nil {
+					break
+				}
+				streams = append(streams, st)
+			}
+			scratch := make([]byte, 64<<10)
+			b.ReportMetric(float64(len(streams)), "streams")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cl.Tick(); err != nil {
+					b.Fatal(err)
+				}
+				for j, st := range streams {
+					if _, err := st.Read(scratch); err == io.EOF {
+						ns, err := cl.OpenStream(st.Clip())
+						if err != nil {
+							b.Fatal(err)
+						}
+						streams[j] = ns
+					}
+				}
+			}
+		}},
+	}
+	if !quick {
+		benches = append(benches, bench{"ClusterSim", func(b *testing.B) {
+			cat := experiments.PaperCatalog()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunCluster(sim.ClusterConfig{
+					Node: sim.Config{
+						Scheme: analytic.Declustered, Disk: diskmodel.Default(), D: 16, P: 4,
+						Buffer: 128 * units.MB, Catalog: cat, ArrivalRate: 5,
+						Duration: 120 * units.Second, Seed: int64(i),
+					},
+					Nodes:       3,
+					Replication: 2,
+					NodeTrace:   []sim.FailureEvent{{Disk: 0, At: 60 * units.Second}},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	return benches
 }
 
 func fatal(err error) {

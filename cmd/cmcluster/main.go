@@ -1,0 +1,347 @@
+// Command cmcluster is the cluster-tier demonstration front end: it
+// composes several fault-tolerant arrays into one logical continuous
+// media server (internal/cluster), stores synthetic clips across them
+// with replication, paces cluster rounds in (scaled) real time, and
+// proxies the cmserve protocol across nodes.
+//
+// Protocol (one command line per connection, like cmserve):
+//
+//	LIST                  clip names with sizes and replica nodes
+//	PLAY <clip>           stream clip bytes; survives node failures when
+//	                      the clip is replicated
+//	STATS                 cluster counters plus per-node summaries
+//	FAIL <node>           demo alias for the node-fault injector: the
+//	                      health detector discovers the fault from the
+//	                      node's own probe errors and fails it over —
+//	                      never an operator command on the data path
+//
+// Usage:
+//
+//	cmcluster -addr :9100 -nodes 3 -rep 2 -scheme declustered -d 7 -p 3
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ftcms/internal/cliutil"
+	"ftcms/internal/cluster"
+	"ftcms/internal/core"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/faultinject"
+	"ftcms/internal/units"
+)
+
+type server struct {
+	mu sync.Mutex
+	cl *cluster.Cluster
+
+	writeTimeout time.Duration
+	closing      chan struct{}
+	conns        sync.WaitGroup
+}
+
+func newServer(cl *cluster.Cluster, writeTimeout time.Duration) *server {
+	return &server{
+		cl:           cl,
+		writeTimeout: writeTimeout,
+		closing:      make(chan struct{}),
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":9100", "listen address")
+	schemeFlag := flag.String("scheme", "declustered", "per-node fault-tolerance scheme")
+	d := flag.Int("d", 7, "disks per node")
+	p := flag.Int("p", 3, "parity group size")
+	nodes := flag.Int("nodes", 3, "cluster nodes")
+	rep := flag.Int("rep", 2, "replicas per clip")
+	nclips := flag.Int("clips", 4, "synthetic clips to store")
+	clipKB := flag.Int("clipkb", 256, "clip size in KB")
+	speed := flag.Float64("speed", 100, "time acceleration factor")
+	wtimeout := flag.Duration("wtimeout", 10*time.Second, "per-client write deadline")
+	flag.Parse()
+
+	scheme, err := cliutil.ResolveCoreScheme(*schemeFlag)
+	if err != nil {
+		log.Fatalf("cmcluster: %v", err)
+	}
+	geo, err := cliutil.ParseGeometry(*d, *p)
+	if err != nil {
+		log.Fatalf("cmcluster: %v", err)
+	}
+
+	cfg := cluster.Config{
+		Replication: *rep,
+		// An empty plan arms the injector so FAIL can script node faults
+		// for the detector to discover.
+		Faults: &faultinject.Plan{Seed: 1},
+	}
+	for i := 0; i < *nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, core.Config{
+			Scheme: scheme,
+			Disk:   diskmodel.Default(),
+			D:      geo.D,
+			P:      geo.P,
+			Block:  64 * units.KB,
+			Q:      8,
+			F:      2,
+			Buffer: 256 * units.MB,
+		})
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		log.Fatalf("cmcluster: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < *nclips; i++ {
+		data := make([]byte, *clipKB*1000)
+		rng.Read(data)
+		if err := cl.AddClip(fmt.Sprintf("clip-%d", i), data); err != nil {
+			log.Fatalf("cmcluster: %v", err)
+		}
+	}
+	s := newServer(cl, *wtimeout)
+
+	// Round pacer: every node's round duration is identical (same config),
+	// so one clock drives the whole cluster.
+	go func() {
+		interval := time.Duration(float64(cl.NodeServer(0).RoundDuration().Seconds()) / *speed * float64(time.Second))
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		for range time.Tick(interval) {
+			s.mu.Lock()
+			if err := s.cl.Tick(); err != nil {
+				log.Printf("cmcluster: tick: %v", err)
+			}
+			s.mu.Unlock()
+		}
+	}()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cmcluster: %v", err)
+	}
+	log.Printf("cmcluster: %d nodes × (%s, d=%d, p=%d), replication %d, %d clips, listening on %s",
+		*nodes, scheme, geo.D, geo.P, *rep, *nclips, ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("cmcluster: %v: stopping accept, draining active streams", sig)
+		s.beginShutdown(ln)
+	}()
+
+	s.acceptLoop(ln)
+	if s.drain(60 * time.Second) {
+		log.Printf("cmcluster: drained cleanly")
+	} else {
+		log.Printf("cmcluster: drain timed out, exiting with streams active")
+	}
+}
+
+// beginShutdown flips the server into draining mode and stops the accept
+// loop by closing the listener.
+func (s *server) beginShutdown(ln net.Listener) {
+	select {
+	case <-s.closing:
+		return
+	default:
+	}
+	close(s.closing)
+	ln.Close()
+}
+
+// draining reports whether shutdown has begun.
+func (s *server) draining() bool {
+	select {
+	case <-s.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// acceptLoop serves connections until the listener closes for shutdown.
+func (s *server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining() {
+				return
+			}
+			log.Printf("cmcluster: accept: %v", err)
+			continue
+		}
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// drain waits for active connection handlers to finish, up to timeout.
+func (s *server) drain(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		s.conns.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func (s *server) write(conn net.Conn, data []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	_, err := conn.Write(data)
+	return err
+}
+
+func (s *server) printf(conn net.Conn, format string, args ...any) error {
+	return s.write(conn, []byte(fmt.Sprintf(format, args...)))
+}
+
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		s.printf(conn, "ERR empty command\n")
+		return
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "LIST":
+		s.mu.Lock()
+		names := s.cl.Clips()
+		type row struct {
+			size     int64
+			replicas []int
+		}
+		rows := make(map[string]row, len(names))
+		for _, name := range names {
+			rows[name] = row{s.cl.ClipSize(name), s.cl.Replicas(name)}
+		}
+		s.mu.Unlock()
+		for _, name := range names {
+			if s.printf(conn, "%s %d nodes=%v\n", name, rows[name].size, rows[name].replicas) != nil {
+				return
+			}
+		}
+	case "STATS":
+		s.mu.Lock()
+		st := s.cl.Stats()
+		s.mu.Unlock()
+		if s.printf(conn, "round=%d nodes=%d alive=%d failed=%v active=%d awaiting_failover=%d served=%d failed_over=%d terminated=%d rejected=%d\n",
+			st.Round, st.Nodes, st.Alive, st.FailedNodes, st.Active, st.AwaitingFailover,
+			st.Served, st.FailedOver, st.Terminated, st.Rejected) != nil {
+			return
+		}
+		for i, ns := range st.Node {
+			if s.printf(conn, "node=%d active=%d served=%d hiccups=%d failed_disks=%v mode=%s\n",
+				i, ns.Active, ns.Served, ns.Hiccups, ns.FailedDisks, ns.Mode) != nil {
+				return
+			}
+		}
+	case "FAIL":
+		// Demo alias for the node-fault injector: schedule a node
+		// fail-stop starting next round; the detector's probes discover it
+		// and trigger failover on their own.
+		if len(fields) < 2 {
+			s.printf(conn, "ERR usage: FAIL <node>\n")
+			return
+		}
+		node, err := strconv.Atoi(fields[1])
+		if err != nil {
+			s.printf(conn, "ERR usage: FAIL <node>\n")
+			return
+		}
+		s.mu.Lock()
+		n := s.cl.NodeCount()
+		if node < 0 || node >= n {
+			s.mu.Unlock()
+			s.printf(conn, "ERR node %d out of range [0, %d)\n", node, n)
+			return
+		}
+		inj := s.cl.Injector()
+		inj.AddFailStop(faultinject.FailStop{Disk: node, Round: inj.Round() + 1})
+		s.mu.Unlock()
+		s.printf(conn, "OK node %d failed\n", node)
+	case "PLAY":
+		if len(fields) < 2 {
+			s.printf(conn, "ERR usage: PLAY <clip>\n")
+			return
+		}
+		if s.draining() {
+			s.printf(conn, "ERR shutting down\n")
+			return
+		}
+		// Cluster-wide admission rejects behave like the paper's pending
+		// list: retry each round for a while before giving up.
+		var st *cluster.Stream
+		var err error
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			s.mu.Lock()
+			st, err = s.cl.OpenStream(fields[1])
+			s.mu.Unlock()
+			if err == nil || !errors.Is(err, core.ErrAdmission) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err != nil {
+			s.printf(conn, "ERR %v\n", err)
+			return
+		}
+		buf := make([]byte, 64<<10)
+		for {
+			s.mu.Lock()
+			n, rerr := st.Read(buf)
+			s.mu.Unlock()
+			if n > 0 {
+				if s.write(conn, buf[:n]) != nil {
+					s.mu.Lock()
+					st.Close()
+					s.mu.Unlock()
+					return
+				}
+			}
+			if errors.Is(rerr, core.ErrNoData) {
+				// Also covers the parked-awaiting-failover window.
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if errors.Is(rerr, core.ErrStreamLost) {
+				s.printf(conn, "\nERR %v\n", rerr)
+				return
+			}
+			if rerr != nil {
+				return // EOF or closed
+			}
+		}
+	default:
+		s.printf(conn, "ERR unknown command\n")
+	}
+}

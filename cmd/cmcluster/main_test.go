@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftcms/internal/cluster"
+	"ftcms/internal/core"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/faultinject"
+	"ftcms/internal/units"
+)
+
+// testCluster builds a 3-node, replication-2 cluster front end with a
+// fast disk model, stores clips, starts the pacer and listener, and
+// returns the address plus the stored clip contents.
+func testCluster(t *testing.T) (addr string, clips map[string][]byte, s *server, ln net.Listener) {
+	t.Helper()
+	cfg := cluster.Config{
+		Replication: 2,
+		Faults:      &faultinject.Plan{Seed: 1},
+	}
+	for i := 0; i < 3; i++ {
+		cfg.Nodes = append(cfg.Nodes, core.Config{
+			Scheme: core.Declustered,
+			Disk: diskmodel.Parameters{
+				TransferRate: 45 * units.Mbps,
+				Settle:       0.05 * units.Millisecond,
+				Seek:         0.1 * units.Millisecond,
+				Rotation:     0.1 * units.Millisecond,
+				Capacity:     2 * units.GB,
+				PlaybackRate: 1.5 * units.Mbps,
+			},
+			D: 7, P: 3, Block: 8 * units.KB, Q: 8, F: 2, Buffer: 16 * units.MB,
+		})
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	clips = map[string][]byte{}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("clip-%d", i)
+		data := make([]byte, 50_000)
+		rng.Read(data)
+		clips[name] = data
+		if err := cl.AddClip(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = newServer(cl, 10*time.Second)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.mu.Lock()
+				_ = s.cl.Tick()
+				s.mu.Unlock()
+			}
+		}
+	}()
+	ln, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.acceptLoop(ln)
+	t.Cleanup(func() {
+		s.beginShutdown(ln)
+		close(stop)
+		wg.Wait()
+	})
+	return ln.Addr().String(), clips, s, ln
+}
+
+func send(t *testing.T, addr, cmd string) []byte {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := conn.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			return out.Bytes()
+		}
+	}
+}
+
+func TestHandleList(t *testing.T) {
+	addr, _, _, _ := testCluster(t)
+	out := string(send(t, addr, "LIST"))
+	if !strings.Contains(out, "clip-0 50000 nodes=[") || !strings.Contains(out, "clip-1 50000 nodes=[") {
+		t.Fatalf("LIST output:\n%s", out)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	addr, _, _, _ := testCluster(t)
+	out := string(send(t, addr, "STATS"))
+	if !strings.Contains(out, "nodes=3 alive=3 failed=[]") {
+		t.Fatalf("STATS output: %s", out)
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(out, fmt.Sprintf("node=%d ", i)) {
+			t.Fatalf("STATS missing node %d line: %s", i, out)
+		}
+	}
+}
+
+func TestHandlePlayByteExact(t *testing.T) {
+	addr, clips, _, _ := testCluster(t)
+	got := send(t, addr, "PLAY clip-0")
+	if !bytes.Equal(got, clips["clip-0"]) {
+		t.Fatalf("PLAY returned %d bytes, want %d (exact)", len(got), len(clips["clip-0"]))
+	}
+}
+
+// TestHandlePlayThroughNodeFailure: FAIL schedules a node fault that the
+// detector discovers mid-stream; replication 2 keeps the playback
+// byte-exact via failover to the surviving replica.
+func TestHandlePlayThroughNodeFailure(t *testing.T) {
+	addr, clips, s, _ := testCluster(t)
+	if out := string(send(t, addr, "FAIL 0")); !strings.Contains(out, "OK node 0 failed") {
+		t.Fatalf("FAIL output: %s", out)
+	}
+	got := send(t, addr, "PLAY clip-0")
+	if !bytes.Equal(got, clips["clip-0"]) {
+		t.Fatalf("PLAY through node failure returned %d bytes, want %d", len(got), len(clips["clip-0"]))
+	}
+	s.mu.Lock()
+	st := s.cl.Stats()
+	s.mu.Unlock()
+	if st.Alive != 2 || len(st.FailedNodes) != 1 || st.FailedNodes[0] != 0 {
+		t.Fatalf("node 0 not detected as failed: %+v", st)
+	}
+	if out := string(send(t, addr, "STATS")); !strings.Contains(out, "failed=[0]") {
+		t.Fatalf("STATS after node failure: %s", out)
+	}
+}
+
+func TestHandleErrors(t *testing.T) {
+	addr, _, _, _ := testCluster(t)
+	for cmd, want := range map[string]string{
+		"PLAY":      "ERR usage",
+		"PLAY nope": "ERR",
+		"FAIL":      "ERR usage",
+		"FAIL 99":   "ERR node 99 out of range",
+		"BOGUS":     "ERR unknown command",
+		"   ":       "ERR empty command",
+	} {
+		if out := string(send(t, addr, cmd)); !strings.Contains(out, want) {
+			t.Errorf("%q -> %q, want %q", cmd, strings.TrimSpace(out), want)
+		}
+	}
+}
+
+// TestHandleConcurrentPlays: parallel clients stream byte-exact through
+// the shared cluster mutex.
+func TestHandleConcurrentPlays(t *testing.T) {
+	addr, clips, _, _ := testCluster(t)
+	type result struct {
+		name string
+		data []byte
+	}
+	ch := make(chan result, 6)
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("clip-%d", i%2)
+		go func(name string) {
+			conn, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				ch <- result{name, nil}
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			fmt.Fprintf(conn, "PLAY %s\n", name)
+			var out bytes.Buffer
+			buf := make([]byte, 64<<10)
+			for {
+				n, err := conn.Read(buf)
+				out.Write(buf[:n])
+				if err != nil {
+					break
+				}
+			}
+			ch <- result{name, out.Bytes()}
+		}(name)
+	}
+	for i := 0; i < 6; i++ {
+		r := <-ch
+		if !bytes.Equal(r.data, clips[r.name]) {
+			t.Fatalf("concurrent PLAY %s returned %d bytes, want %d", r.name, len(r.data), len(clips[r.name]))
+		}
+	}
+}

@@ -39,6 +39,10 @@ func main() {
 	d := flag.Int("d", 32, "number of disks")
 	flag.Parse()
 
+	if _, err := cliutil.ParseGeometry(*d, 0); err != nil {
+		fatal(err)
+	}
+
 	if *params {
 		if err := experiments.WriteFigure1(os.Stdout); err != nil {
 			fatal(err)

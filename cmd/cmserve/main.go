@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"ftcms/internal/cliutil"
 	"ftcms/internal/core"
 	"ftcms/internal/diskmodel"
 	"ftcms/internal/faultinject"
@@ -82,11 +83,20 @@ func main() {
 	wtimeout := flag.Duration("wtimeout", 10*time.Second, "per-client write deadline")
 	flag.Parse()
 
+	scheme, err := cliutil.ResolveCoreScheme(*schemeFlag)
+	if err != nil {
+		log.Fatalf("cmserve: %v", err)
+	}
+	geo, err := cliutil.ParseGeometry(*d, *p)
+	if err != nil {
+		log.Fatalf("cmserve: %v", err)
+	}
+
 	cs, err := core.New(core.Config{
-		Scheme: core.Scheme(*schemeFlag),
+		Scheme: scheme,
 		Disk:   diskmodel.Default(),
-		D:      *d,
-		P:      *p,
+		D:      geo.D,
+		P:      geo.P,
 		Block:  64 * units.KB,
 		Q:      8,
 		F:      2,
@@ -247,9 +257,10 @@ func (s *server) handle(conn net.Conn) {
 		s.mu.Lock()
 		st := s.srv.Stats()
 		s.mu.Unlock()
-		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d terminated=%d\n",
+		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d rebuild_pending=%d rebuild_total=%d rebuilds_done=%d terminated=%d\n",
 			st.Rounds, st.Active, st.Served, st.Hiccups, st.Overflows, st.FailedDisks,
-			st.Mode, st.SparesLeft, st.Rebuilding, st.Terminated)
+			st.Mode, st.SparesLeft, st.Rebuilding, st.RebuildPending, st.RebuildTotal,
+			st.RebuildsDone, st.Terminated)
 	case "FAIL":
 		// Demo alias for the fault injector: schedule a fail-stop on the
 		// disk starting next round. The health detector notices from the

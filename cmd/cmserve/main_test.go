@@ -21,6 +21,12 @@ import (
 // tests).
 func testServer(t *testing.T) (addr string, clips map[string][]byte, s *server, ln net.Listener) {
 	t.Helper()
+	return testServerSpares(t, 0)
+}
+
+// testServerSpares is testServer with a hot-spare budget.
+func testServerSpares(t *testing.T, spares int) (addr string, clips map[string][]byte, s *server, ln net.Listener) {
+	t.Helper()
 	cs, err := core.New(core.Config{
 		Scheme: core.Declustered,
 		Disk: diskmodel.Parameters{
@@ -32,6 +38,7 @@ func testServer(t *testing.T) (addr string, clips map[string][]byte, s *server, 
 			PlaybackRate: 1.5 * units.Mbps,
 		},
 		D: 7, P: 3, Block: 8 * units.KB, Q: 8, F: 2, Buffer: 16 * units.MB,
+		Spares: spares,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +121,44 @@ func TestHandleStats(t *testing.T) {
 	out := string(send(t, addr, "STATS"))
 	if !strings.Contains(out, "rounds=") || !strings.Contains(out, "failed=[]") {
 		t.Fatalf("STATS output: %s", out)
+	}
+	// Hot-spare pool and online-rebuild progress are always reported,
+	// idle values included.
+	for _, field := range []string{"spares=0", "rebuilding=-1", "rebuild_pending=0", "rebuild_total=0", "rebuilds_done=0"} {
+		if !strings.Contains(out, field) {
+			t.Fatalf("STATS missing %q: %s", field, out)
+		}
+	}
+}
+
+// TestStatsReportsRebuildProgress: with a hot spare configured, STATS
+// tracks the online rebuild through to completion after a detected disk
+// failure.
+func TestStatsReportsRebuildProgress(t *testing.T) {
+	addr, clips, _, _ := testServerSpares(t, 1)
+	if out := string(send(t, addr, "STATS")); !strings.Contains(out, "spares=1") {
+		t.Fatalf("STATS before failure: %s", out)
+	}
+	if out := string(send(t, addr, "FAIL 3")); !strings.Contains(out, "OK disk 3 failed") {
+		t.Fatalf("FAIL output: %s", out)
+	}
+	// Stream through the failure so detection fires and the rebuild
+	// starts on the spare.
+	got := send(t, addr, "PLAY clip-1")
+	if !bytes.Equal(got, clips["clip-1"]) {
+		t.Fatalf("degraded PLAY returned %d bytes, want %d", len(got), len(clips["clip-1"]))
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out := string(send(t, addr, "STATS"))
+		if strings.Contains(out, "spares=0") && strings.Contains(out, "rebuilds_done=1") &&
+			strings.Contains(out, "rebuild_pending=0") && strings.Contains(out, "failed=[]") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild never completed; last STATS: %s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

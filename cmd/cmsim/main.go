@@ -33,19 +33,11 @@ import (
 	"ftcms/internal/units"
 )
 
-var schemeNames = func() map[string]analytic.Scheme {
-	m := make(map[string]analytic.Scheme, len(analytic.Schemes()))
-	for _, s := range analytic.Schemes() {
-		m[s.Key()] = s
-	}
-	return m
-}()
-
 func main() {
 	grid := flag.Bool("grid", false, "run the full Figure 6 grid (both buffer sizes)")
 	ablation := flag.Bool("ablation", false, "run the E8 admission-policy ablation")
 	continuity := flag.Bool("continuity", false, "run the E10 failure-continuity experiment")
-	schemeFlag := flag.String("scheme", "declustered", "scheme: "+strings.Join(keys(), ", "))
+	schemeFlag := flag.String("scheme", "declustered", "scheme: "+strings.Join(cliutil.SchemeNames(), ", "))
 	p := flag.Int("p", 4, "parity group size")
 	bufferFlag := flag.String("buffer", "256MB", "server buffer (e.g. 256MB, 2GB)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -151,9 +143,12 @@ func main() {
 			fatal(err)
 		}
 	default:
-		scheme, ok := schemeNames[*schemeFlag]
-		if !ok {
-			fatal(fmt.Errorf("unknown scheme %q (want one of %s)", *schemeFlag, strings.Join(keys(), ", ")))
+		scheme, err := cliutil.ResolveScheme(*schemeFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := cliutil.ParseGeometry(32, *p); err != nil {
+			fatal(err)
 		}
 		res, err := sim.Run(sim.Config{
 			Scheme:      scheme,
@@ -199,19 +194,6 @@ func main() {
 			}
 		}
 	}
-}
-
-func keys() []string {
-	out := make([]string, 0, len(schemeNames))
-	for k := range schemeNames {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }
 
 func fatal(err error) {

@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"testing"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/core"
+)
+
+func TestParseGeometry(t *testing.T) {
+	cases := []struct {
+		d, p int
+		ok   bool
+	}{
+		{7, 3, true},
+		{32, 4, true},
+		{2, 2, true},
+		{32, 0, true},  // no -p flag
+		{1, 0, false},  // too few disks
+		{0, 3, false},  // too few disks
+		{7, 1, false},  // degenerate group
+		{7, -2, false}, // negative group
+		{4, 5, false},  // group wider than array
+	}
+	for _, c := range cases {
+		g, err := ParseGeometry(c.d, c.p)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseGeometry(%d, %d): err = %v, want ok=%v", c.d, c.p, err, c.ok)
+			continue
+		}
+		if err == nil && (g.D != c.d || g.P != c.p) {
+			t.Errorf("ParseGeometry(%d, %d) = %+v", c.d, c.p, g)
+		}
+	}
+}
+
+func TestResolveScheme(t *testing.T) {
+	for _, s := range analytic.Schemes() {
+		got, err := ResolveScheme(s.Key())
+		if err != nil || got != s {
+			t.Errorf("ResolveScheme(%q) = %v, %v", s.Key(), got, err)
+		}
+	}
+	if _, err := ResolveScheme("raid-0"); err == nil {
+		t.Error("resolved a bogus scheme name")
+	}
+	if _, err := ResolveScheme("declustered-dynamic"); err == nil {
+		t.Error("analytic resolution accepted the core-only scheme")
+	}
+}
+
+func TestResolveCoreScheme(t *testing.T) {
+	for _, name := range CoreSchemeNames() {
+		got, err := ResolveCoreScheme(name)
+		if err != nil || string(got) != name {
+			t.Errorf("ResolveCoreScheme(%q) = %v, %v", name, got, err)
+		}
+	}
+	if got, err := ResolveCoreScheme("declustered-dynamic"); err != nil || got != core.DeclusteredDynamic {
+		t.Errorf("ResolveCoreScheme(declustered-dynamic) = %v, %v", got, err)
+	}
+	if _, err := ResolveCoreScheme("raid-0"); err == nil {
+		t.Error("resolved a bogus scheme name")
+	}
+}
+
+func TestSchemeNamesSortedAndComplete(t *testing.T) {
+	names := SchemeNames()
+	if len(names) != len(analytic.Schemes()) {
+		t.Fatalf("%d names for %d schemes", len(names), len(analytic.Schemes()))
+	}
+	coreNames := CoreSchemeNames()
+	if len(coreNames) != len(names)+1 {
+		t.Fatalf("core names %v", coreNames)
+	}
+	for i := 1; i < len(coreNames); i++ {
+		if coreNames[i-1] >= coreNames[i] {
+			t.Fatalf("core names not sorted: %v", coreNames)
+		}
+	}
+}

@@ -1,0 +1,523 @@
+// Package cluster composes N core.Server instances — each a complete
+// fault-tolerant disk array with its own scheme, parity group table and
+// failure lifecycle — into one logical continuous media cluster. It
+// extends the paper's single-array guarantees to node granularity:
+//
+//   - Placement: whole clips are sharded across nodes by capacity-aware
+//     assignment (most free bytes first), with an optional replication
+//     factor so hot clips live on several arrays at once.
+//   - Admission: a PLAY is routed to the least-loaded replica whose own
+//     per-disk admission control (q−f static caps or the §5 dynamic
+//     reservation) accepts it, spilling over to other replicas before a
+//     cluster-wide reject. The cluster never overrides a node's
+//     controller, so no disk anywhere is ever booked past its q budget.
+//   - Node failure: the health detector and fault injector are reused at
+//     node granularity. When a node is declared down, in-flight streams
+//     of replicated clips fail over to a surviving replica — resuming at
+//     their exact byte position — and streams of unreplicated clips are
+//     terminated with the existing core.ErrStreamLost semantics.
+//
+// Like core.Server, a Cluster is deliberately synchronous: Tick()
+// advances every live node one service round and drives node-failure
+// detection. Callers that share a Cluster across goroutines must
+// serialize access (the cmcluster front end holds one mutex, exactly as
+// cmserve does for a single array).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ftcms/internal/core"
+	"ftcms/internal/faultinject"
+	"ftcms/internal/health"
+)
+
+// ErrNoReplica is returned by OpenStream when no live node holds the
+// clip — every replica's node is down (or the clip was never stored).
+var ErrNoReplica = errors.New("cluster: no live replica holds the clip")
+
+// ErrAdmission is wrapped into OpenStream's error when every live
+// replica's admission controller refused the stream — the cluster-wide
+// reject. It unwraps to core.ErrAdmission so callers retry the same way
+// they would against a single array.
+var ErrAdmission = core.ErrAdmission
+
+// Config sizes a Cluster.
+type Config struct {
+	// Nodes configures the member arrays; one core.Server per entry.
+	Nodes []core.Config
+	// Replication is the default number of copies AddClip stores
+	// (default 1; capped by the node count). AddClipReplicated overrides
+	// it per clip.
+	Replication int
+	// Health tunes the node-failure detector; the zero value selects the
+	// detector's documented defaults.
+	Health health.Config
+	// Faults, when non-nil, scripts node-granularity fault injection:
+	// the plan's Disk fields index nodes, not disks. Each Tick probes
+	// the plan once per live node and feeds the outcome to the node
+	// detector, so a scripted fail-stop is discovered by detection —
+	// never by command — exactly like a disk inside one array.
+	Faults *faultinject.Plan
+}
+
+// node is one member array and its cluster-level liveness.
+type node struct {
+	id    int
+	srv   *core.Server
+	alive bool
+}
+
+// Cluster is a set of fault-tolerant arrays behind one admission and
+// placement layer.
+type Cluster struct {
+	nodes    []*node
+	rep      int
+	detector *health.Detector
+	injector *faultinject.Injector
+
+	// placement maps clip name → node ids holding a replica (in
+	// placement order); sizes caches the payload size.
+	placement map[string][]int
+	sizes     map[string]int64
+
+	streams map[int]*Stream
+	nextID  int
+	round   int64
+
+	// pendingFailover holds streams whose node died and whose replicas
+	// had no admission capacity yet; retried every Tick.
+	pendingFailover []*Stream
+
+	served     int
+	failedOver int
+	terminated int
+	rejected   int
+}
+
+// Stats reports cluster-level counters plus every node's own Stats.
+type Stats struct {
+	// Round is the number of completed cluster rounds.
+	Round int64
+	// Nodes and Alive count configured and live nodes.
+	Nodes, Alive int
+	// FailedNodes lists the down node ids.
+	FailedNodes []int
+	// Active is the number of open cluster streams (including streams
+	// parked awaiting failover re-admission).
+	Active int
+	// AwaitingFailover counts parked streams currently without a node.
+	AwaitingFailover int
+	// Served counts cluster streams that completed playback.
+	Served int
+	// FailedOver counts successful stream failovers to a replica.
+	FailedOver int
+	// Terminated counts streams ended with ErrStreamLost because no
+	// replica could take them over.
+	Terminated int
+	// Rejected counts cluster-wide admission rejects (every live
+	// replica's controller refused).
+	Rejected int
+	// Node holds each node's core.Stats, index-aligned with node ids.
+	// Down nodes report their last state.
+	Node []core.Stats
+}
+
+// New builds the cluster and its member servers.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: need at least one node")
+	}
+	rep := cfg.Replication
+	if rep < 1 {
+		rep = 1
+	}
+	if rep > len(cfg.Nodes) {
+		return nil, fmt.Errorf("cluster: replication %d exceeds %d nodes", rep, len(cfg.Nodes))
+	}
+	c := &Cluster{
+		rep:       rep,
+		placement: make(map[string][]int),
+		sizes:     make(map[string]int64),
+		streams:   make(map[int]*Stream),
+	}
+	for i, nc := range cfg.Nodes {
+		srv, err := core.New(nc)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, &node{id: i, srv: srv, alive: true})
+	}
+	c.detector = health.NewDetector(len(cfg.Nodes), cfg.Health)
+	c.detector.SetOnFail(c.nodeDeclared)
+	if cfg.Faults != nil {
+		c.injector = faultinject.New(*cfg.Faults)
+	}
+	return c, nil
+}
+
+// NodeCount returns the number of configured nodes.
+func (c *Cluster) NodeCount() int { return len(c.nodes) }
+
+// NodeServer exposes one member array for inspection (tests audit each
+// node's admission invariant through it).
+func (c *Cluster) NodeServer(i int) *core.Server { return c.nodes[i].srv }
+
+// NodeAlive reports whether the node is currently live.
+func (c *Cluster) NodeAlive(i int) bool { return c.nodes[i].alive }
+
+// Detector exposes the node-failure detector for inspection.
+func (c *Cluster) Detector() *health.Detector { return c.detector }
+
+// Injector exposes the node-fault injector (nil unless Config.Faults was
+// set). Front ends use it to schedule node faults that detection then
+// discovers.
+func (c *Cluster) Injector() *faultinject.Injector { return c.injector }
+
+// Replicas returns the node ids holding the clip, in placement order
+// (nil for unknown clips).
+func (c *Cluster) Replicas(name string) []int {
+	reps := c.placement[name]
+	out := make([]int, len(reps))
+	copy(out, reps)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// AddClip stores a clip on Replication nodes chosen capacity-aware.
+func (c *Cluster) AddClip(name string, data []byte) error {
+	return c.AddClipReplicated(name, data, c.rep)
+}
+
+// AddClipReplicated stores a clip on exactly replicas live nodes, chosen
+// by descending free capacity (ties to the lower node id). A clip that
+// cannot get all its replicas stored is rejected whole.
+func (c *Cluster) AddClipReplicated(name string, data []byte, replicas int) error {
+	if _, dup := c.placement[name]; dup {
+		return fmt.Errorf("cluster: clip %q already stored", name)
+	}
+	if replicas < 1 || replicas > len(c.nodes) {
+		return fmt.Errorf("cluster: replication %d out of range [1, %d]", replicas, len(c.nodes))
+	}
+	// Candidates: live nodes, most free bytes first.
+	cands := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.alive {
+			cands = append(cands, n)
+		}
+	}
+	freeBytes := func(n *node) int64 {
+		return n.srv.FreeBlocks() * n.srv.BlockSize().Bytes()
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return freeBytes(cands[a]) > freeBytes(cands[b]) })
+	var placed []int
+	for _, n := range cands {
+		if len(placed) == replicas {
+			break
+		}
+		if err := n.srv.AddClip(name, data); err != nil {
+			continue // this node is full (or too fragmented); try the next
+		}
+		placed = append(placed, n.id)
+	}
+	if len(placed) < replicas {
+		// No rollback: core has no clip removal, and a partially placed
+		// name must not linger. Refuse loudly instead.
+		if len(placed) > 0 {
+			return fmt.Errorf("cluster: clip %q placed on only %d of %d replicas (cluster nearly full); refusing partial placement", name, len(placed), replicas)
+		}
+		return fmt.Errorf("cluster: no node can store clip %q (%d bytes)", name, len(data))
+	}
+	c.placement[name] = placed
+	c.sizes[name] = int64(len(data))
+	return nil
+}
+
+// Clips returns every stored clip name in sorted order.
+func (c *Cluster) Clips() []string {
+	out := make([]string, 0, len(c.placement))
+	for name := range c.placement {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClipSize returns a clip's payload size in bytes, or -1 when unknown.
+func (c *Cluster) ClipSize(name string) int64 {
+	sz, ok := c.sizes[name]
+	if !ok {
+		return -1
+	}
+	return sz
+}
+
+// candidates returns the clip's live replica nodes ordered by current
+// stream load ascending (ties to the lower node id), optionally skipping
+// one node id.
+func (c *Cluster) candidates(name string, skip int) []*node {
+	var out []*node
+	for _, id := range c.placement[name] {
+		n := c.nodes[id]
+		if n.alive && n.id != skip {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].srv.Stats().Active < out[b].srv.Stats().Active
+	})
+	return out
+}
+
+// OpenStream routes a PLAY to a replica whose own admission control
+// accepts it, least-loaded first with spillover. When every live
+// replica refuses, the error wraps core.ErrAdmission (retry later); when
+// no live replica exists at all it is ErrNoReplica.
+func (c *Cluster) OpenStream(name string) (*Stream, error) {
+	if _, ok := c.placement[name]; !ok {
+		return nil, fmt.Errorf("cluster: unknown clip %q", name)
+	}
+	cands := c.candidates(name, -1)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoReplica, name)
+	}
+	for _, n := range cands {
+		cs, err := n.srv.OpenStream(name)
+		if err == nil {
+			st := &Stream{
+				c:    c,
+				id:   c.nextID,
+				clip: name,
+				size: c.sizes[name],
+				node: n.id,
+				st:   cs,
+			}
+			c.nextID++
+			c.streams[st.id] = st
+			return st, nil
+		}
+		if !errors.Is(err, core.ErrAdmission) {
+			return nil, err
+		}
+	}
+	c.rejected++
+	return nil, fmt.Errorf("cluster: all %d live replicas of %q refused: %w", len(cands), name, core.ErrAdmission)
+}
+
+// Tick advances one cluster round: node-fault probes feed the detector,
+// every live node runs one service round, and parked failovers retry
+// admission. Tick itself errors only on programming bugs.
+func (c *Cluster) Tick() error {
+	c.round++
+	if c.injector != nil {
+		c.injector.SetRound(c.round)
+		// Probe each live node once per round: a scripted node fault is
+		// discovered here by detection, mirroring how a disk fault inside
+		// an array is discovered by its own reads.
+		for _, n := range c.nodes {
+			if !n.alive {
+				continue
+			}
+			slow, err := c.injector.Hook(n.id, 0)
+			c.detector.Observe(n.id, slow, err)
+		}
+	}
+	for _, n := range c.nodes {
+		if !n.alive {
+			continue
+		}
+		if err := n.srv.Tick(); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", n.id, err)
+		}
+	}
+	c.retryFailovers()
+	return nil
+}
+
+// Round returns the number of completed cluster rounds.
+func (c *Cluster) Round() int64 { return c.round }
+
+// FailNode kills a node by operator command — the path the detector
+// normally triggers by itself. Idempotent.
+func (c *Cluster) FailNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range [0, %d)", i, len(c.nodes))
+	}
+	if !c.nodes[i].alive {
+		return nil
+	}
+	c.nodeFailed(i)
+	return nil
+}
+
+// nodeDeclared is the detector's OnFail callback.
+func (c *Cluster) nodeDeclared(i int) { c.nodeFailed(i) }
+
+// nodeFailed marks the node down and disposes of its in-flight streams:
+// replicated clips fail over (or park for retry), unreplicated ones
+// terminate with ErrStreamLost.
+func (c *Cluster) nodeFailed(i int) {
+	n := c.nodes[i]
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	ids := make([]int, 0, len(c.streams))
+	for id, st := range c.streams {
+		if st.node == i && st.st != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := c.streams[id]
+		// The node is gone; its core stream with it. Close releases the
+		// dead server's bookkeeping (harmless) and guards against reuse.
+		st.st.Close()
+		st.st = nil
+		c.failover(st)
+	}
+}
+
+// RejoinNode brings a failed node back with its stored clips intact (a
+// process restart over persistent disks). Detection state and any
+// scripted faults against the node are cleared; new placements and
+// routes include it again. Streams do not fail back.
+func (c *Cluster) RejoinNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range [0, %d)", i, len(c.nodes))
+	}
+	if c.nodes[i].alive {
+		return nil
+	}
+	c.nodes[i].alive = true
+	c.detector.Reset(i)
+	if c.injector != nil {
+		c.injector.ClearDisk(i)
+	}
+	return nil
+}
+
+// failover moves a nodeless stream to a surviving replica, resuming at
+// its exact delivered byte offset. With replicas but no admission
+// capacity the stream parks for retry next Tick; with no replicas it
+// terminates with ErrStreamLost.
+func (c *Cluster) failover(st *Stream) {
+	if st.closed || st.err != nil {
+		return
+	}
+	if st.offset >= st.size {
+		// Everything was already handed to the reader; nothing to move.
+		c.finish(st)
+		return
+	}
+	cands := c.candidates(st.clip, st.node)
+	if len(cands) == 0 {
+		st.err = fmt.Errorf("cluster: node %d down and clip %q has no other live replica: %w",
+			st.node, st.clip, core.ErrStreamLost)
+		c.terminated++
+		delete(c.streams, st.id)
+		return
+	}
+	for _, n := range cands {
+		cs, err := c.reopenAt(n, st.clip, st.offset)
+		if err != nil {
+			if errors.Is(err, core.ErrAdmission) {
+				continue
+			}
+			st.err = fmt.Errorf("cluster: failover of %q to node %d: %v: %w", st.clip, n.id, err, core.ErrStreamLost)
+			c.terminated++
+			delete(c.streams, st.id)
+			return
+		}
+		st.node = n.id
+		st.st = cs
+		// SeekTo snapped to a block (or parity-group) boundary at or
+		// below the offset; discard the replayed prefix.
+		st.skip = st.offset - cs.Pos()
+		c.failedOver++
+		return
+	}
+	// Replicas exist but are full right now: park and retry each round.
+	c.pendingFailover = append(c.pendingFailover, st)
+}
+
+// reopenAt opens a stream on the node and repositions it to the block
+// containing offset. Errors wrapping core.ErrAdmission mean "full right
+// now"; anything else is fatal for this node.
+func (c *Cluster) reopenAt(n *node, clip string, offset int64) (*core.Stream, error) {
+	cs, err := n.srv.OpenStream(clip)
+	if err != nil {
+		return nil, err
+	}
+	if offset == 0 {
+		return cs, nil
+	}
+	if err := cs.Pause(); err != nil {
+		cs.Close()
+		return nil, err
+	}
+	if err := cs.SeekTo(offset); err != nil {
+		cs.Close()
+		return nil, err
+	}
+	if err := cs.Resume(); err != nil {
+		cs.Close()
+		return nil, err
+	}
+	return cs, nil
+}
+
+// retryFailovers re-attempts admission for parked streams.
+func (c *Cluster) retryFailovers() {
+	if len(c.pendingFailover) == 0 {
+		return
+	}
+	parked := c.pendingFailover
+	c.pendingFailover = nil
+	for _, st := range parked {
+		if st.closed || st.err != nil {
+			continue
+		}
+		c.failover(st) // re-parks itself if still refused
+	}
+}
+
+// finish retires a stream that delivered its whole clip.
+func (c *Cluster) finish(st *Stream) {
+	if _, open := c.streams[st.id]; open {
+		delete(c.streams, st.id)
+		c.served++
+	}
+}
+
+// Stats returns the cluster's counters and every node's Stats.
+func (c *Cluster) Stats() Stats {
+	st := Stats{
+		Round:      c.round,
+		Nodes:      len(c.nodes),
+		Active:     len(c.streams),
+		Served:     c.served,
+		FailedOver: c.failedOver,
+		Terminated: c.terminated,
+		Rejected:   c.rejected,
+	}
+	for _, n := range c.nodes {
+		if n.alive {
+			st.Alive++
+		} else {
+			st.FailedNodes = append(st.FailedNodes, n.id)
+		}
+		st.Node = append(st.Node, n.srv.Stats())
+	}
+	for _, s := range c.streams {
+		if s.st == nil {
+			st.AwaitingFailover++
+		}
+	}
+	return st
+}

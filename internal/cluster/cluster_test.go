@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"ftcms/internal/core"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/faultinject"
+	"ftcms/internal/health"
+	"ftcms/internal/units"
+)
+
+// fastDisk is a disk model with negligible seek costs so tests stream
+// many rounds quickly (same shape as the cmserve test model).
+func fastDisk() diskmodel.Parameters {
+	return diskmodel.Parameters{
+		TransferRate: 45 * units.Mbps,
+		Settle:       0.05 * units.Millisecond,
+		Seek:         0.1 * units.Millisecond,
+		Rotation:     0.1 * units.Millisecond,
+		Capacity:     2 * units.GB,
+		PlaybackRate: 1.5 * units.Mbps,
+	}
+}
+
+// nodeConfig is one 7-disk declustered array.
+func nodeConfig() core.Config {
+	return core.Config{
+		Scheme: core.Declustered,
+		Disk:   fastDisk(),
+		D:      7, P: 3,
+		Block:  8 * units.KB,
+		Q:      8, F: 2,
+		Buffer: 16 * units.MB,
+	}
+}
+
+func testCluster(t *testing.T, nodes, rep int) *Cluster {
+	t.Helper()
+	cfg := Config{Replication: rep}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, nodeConfig())
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func clipBytes(seed int64, n int) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+// readAvailable drains whatever the stream can deliver right now,
+// verifying bytes against want starting at *offset.
+func readAvailable(t *testing.T, st *Stream, want []byte, offset *int64) (done bool, err error) {
+	t.Helper()
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := st.Read(buf)
+		if n > 0 {
+			if !bytes.Equal(buf[:n], want[*offset:*offset+int64(n)]) {
+				t.Fatalf("stream bytes diverge at offset %d", *offset)
+			}
+			*offset += int64(n)
+		}
+		switch {
+		case errors.Is(rerr, io.EOF):
+			return true, nil
+		case errors.Is(rerr, core.ErrNoData):
+			return false, nil
+		case rerr != nil:
+			return false, rerr
+		}
+	}
+}
+
+func TestPlacementCapacityAwareAndReplicated(t *testing.T) {
+	c := testCluster(t, 3, 2)
+	for i := 0; i < 6; i++ {
+		name := string(rune('a' + i))
+		if err := c.AddClip(name, clipBytes(int64(i), 40_000)); err != nil {
+			t.Fatal(err)
+		}
+		reps := c.Replicas(name)
+		if len(reps) != 2 {
+			t.Fatalf("clip %s replicas = %v, want 2", name, reps)
+		}
+		if reps[0] == reps[1] {
+			t.Fatalf("clip %s placed twice on node %d", name, reps[0])
+		}
+	}
+	// Capacity-aware assignment balances: 6 clips × 2 replicas over 3
+	// equal nodes must put exactly 4 replicas on each node.
+	count := make([]int, 3)
+	for _, name := range c.Clips() {
+		for _, id := range c.Replicas(name) {
+			count[id]++
+		}
+	}
+	for i, n := range count {
+		if n != 4 {
+			t.Fatalf("node %d holds %d replicas, want 4 (got %v)", i, n, count)
+		}
+	}
+	if got := c.ClipSize("a"); got != 40_000 {
+		t.Fatalf("ClipSize = %d, want 40000", got)
+	}
+	if got := c.ClipSize("nope"); got != -1 {
+		t.Fatalf("ClipSize(unknown) = %d, want -1", got)
+	}
+}
+
+func TestAddClipValidation(t *testing.T) {
+	c := testCluster(t, 2, 1)
+	if err := c.AddClip("a", clipBytes(1, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddClip("a", clipBytes(1, 1000)); err == nil {
+		t.Fatal("duplicate clip accepted")
+	}
+	if err := c.AddClipReplicated("b", clipBytes(2, 1000), 3); err == nil {
+		t.Fatal("replication beyond node count accepted")
+	}
+	if err := c.AddClipReplicated("c", clipBytes(3, 1000), 0); err == nil {
+		t.Fatal("replication 0 accepted")
+	}
+}
+
+func TestRoutingSpilloverAndClusterReject(t *testing.T) {
+	c := testCluster(t, 2, 2)
+	if err := c.AddClip("x", clipBytes(7, 40_000)); err != nil {
+		t.Fatal(err)
+	}
+	// With f=2, one clip admits at most f streams per node in the same
+	// round (same start cell); replication 2 doubles that cluster-wide.
+	var streams []*Stream
+	for i := 0; i < 4; i++ {
+		st, err := c.OpenStream("x")
+		if err != nil {
+			t.Fatalf("stream %d refused: %v", i, err)
+		}
+		streams = append(streams, st)
+	}
+	nodes := map[int]int{}
+	for _, st := range streams {
+		nodes[st.Node()]++
+	}
+	if nodes[0] != 2 || nodes[1] != 2 {
+		t.Fatalf("spillover did not balance: %v", nodes)
+	}
+	if _, err := c.OpenStream("x"); !errors.Is(err, core.ErrAdmission) {
+		t.Fatalf("5th stream: %v, want cluster-wide admission reject", err)
+	}
+	if c.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", c.Stats().Rejected)
+	}
+	for _, st := range streams {
+		st.Close()
+	}
+	if c.Stats().Active != 0 {
+		t.Fatalf("Active = %d after closing all", c.Stats().Active)
+	}
+}
+
+func TestStreamCompletesByteExact(t *testing.T) {
+	c := testCluster(t, 3, 2)
+	clip := clipBytes(11, 50_000)
+	if err := c.AddClip("v", clip); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.OpenStream("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	for r := 0; r < 200; r++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		done, err := readAvailable(t, st, clip, &off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if off != int64(len(clip)) {
+				t.Fatalf("EOF at %d of %d", off, len(clip))
+			}
+			if c.Stats().Served != 1 {
+				t.Fatalf("Served = %d, want 1", c.Stats().Served)
+			}
+			return
+		}
+	}
+	t.Fatalf("stream did not finish in 200 rounds (offset %d of %d)", off, len(clip))
+}
+
+func TestFailoverResumesByteExact(t *testing.T) {
+	c := testCluster(t, 3, 2)
+	clip := clipBytes(13, 60_000)
+	if err := c.AddClip("v", clip); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.OpenStream("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := st.Node()
+	var off int64
+	// Stream part of the clip, then kill the serving node mid-round.
+	for r := 0; r < 6; r++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readAvailable(t, st, clip, &off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if off == 0 {
+		t.Fatal("no bytes delivered before the failure")
+	}
+	if err := c.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Node(); got == victim {
+		t.Fatalf("stream still on failed node %d", got)
+	}
+	for r := 0; r < 400; r++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		done, err := readAvailable(t, st, clip, &off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if off != int64(len(clip)) {
+				t.Fatalf("EOF at %d of %d", off, len(clip))
+			}
+			stats := c.Stats()
+			if stats.FailedOver != 1 || stats.Terminated != 0 {
+				t.Fatalf("FailedOver=%d Terminated=%d, want 1, 0", stats.FailedOver, stats.Terminated)
+			}
+			if stats.Alive != 2 || len(stats.FailedNodes) != 1 || stats.FailedNodes[0] != victim {
+				t.Fatalf("node accounting off: %+v", stats)
+			}
+			return
+		}
+	}
+	t.Fatalf("failover stream did not finish (offset %d of %d)", off, len(clip))
+}
+
+func TestUnreplicatedClipTerminatesWithStreamLost(t *testing.T) {
+	c := testCluster(t, 2, 1)
+	clip := clipBytes(17, 40_000)
+	if err := c.AddClip("solo", clip); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.OpenStream("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	for r := 0; r < 4; r++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readAvailable(t, st, clip, &off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FailNode(st.Node()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Read(make([]byte, 4096))
+	if !errors.Is(err, core.ErrStreamLost) {
+		t.Fatalf("read after node loss: %v, want ErrStreamLost", err)
+	}
+	if !errors.Is(st.Err(), core.ErrStreamLost) {
+		t.Fatalf("Err() = %v, want ErrStreamLost", st.Err())
+	}
+	if got := c.Stats().Terminated; got != 1 {
+		t.Fatalf("Terminated = %d, want 1", got)
+	}
+}
+
+func TestFailoverParksWhenReplicaFullThenResumes(t *testing.T) {
+	c := testCluster(t, 2, 2)
+	clip := clipBytes(19, 50_000)
+	if err := c.AddClip("x", clip); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the cluster: 2 per node in round 0 (f=2 cell cap).
+	var streams []*Stream
+	for {
+		st, err := c.OpenStream("x")
+		if err != nil {
+			if !errors.Is(err, core.ErrAdmission) {
+				t.Fatal(err)
+			}
+			break
+		}
+		streams = append(streams, st)
+	}
+	offsets := make([]int64, len(streams))
+	for r := 0; r < 3; r++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		for i, st := range streams {
+			if _, err := readAvailable(t, st, clip, &offsets[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Kill node 0: its streams cannot re-admit on the full node 1 and
+	// must park.
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	var moved, parked []*Stream
+	for _, st := range streams {
+		switch st.Node() {
+		case -1:
+			parked = append(parked, st)
+		case 0:
+			t.Fatal("stream still claims the dead node")
+		default:
+			moved = append(moved, st)
+		}
+	}
+	if len(parked) == 0 {
+		t.Fatalf("no stream parked (moved=%d) — test premise broken", len(moved))
+	}
+	if got := c.Stats().AwaitingFailover; got != len(parked) {
+		t.Fatalf("AwaitingFailover = %d, want %d", got, len(parked))
+	}
+	// A parked stream reads as ErrNoData, not an error.
+	if _, err := parked[0].Read(make([]byte, 64)); !errors.Is(err, core.ErrNoData) {
+		t.Fatalf("parked read: %v, want ErrNoData", err)
+	}
+	// Free capacity on the survivor: close its native streams.
+	for _, st := range moved {
+		st.Close()
+	}
+	// Parked streams re-admit on a later Tick and finish byte-exact.
+	remaining := map[*Stream]int{}
+	for i, st := range streams {
+		if !st.closed {
+			remaining[st] = i
+		}
+	}
+	for r := 0; r < 500 && len(remaining) > 0; r++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		for st, i := range remaining {
+			done, err := readAvailable(t, st, clip, &offsets[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				if offsets[i] != int64(len(clip)) {
+					t.Fatalf("stream %d EOF at %d of %d", i, offsets[i], len(clip))
+				}
+				delete(remaining, st)
+			}
+		}
+	}
+	if len(remaining) > 0 {
+		t.Fatalf("%d parked streams never finished", len(remaining))
+	}
+}
+
+func TestDetectorDeclaresScriptedNodeFault(t *testing.T) {
+	cfg := Config{
+		Replication: 2,
+		Faults:      &faultinject.Plan{Seed: 1, FailStops: []faultinject.FailStop{{Disk: 1, Round: 3}}},
+		Health:      health.Config{FailThreshold: 3},
+	}
+	for i := 0; i < 3; i++ {
+		cfg.Nodes = append(cfg.Nodes, nodeConfig())
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddClip("v", clipBytes(23, 30_000)); err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 1..2: probes succeed. Rounds 3..5: three consecutive hard
+	// errors declare node 1 down — by detection, not command.
+	for r := 0; r < 6; r++ {
+		if c.NodeAlive(1) != (c.Round() < 5) {
+			t.Fatalf("round %d: alive=%v", c.Round(), c.NodeAlive(1))
+		}
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.NodeAlive(1) {
+		t.Fatal("node 1 still alive after scripted fail-stop")
+	}
+	if got := c.Detector().State(1); got != health.Down {
+		t.Fatalf("detector state = %v, want Down", got)
+	}
+	// Rejoin clears detection state and readmits the node for routing.
+	if err := c.RejoinNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.NodeAlive(1) || c.Detector().State(1) != health.OK {
+		t.Fatal("rejoin did not restore the node")
+	}
+	for r := 0; r < 3; r++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.NodeAlive(1) {
+		t.Fatal("cleared fault plan still kills the rejoined node")
+	}
+}
+
+func TestOpenStreamErrors(t *testing.T) {
+	c := testCluster(t, 2, 1)
+	if _, err := c.OpenStream("ghost"); err == nil {
+		t.Fatal("unknown clip accepted")
+	}
+	if err := c.AddClip("a", clipBytes(29, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(c.Replicas("a")[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenStream("a"); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("open with no live replica: %v, want ErrNoReplica", err)
+	}
+}

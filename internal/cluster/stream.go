@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ftcms/internal/core"
+)
+
+// Stream is one cluster playback. It wraps the core stream of whichever
+// node currently serves it and survives node failures transparently when
+// the clip is replicated: after a failover the reader continues at the
+// exact byte where it left off. Like core.Stream it implements io.Reader
+// and returns core.ErrNoData while the next block is still in flight —
+// including the window where the stream is parked awaiting failover
+// re-admission.
+type Stream struct {
+	c    *Cluster
+	id   int
+	clip string
+	size int64
+
+	// node and st name the serving array; st is nil while the stream is
+	// parked between a node failure and a successful failover.
+	node int
+	st   *core.Stream
+
+	// offset counts bytes handed to the reader; a failover resumes here.
+	offset int64
+	// skip is the replayed prefix still to discard after a failover
+	// (SeekTo snaps down to a block/group boundary).
+	skip int64
+
+	err    error
+	closed bool
+}
+
+// Clip returns the clip name.
+func (st *Stream) Clip() string { return st.clip }
+
+// Len returns the clip payload size in bytes.
+func (st *Stream) Len() int64 { return st.size }
+
+// Node returns the id of the node currently serving the stream, or -1
+// while it is parked awaiting failover.
+func (st *Stream) Node() int {
+	if st.st == nil {
+		return -1
+	}
+	return st.node
+}
+
+// Err returns the explicit reason the cluster terminated the stream
+// (wrapping core.ErrStreamLost), or nil.
+func (st *Stream) Err() error { return st.err }
+
+// Close abandons the stream and releases its node resources.
+func (st *Stream) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	if st.st != nil {
+		st.st.Close()
+		st.st = nil
+	}
+	delete(st.c.streams, st.id)
+	return nil
+}
+
+// Read implements io.Reader over the clip bytes, transparently resuming
+// across node failovers. It returns core.ErrNoData when the next block
+// is not deliverable yet, io.EOF after the whole clip, and an error
+// wrapping core.ErrStreamLost when no replica could keep the stream
+// alive.
+func (st *Stream) Read(p []byte) (int, error) {
+	if st.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if st.err != nil {
+		return 0, st.err
+	}
+	if st.offset >= st.size {
+		st.c.finish(st)
+		return 0, io.EOF
+	}
+	if st.st == nil {
+		return 0, core.ErrNoData // parked awaiting failover
+	}
+	if err := st.drainSkip(); err != nil {
+		return 0, err
+	}
+	if st.st == nil { // drainSkip hit a node-level loss and parked us
+		return 0, core.ErrNoData
+	}
+	n, err := st.st.Read(p)
+	st.offset += int64(n)
+	switch {
+	case err == nil:
+		return n, nil
+	case errors.Is(err, core.ErrNoData):
+		if n > 0 {
+			return n, nil
+		}
+		return 0, core.ErrNoData
+	case errors.Is(err, io.EOF):
+		st.c.finish(st)
+		return n, io.EOF
+	case errors.Is(err, core.ErrStreamLost):
+		// The serving node hit an unrecoverable parity group (second
+		// disk failure inside the array). Treat it like a node loss for
+		// this stream: another replica may still hold intact parity.
+		st.lostNode()
+		if st.err != nil {
+			return n, st.err
+		}
+		return n, core.ErrNoData
+	default:
+		return n, err
+	}
+}
+
+// drainSkip discards the replayed prefix after a failover so the reader
+// never sees a byte twice.
+func (st *Stream) drainSkip() error {
+	if st.skip == 0 {
+		return nil
+	}
+	var scratch [4096]byte
+	for st.skip > 0 {
+		want := st.skip
+		if want > int64(len(scratch)) {
+			want = int64(len(scratch))
+		}
+		n, err := st.st.Read(scratch[:want])
+		st.skip -= int64(n)
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, core.ErrNoData):
+			if st.skip > 0 {
+				return core.ErrNoData
+			}
+			return nil
+		case errors.Is(err, core.ErrStreamLost):
+			st.lostNode()
+			if st.err != nil {
+				return st.err
+			}
+			return core.ErrNoData
+		case errors.Is(err, io.EOF):
+			return fmt.Errorf("cluster: stream %d: EOF inside replayed prefix (%d bytes short)", st.id, st.skip)
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// lostNode handles a node-level stream loss discovered mid-read: drop
+// the dead core stream and run the ordinary failover path (which may
+// park the stream or terminate it with ErrStreamLost).
+func (st *Stream) lostNode() {
+	if st.st != nil {
+		st.st.Close()
+		st.st = nil
+	}
+	st.c.failover(st)
+}

@@ -504,6 +504,52 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
+// CheckAdmission audits the admitted stream population against the
+// scheme's own admission invariant for the current round: per-disk load
+// within q−f and per-(disk, class) load within f for the static
+// controllers, serviceCount plus worst-case contingency within q for the
+// dynamic controller, and per-unit load within q for the simple
+// controllers. It returns nil when no disk (or cluster) can be asked for
+// more than q blocks in any round — the paper's rate guarantee. A
+// non-nil error indicates a bookkeeping bug, never a legal state.
+func (s *Server) CheckAdmission() error {
+	now := s.engine.Round()
+	switch {
+	case s.admitStatic != nil:
+		q, f := s.admitStatic.MaxPerRound(), s.admitStatic.Reserved()
+		m := s.cfg.D - (s.cfg.P - 1) // flat parity-target classes
+		if l, ok := s.lay.(*layout.Declustered); ok {
+			m = l.Rows()
+		}
+		for i := 0; i < s.cfg.D; i++ {
+			if l := s.admitStatic.DiskLoad(now, i); l > q-f {
+				return fmt.Errorf("core: disk %d booked %d streams > q-f=%d", i, l, q-f)
+			}
+			for c := 0; c < m; c++ {
+				if l := s.admitStatic.CellLoad(now, i, c); l > f {
+					return fmt.Errorf("core: disk %d class %d booked %d streams > f=%d", i, c, l, f)
+				}
+			}
+		}
+	case s.admitDynamic != nil:
+		q := s.admitDynamic.MaxPerRound()
+		for i := 0; i < s.cfg.D; i++ {
+			if l := s.admitDynamic.WorstCaseFailureLoad(now, i); l > q {
+				return fmt.Errorf("core: disk %d worst-case failure load %d > q=%d", i, l, q)
+			}
+		}
+	case s.admitSimple != nil:
+		q := s.admitSimple.MaxPerRound()
+		units := s.admitSimple.Capacity() / q
+		for i := 0; i < units; i++ {
+			if l := s.admitSimple.UnitLoad(now, i); l > q {
+				return fmt.Errorf("core: unit %d booked %d streams > q=%d", i, l, q)
+			}
+		}
+	}
+	return nil
+}
+
 // Clips returns the names of all stored clips in insertion-independent
 // sorted order.
 func (s *Server) Clips() []string {
@@ -517,6 +563,26 @@ func (s *Server) Clips() []string {
 		}
 	}
 	return out
+}
+
+// CapacityBlocks returns the store's configured data capacity in blocks.
+func (s *Server) CapacityBlocks() int64 { return s.cfg.Capacity }
+
+// FreeBlocks returns the data blocks not yet allocated to clips. For the
+// dynamic scheme the free space is the sum over super-clips of their
+// remaining row capacity (a clip must fit inside one super-clip, so a
+// large clip can be refused even with this much total space free).
+func (s *Server) FreeBlocks() int64 {
+	if s.cfg.Scheme == DeclusteredDynamic {
+		r := int64(len(s.nextFreeRow))
+		perRow := s.cfg.Capacity / r
+		var free int64
+		for _, base := range s.nextFreeRow {
+			free += perRow - base
+		}
+		return free
+	}
+	return s.cfg.Capacity - s.nextFree
 }
 
 // ClipSize returns a stored clip's payload size in bytes, or -1 when the

@@ -274,6 +274,12 @@ func (st *Stream) Resume() error {
 // Len returns the clip payload size in bytes.
 func (st *Stream) Len() int64 { return st.clip.size }
 
+// Pos returns the byte offset playback has delivered up to: every byte
+// below Pos has either been read or is waiting in the readable buffer.
+// After a SeekTo it reflects the (block-aligned) resume position. A
+// failover layer uses it to resume a lost stream on a replica.
+func (st *Stream) Pos() int64 { return st.deliveredBytes }
+
 // Err returns the explicit reason the server terminated the stream, or
 // nil for streams that finished normally (or are still playing). A
 // non-nil Err wraps ErrStreamLost.

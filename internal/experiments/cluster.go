@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/parallel"
+	"ftcms/internal/sim"
+	"ftcms/internal/units"
+)
+
+// ClusterPoint is one (nodes, replication) cell of the cluster sweep
+// (E14): the same workload run once healthy and once with a node killed
+// mid-run, so the cost of replication (less distinct content capacity)
+// can be weighed against what it buys (streams that survive the
+// failure).
+type ClusterPoint struct {
+	Nodes       int
+	Replication int
+	// Serviced and PeakActive are the healthy run's throughput.
+	Serviced     int
+	PeakActive   int
+	MeanResponse units.Duration
+	// FaultServiced is the throughput with one node failing mid-run.
+	FaultServiced int
+	// FailedOver and LostStreams split the failed node's in-flight
+	// streams into survivors and casualties.
+	FailedOver  int
+	LostStreams int
+}
+
+// ClusterSweepConfig parameterizes the sweep. The zero value of any
+// field selects the documented default.
+type ClusterSweepConfig struct {
+	// Buffer is each node's RAM buffer (default 128 MB).
+	Buffer units.Bits
+	// NodeCounts are the cluster sizes to sweep (default 1, 2, 4).
+	NodeCounts []int
+	// Replications are the replication factors to sweep (default 1, 2);
+	// cells with replication > nodes are skipped.
+	Replications []int
+	// ArrivalRate is the cluster-wide Poisson arrival rate (default 5/s,
+	// low enough that failover capacity exists on survivors).
+	ArrivalRate float64
+	// Duration is the simulated horizon (default 120 s). The faulted run
+	// kills node 0 at Duration/2.
+	Duration units.Duration
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+func (c ClusterSweepConfig) withDefaults() ClusterSweepConfig {
+	if c.Buffer <= 0 {
+		c.Buffer = 128 * units.MB
+	}
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{1, 2, 4}
+	}
+	if len(c.Replications) == 0 {
+		c.Replications = []int{1, 2}
+	}
+	if c.ArrivalRate <= 0 {
+		c.ArrivalRate = 5
+	}
+	if c.Duration <= 0 {
+		c.Duration = 120 * units.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ClusterSweep runs E14: sim.RunCluster over the (nodes, replication)
+// grid, healthy and with a mid-run node failure, on the paper's catalog
+// with 16-disk declustered nodes. Cells run in parallel.
+func ClusterSweep(cfg ClusterSweepConfig) ([]ClusterPoint, error) {
+	cfg = cfg.withDefaults()
+	catalog := PaperCatalog()
+	type cell struct{ nodes, rep int }
+	var grid []cell
+	for _, n := range cfg.NodeCounts {
+		for _, r := range cfg.Replications {
+			if r <= n {
+				grid = append(grid, cell{n, r})
+			}
+		}
+	}
+	return parallel.Map(len(grid), 0, func(k int) (ClusterPoint, error) {
+		c := grid[k]
+		base := sim.ClusterConfig{
+			Node: sim.Config{
+				Scheme:      analytic.Declustered,
+				Disk:        diskmodel.Default(),
+				D:           16,
+				P:           4,
+				Buffer:      cfg.Buffer,
+				Catalog:     catalog,
+				ArrivalRate: cfg.ArrivalRate,
+				Duration:    cfg.Duration,
+				Seed:        cfg.Seed,
+			},
+			Nodes:       c.nodes,
+			Replication: c.rep,
+		}
+		healthy, err := sim.RunCluster(base)
+		if err != nil {
+			return ClusterPoint{}, fmt.Errorf("cluster sweep n=%d rep=%d: %w", c.nodes, c.rep, err)
+		}
+		faulted := base
+		faulted.NodeTrace = []sim.FailureEvent{{Disk: 0, At: cfg.Duration / 2}}
+		fres, err := sim.RunCluster(faulted)
+		if err != nil {
+			return ClusterPoint{}, fmt.Errorf("cluster sweep n=%d rep=%d (faulted): %w", c.nodes, c.rep, err)
+		}
+		return ClusterPoint{
+			Nodes:         c.nodes,
+			Replication:   c.rep,
+			Serviced:      healthy.Serviced,
+			PeakActive:    healthy.PeakActive,
+			MeanResponse:  healthy.MeanResponse,
+			FaultServiced: fres.Serviced,
+			FailedOver:    fres.FailedOver,
+			LostStreams:   fres.LostStreams,
+		}, nil
+	})
+}
+
+// WriteClusterSweep renders E14 as a table.
+func WriteClusterSweep(w io.Writer, cfg ClusterSweepConfig) error {
+	pts, err := ClusterSweep(cfg)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "E14 — cluster scaling and node-failure survival (B=%v per node, λ=%g/s, %v, fail node 0 at %v)\n",
+		cfg.Buffer, cfg.ArrivalRate, cfg.Duration, cfg.Duration/2)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "nodes\trep\tserviced\tpeak\tfault serviced\tfailed over\tlost")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			pt.Nodes, pt.Replication, pt.Serviced, pt.PeakActive,
+			pt.FaultServiced, pt.FailedOver, pt.LostStreams)
+	}
+	return tw.Flush()
+}

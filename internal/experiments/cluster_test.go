@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftcms/internal/units"
+)
+
+func TestClusterSweep(t *testing.T) {
+	cfg := ClusterSweepConfig{
+		NodeCounts:   []int{1, 3},
+		Replications: []int{1, 2},
+		Duration:     60 * units.Second,
+	}
+	pts, err := ClusterSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rep=2 on 1 node is skipped: 1×{1} + 3×{1,2} = 3 cells.
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	byCell := map[[2]int]ClusterPoint{}
+	for _, pt := range pts {
+		if pt.Serviced == 0 {
+			t.Fatalf("cell n=%d rep=%d serviced nothing", pt.Nodes, pt.Replication)
+		}
+		byCell[[2]int{pt.Nodes, pt.Replication}] = pt
+	}
+	// The replicated 3-node cell survives the node kill with failovers;
+	// the unreplicated one only loses streams.
+	rep2 := byCell[[2]int{3, 2}]
+	if rep2.FailedOver == 0 {
+		t.Errorf("n=3 rep=2 failed over nothing: %+v", rep2)
+	}
+	rep1 := byCell[[2]int{3, 1}]
+	if rep1.FailedOver != 0 {
+		t.Errorf("n=3 rep=1 failed over %d streams with no replicas", rep1.FailedOver)
+	}
+	if rep1.LostStreams == 0 {
+		t.Errorf("n=3 rep=1 lost nothing to the node kill: %+v", rep1)
+	}
+}
+
+func TestWriteClusterSweep(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := ClusterSweepConfig{
+		NodeCounts:   []int{2},
+		Replications: []int{2},
+		Duration:     30 * units.Second,
+	}
+	if err := WriteClusterSweep(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E14") || !strings.Contains(out, "failed over") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("want banner + header + 1 row:\n%s", out)
+	}
+}

@@ -59,7 +59,9 @@ func (s State) String() string {
 // each field.
 type Config struct {
 	// Retries is how many times a failed read attempt is retried before
-	// the error is surfaced (default 2, i.e. up to 3 attempts).
+	// the error is surfaced (0 selects the default 2, i.e. up to 3
+	// attempts; any negative value disables retry entirely — exactly one
+	// attempt per Read).
 	Retries int
 	// FailThreshold is k: consecutive hard errors or timeouts on a disk
 	// that declare it failed (default 3).
@@ -71,13 +73,21 @@ type Config struct {
 	SlowFactor float64
 	// Backoff, when non-nil, is called before retry attempt n (1-based).
 	// Synchronous drivers (tests, the tick-driven core) leave it nil;
-	// wall-clock servers can pass ExponentialBackoff.
+	// wall-clock servers can pass ExponentialBackoff. A custom Backoff
+	// cannot be interrupted by Stop; prefer BackoffBase for that.
 	Backoff func(attempt int)
+	// BackoffBase, when positive, enables the detector's built-in
+	// exponential retry backoff (base << (attempt−1), capped at 32×base)
+	// which Stop interrupts immediately. Takes precedence over Backoff.
+	BackoffBase time.Duration
 }
 
 func (c Config) withDefaults() Config {
-	if c.Retries <= 0 {
+	switch {
+	case c.Retries == 0:
 		c.Retries = 2
+	case c.Retries < 0:
+		c.Retries = 0
 	}
 	if c.FailThreshold <= 0 {
 		c.FailThreshold = 3
@@ -88,17 +98,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// backoffDelay is base << (attempt-1), capped at 32× base.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5
+	}
+	return base << shift
+}
+
 // ExponentialBackoff returns a Backoff that sleeps base << (attempt-1),
-// capped at 32× base.
+// capped at 32× base. It cannot be interrupted by Stop; prefer
+// Config.BackoffBase in servers that shut down.
 func ExponentialBackoff(base time.Duration) func(attempt int) {
 	return func(attempt int) {
-		shift := attempt - 1
-		if shift > 5 {
-			shift = 5
-		}
-		time.Sleep(base << shift)
+		time.Sleep(backoffDelay(base, attempt))
 	}
 }
+
+// ErrStopped is returned by Read once the detector has been stopped.
+var ErrStopped = errors.New("health: detector stopped")
 
 // Detector watches d disks. Safe for concurrent use; the OnFail
 // callback runs without the detector's lock held.
@@ -108,6 +127,9 @@ type Detector struct {
 	consec []int
 	state  []State
 	onFail func(disk int)
+	// stop is closed by Stop; in-flight BackoffBase sleeps wake on it.
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	// counters for Stats
 	hardErrors int64
@@ -135,6 +157,39 @@ func NewDetector(d int, cfg Config) *Detector {
 		cfg:    cfg.withDefaults(),
 		consec: make([]int, d),
 		state:  make([]State, d),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Stop shuts the detector down: any Read sleeping in a BackoffBase
+// backoff wakes immediately and surfaces its last error without further
+// attempts (and without scoring extra strikes), and subsequent Reads
+// return ErrStopped. Observe keeps working — callers that only score
+// outcomes are unaffected. Stop is idempotent and safe to call
+// concurrently with Reads.
+func (dt *Detector) Stop() {
+	dt.stopOnce.Do(func() { close(dt.stop) })
+}
+
+// stopped reports whether Stop has been called.
+func (dt *Detector) stopped() bool {
+	select {
+	case <-dt.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d or until Stop, reporting false when interrupted.
+func (dt *Detector) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-dt.stop:
+		return false
 	}
 }
 
@@ -246,10 +301,22 @@ func (dt *Detector) Read(disk int, attempt func() (data []byte, slowdown float64
 	dt.mu.Lock()
 	cfg := dt.cfg
 	dt.mu.Unlock()
+	if dt.stopped() {
+		return nil, ErrStopped
+	}
 	var lastErr error
 	for try := 0; try <= cfg.Retries; try++ {
-		if try > 0 && cfg.Backoff != nil {
-			cfg.Backoff(try)
+		if try > 0 {
+			switch {
+			case cfg.BackoffBase > 0:
+				if !dt.sleep(backoffDelay(cfg.BackoffBase, try)) {
+					// Stopped mid-backoff: surface the last attempt's
+					// error as-is; no further attempts, no extra strikes.
+					return nil, lastErr
+				}
+			case cfg.Backoff != nil:
+				cfg.Backoff(try)
+			}
 		}
 		data, slowdown, err := attempt()
 		dt.Observe(disk, slowdown, err)

@@ -187,3 +187,98 @@ func TestExponentialBackoffSleeps(t *testing.T) {
 	}
 	b(99) // capped shift must not overflow
 }
+
+// A negative Retries disables retry entirely: one attempt per Read, one
+// strike scored. Retries == 0 keeps selecting the default.
+func TestZeroRetryConfig(t *testing.T) {
+	dt := NewDetector(2, Config{Retries: -1})
+	attempts := 0
+	_, err := dt.Read(0, func() ([]byte, float64, error) {
+		attempts++
+		return nil, 1, storage.ErrFailed
+	})
+	if !errors.Is(err, storage.ErrFailed) {
+		t.Fatalf("Read error %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("%d attempts with retry disabled, want 1", attempts)
+	}
+	if got := dt.ConsecutiveErrors(0); got != 1 {
+		t.Fatalf("strikes = %d, want 1", got)
+	}
+
+	// Zero still means "default": up to 3 attempts.
+	dt = NewDetector(2, Config{})
+	attempts = 0
+	dt.Read(0, func() ([]byte, float64, error) {
+		attempts++
+		return nil, 1, storage.ErrFailed
+	})
+	if attempts != 3 {
+		t.Fatalf("%d attempts with default retries, want 3", attempts)
+	}
+}
+
+// Stopping the detector while a Read sleeps in its retry backoff wakes
+// the sleeper immediately: the Read returns the last real error, scores
+// no extra strikes, and never declares the disk failed.
+func TestStopInterruptsInFlightBackoff(t *testing.T) {
+	dt := NewDetector(2, Config{Retries: 5, BackoffBase: time.Hour, FailThreshold: 10})
+	var declared []int
+	dt.SetOnFail(func(d int) { declared = append(declared, d) })
+
+	attempted := make(chan struct{})
+	done := make(chan error, 1)
+	attempts := 0
+	go func() {
+		_, err := dt.Read(1, func() ([]byte, float64, error) {
+			attempts++
+			close(attempted)
+			return nil, 1, storage.ErrFailed
+		})
+		done <- err
+	}()
+
+	<-attempted // the Read is now in (or headed into) its hour-long backoff
+	dt.Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, storage.ErrFailed) {
+			t.Fatalf("interrupted Read returned %v, want the last attempt's error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Read still sleeping after Stop — backoff not interruptible")
+	}
+	if attempts != 1 {
+		t.Fatalf("%d attempts after Stop, want 1", attempts)
+	}
+	if got := dt.Stats().HardErrors; got != 1 {
+		t.Fatalf("HardErrors = %d after interrupt, want 1 (no spurious strikes)", got)
+	}
+	if len(declared) != 0 || dt.State(1) == Down {
+		t.Fatalf("interrupting a backoff declared the disk failed (declared=%v, state=%v)", declared, dt.State(1))
+	}
+
+	// After Stop, Reads refuse without attempting.
+	attempts = 0
+	if _, err := dt.Read(1, func() ([]byte, float64, error) {
+		attempts++
+		return nil, 1, nil
+	}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Read after Stop: %v, want ErrStopped", err)
+	}
+	if attempts != 0 {
+		t.Fatal("Read after Stop still attempted I/O")
+	}
+	dt.Stop() // idempotent
+}
+
+// Stop does not disturb pure Observe users (the tick-driven core).
+func TestStopLeavesObserveWorking(t *testing.T) {
+	dt := NewDetector(1, Config{FailThreshold: 2})
+	dt.Stop()
+	dt.Observe(0, 1, storage.ErrFailed)
+	if st := dt.Observe(0, 1, storage.ErrFailed); st != Down {
+		t.Fatalf("Observe after Stop: %v, want Down", st)
+	}
+}

@@ -1,0 +1,340 @@
+package sim
+
+// Multi-node cluster simulation: N single-array engines behind one
+// placement and admission layer, mirroring internal/cluster at simulation
+// scale. Clips are placed round-robin with a replication factor; a
+// request is routed to the least-loaded live replica whose own admission
+// controller accepts it; a scripted node failure moves the victim's
+// in-flight streams to surviving replicas when their controllers have
+// room and counts them lost otherwise.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ftcms/internal/admission"
+	"ftcms/internal/analytic"
+	"ftcms/internal/units"
+	"ftcms/internal/workload"
+)
+
+// ClusterConfig describes one multi-node simulation run.
+type ClusterConfig struct {
+	// Node is the per-node template: scheme, disk model, geometry, buffer
+	// and catalog, plus the cluster-level workload knobs (ArrivalRate or
+	// Arrivals/Selector, Duration, Seed, QueueBypass, BatchWindow is not
+	// supported at cluster level). Node.Trace and Node.FailDisk are
+	// ignored — failures happen at node granularity via NodeTrace.
+	Node Config
+	// Nodes is the cluster size.
+	Nodes int
+	// Replication is how many nodes hold each clip (1 ≤ Replication ≤
+	// Nodes). Clip i lives on nodes (i+k) mod Nodes for k < Replication.
+	Replication int
+	// NodeTrace scripts node failures, reusing FailureEvent with Disk
+	// indexing nodes. Rebuild=true models a fast process restart: the
+	// node's in-flight streams still fail over or die, but the node
+	// rejoins empty from the next round; Rebuild=false keeps it down for
+	// the rest of the run.
+	NodeTrace []FailureEvent
+}
+
+// NodeResult is one node's share of a cluster run.
+type NodeResult struct {
+	// Serviced counts streams admitted on the node (including failovers
+	// routed to it).
+	Serviced int
+	// Completed counts streams that finished on the node.
+	Completed int
+	// FailedOverIn counts failover streams the node absorbed.
+	FailedOverIn int
+	// FailRound is the round the node failed (-1 if it never did; the
+	// last failure when it restarted and failed again).
+	FailRound int64
+}
+
+// ClusterResult carries a cluster run's metrics.
+type ClusterResult struct {
+	// Serviced, Completed, PeakActive, MeanResponse, ResponseP95 and
+	// MaxQueue aggregate across the cluster like Result does for one
+	// array (failovers are not re-counted in Serviced).
+	Serviced     int
+	Completed    int
+	PeakActive   int
+	MeanResponse units.Duration
+	ResponseP95  units.Duration
+	MaxQueue     int
+	// Rounds, Block, Q, F echo the per-node operating point.
+	Rounds int64
+	Block  units.Bits
+	Q, F   int
+	// NodeFailures counts scripted node failures that took effect.
+	NodeFailures int
+	// FailedOver counts in-flight streams moved to a surviving replica.
+	FailedOver int
+	// LostStreams counts in-flight streams that died with their node —
+	// unreplicated clips, or replicas with no admission room.
+	LostStreams int
+	// PerNode holds each node's share, index-aligned with node ids.
+	PerNode []NodeResult
+}
+
+// RunCluster executes a multi-node simulation.
+func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
+	if cfg.Nodes < 1 {
+		return ClusterResult{}, errors.New("sim: cluster needs at least one node")
+	}
+	rep := cfg.Replication
+	if rep < 1 {
+		rep = 1
+	}
+	if rep > cfg.Nodes {
+		return ClusterResult{}, fmt.Errorf("sim: replication %d exceeds %d nodes", rep, cfg.Nodes)
+	}
+	nc := cfg.Node
+	if nc.Catalog == nil || nc.Catalog.Len() == 0 {
+		return ClusterResult{}, errors.New("sim: empty catalog")
+	}
+	if nc.Duration <= 0 {
+		return ClusterResult{}, errors.New("sim: need positive duration")
+	}
+	if nc.ArrivalRate <= 0 && nc.Arrivals == nil {
+		return ClusterResult{}, errors.New("sim: need a positive arrival rate or an explicit arrival trace")
+	}
+	if nc.D < 2 {
+		return ClusterResult{}, errors.New("sim: need at least 2 disks per node")
+	}
+	if nc.BatchWindow > 0 {
+		return ClusterResult{}, errors.New("sim: batching is not supported at cluster level")
+	}
+	op, err := analytic.Solve(analytic.Config{
+		Disk:    nc.Disk,
+		D:       nc.D,
+		Buffer:  nc.Buffer,
+		Storage: nc.Catalog.TotalSize(),
+	}, nc.Scheme, nc.P)
+	if err != nil {
+		return ClusterResult{}, fmt.Errorf("sim: operating point: %w", err)
+	}
+
+	// One engine per node. Seeds are decorrelated so each node draws its
+	// own clip start positions; scripted single-disk failures are node
+	// internals this simulation does not model.
+	engines := make([]*engine, cfg.Nodes)
+	for i := range engines {
+		c := nc
+		c.Seed = nc.Seed + int64(i)*7919
+		c.Trace = nil
+		c.FailDisk = -1
+		engines[i], err = newEngine(c, op)
+		if err != nil {
+			return ClusterResult{}, err
+		}
+	}
+
+	// Validate and order the node trace.
+	events := make([]FailureEvent, len(cfg.NodeTrace))
+	copy(events, cfg.NodeTrace)
+	for _, ev := range events {
+		if ev.Disk < 0 || ev.Disk >= cfg.Nodes {
+			return ClusterResult{}, fmt.Errorf("sim: node trace: node %d out of range [0, %d)", ev.Disk, cfg.Nodes)
+		}
+		if ev.At < 0 {
+			return ClusterResult{}, fmt.Errorf("sim: node trace: negative failure time %v", ev.At)
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+
+	res := ClusterResult{
+		Block:   op.Block,
+		Q:       op.Q,
+		F:       op.F,
+		PerNode: make([]NodeResult, cfg.Nodes),
+	}
+	for i := range res.PerNode {
+		res.PerNode[i].FailRound = -1
+	}
+
+	arrivals := nc.Arrivals
+	if arrivals == nil {
+		sel := nc.Selector
+		if sel == nil {
+			sel = workload.UniformSelector{N: nc.Catalog.Len()}
+		}
+		arrivals, err = workload.PoissonArrivals(nc.ArrivalRate, nc.Duration, sel, nc.Seed+1)
+		if err != nil {
+			return ClusterResult{}, err
+		}
+	}
+
+	var queue admission.Queue[pending]
+	switch {
+	case nc.QueueBypass > 0:
+		queue.Bypass = nc.QueueBypass
+	case nc.QueueBypass == 0:
+		queue.Bypass = 256
+	default:
+		queue.Bypass = 0
+	}
+
+	alive := make([]bool, cfg.Nodes)
+	for i := range alive {
+		alive[i] = true
+	}
+	// replicasOf returns the clip's replica nodes in placement order.
+	replicasOf := func(clipID int) []int {
+		out := make([]int, 0, rep)
+		for k := 0; k < rep; k++ {
+			out = append(out, (clipID+k)%cfg.Nodes)
+		}
+		return out
+	}
+	// candidates orders the clip's live replicas by active-stream load.
+	candidates := func(clipID int) []int {
+		var out []int
+		for _, id := range replicasOf(clipID) {
+			if alive[id] {
+				out = append(out, id)
+			}
+		}
+		sort.SliceStable(out, func(a, b int) bool {
+			return engines[out[a]].nactive < engines[out[b]].nactive
+		})
+		return out
+	}
+	// admitOn books one stream of clipID on node id for rounds rounds,
+	// honoring the node's own buffer pool and admission controller.
+	admitOn := func(id, clipID int, now, rounds int64) bool {
+		e := engines[id]
+		if !e.pool.Reserve(e.perClip) {
+			return false
+		}
+		tk, ok := e.ctrl.admit(now, e.position[clipID])
+		if !ok {
+			e.pool.Release(e.perClip)
+			return false
+		}
+		c := &clip{clipID: clipID, doneRound: now + rounds, ticket: tk, bufSize: e.perClip}
+		e.active[c.doneRound] = append(e.active[c.doneRound], c)
+		e.nactive++
+		return true
+	}
+
+	roundDur := engines[0].roundDur
+	clipRounds := engines[0].clipRounds
+	totalRounds := int64(float64(nc.Duration)/float64(roundDur)) + 1
+	var responseSum units.Duration
+	var responses []units.Duration
+	nextArrival, nextEvent := 0, 0
+
+	for now := int64(0); now < totalRounds; now++ {
+		tEnd := units.Duration(now+1) * roundDur
+
+		// 1. Enqueue arrivals up to the end of this round.
+		for nextArrival < len(arrivals) && arrivals[nextArrival].Arrival < tEnd {
+			queue.Push(pending{arrival: arrivals[nextArrival].Arrival, clipID: arrivals[nextArrival].ClipID})
+			nextArrival++
+		}
+		if queue.Len() > res.MaxQueue {
+			res.MaxQueue = queue.Len()
+		}
+
+		// 2. Complete streams whose playback ends this round.
+		for i, e := range engines {
+			if !alive[i] {
+				continue
+			}
+			for _, c := range e.active[now] {
+				e.ctrl.release(c.ticket)
+				e.pool.Release(c.bufSize)
+				e.nactive--
+				res.Completed++
+				res.PerNode[i].Completed++
+			}
+			delete(e.active, now)
+		}
+
+		// 3. Admit from the cluster queue: least-loaded live replica
+		// first, spillover to the rest, stay queued otherwise.
+		queue.Drain(func(pd pending) bool {
+			for _, id := range candidates(pd.clipID) {
+				if !admitOn(id, pd.clipID, now, clipRounds) {
+					continue
+				}
+				res.Serviced++
+				res.PerNode[id].Serviced++
+				resp := units.Duration(now)*roundDur - pd.arrival
+				responseSum += resp
+				responses = append(responses, resp)
+				return true
+			}
+			return false
+		})
+		active := 0
+		for i, e := range engines {
+			if alive[i] {
+				active += e.nactive
+			}
+		}
+		if active > res.PeakActive {
+			res.PeakActive = active
+		}
+
+		// 4. Node failures due this round (the node still served the
+		// round it dies in). In-flight streams fail over to a surviving
+		// replica with admission room, or die with the node.
+		for nextEvent < len(events) && events[nextEvent].At < tEnd {
+			ev := events[nextEvent]
+			nextEvent++
+			if !alive[ev.Disk] {
+				continue
+			}
+			res.NodeFailures++
+			res.PerNode[ev.Disk].FailRound = now
+			alive[ev.Disk] = false
+			e := engines[ev.Disk]
+			// Oldest completions first, so longer-running streams get the
+			// first shot at scarce replica capacity.
+			var rounds []int64
+			for r := range e.active {
+				rounds = append(rounds, r)
+			}
+			sort.Slice(rounds, func(a, b int) bool { return rounds[a] < rounds[b] })
+			for _, r := range rounds {
+				for _, c := range e.active[r] {
+					// Release against the dead node: a no-op for a node
+					// that stays down, a clean slate for one restarting.
+					e.ctrl.release(c.ticket)
+					e.pool.Release(c.bufSize)
+					e.nactive--
+					remaining := c.doneRound - now
+					moved := false
+					for _, id := range candidates(c.clipID) {
+						if admitOn(id, c.clipID, now, remaining) {
+							res.FailedOver++
+							res.PerNode[id].FailedOverIn++
+							moved = true
+							break
+						}
+					}
+					if !moved {
+						res.LostStreams++
+					}
+				}
+				delete(e.active, r)
+			}
+			if ev.Rebuild {
+				// Fast restart: the node rejoins empty next round.
+				alive[ev.Disk] = true
+			}
+		}
+	}
+
+	res.Rounds = totalRounds
+	if res.Serviced > 0 {
+		res.MeanResponse = responseSum / units.Duration(res.Serviced)
+		res.ResponseP95 = percentile(responses, 0.95)
+	}
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/units"
+)
+
+func clusterBase(t *testing.T) ClusterConfig {
+	t.Helper()
+	return ClusterConfig{
+		Node: Config{
+			Scheme:      analytic.Declustered,
+			Disk:        diskmodel.Default(),
+			D:           16,
+			P:           4,
+			Buffer:      128 * units.MB,
+			Catalog:     paperCatalog(t),
+			ArrivalRate: 20,
+			Duration:    120 * units.Second,
+			Seed:        1,
+		},
+		Nodes:       3,
+		Replication: 2,
+	}
+}
+
+func TestRunClusterValidation(t *testing.T) {
+	base := clusterBase(t)
+
+	bad := base
+	bad.Nodes = 0
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	bad = base
+	bad.Replication = 4
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted replication > nodes")
+	}
+	bad = base
+	bad.Node.Catalog = nil
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted nil catalog")
+	}
+	bad = base
+	bad.Node.Duration = 0
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted zero duration")
+	}
+	bad = base
+	bad.Node.BatchWindow = units.Second
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted batching at cluster level")
+	}
+	bad = base
+	bad.NodeTrace = []FailureEvent{{Disk: 9, At: units.Second}}
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted out-of-range trace node")
+	}
+}
+
+// A healthy cluster services more than one node alone: the cluster-level
+// router turns extra nodes into extra admission capacity.
+func TestRunClusterScalesCapacity(t *testing.T) {
+	base := clusterBase(t)
+
+	single := base
+	single.Nodes = 1
+	single.Replication = 1
+	one, err := RunCluster(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Serviced <= one.Serviced {
+		t.Fatalf("3 nodes serviced %d, 1 node %d — no capacity gain", three.Serviced, one.Serviced)
+	}
+	var perNode int
+	for i, n := range three.PerNode {
+		if n.Serviced == 0 {
+			t.Errorf("node %d serviced nothing", i)
+		}
+		perNode += n.Serviced
+	}
+	if perNode != three.Serviced {
+		t.Fatalf("per-node serviced %d != cluster %d", perNode, three.Serviced)
+	}
+	if three.NodeFailures != 0 || three.FailedOver != 0 || three.LostStreams != 0 {
+		t.Fatalf("healthy run reported failures: %+v", three)
+	}
+}
+
+// A single-array Run and a 1-node RunCluster agree on the operating
+// point, and the cluster run services a comparable load.
+func TestRunClusterMatchesSingleNodeOperatingPoint(t *testing.T) {
+	base := clusterBase(t)
+	base.Nodes = 1
+	base.Replication = 1
+
+	solo := base.Node
+	solo.FailDisk = -1
+	single, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Block != single.Block || cl.Q != single.Q || cl.F != single.F {
+		t.Fatalf("operating point diverged: cluster (b=%v q=%d f=%d) vs single (b=%v q=%d f=%d)",
+			cl.Block, cl.Q, cl.F, single.Block, single.Q, single.F)
+	}
+	if cl.Rounds != single.Rounds {
+		t.Fatalf("rounds diverged: %d vs %d", cl.Rounds, single.Rounds)
+	}
+}
+
+func TestRunClusterNodeFailureFailsOver(t *testing.T) {
+	base := clusterBase(t)
+	// Moderate load: failover capacity only exists if the survivors'
+	// controllers are not already saturated.
+	base.Node.ArrivalRate = 5
+	base.NodeTrace = []FailureEvent{{Disk: 1, At: 60 * units.Second}}
+
+	res, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeFailures != 1 {
+		t.Fatalf("NodeFailures = %d, want 1", res.NodeFailures)
+	}
+	if res.PerNode[1].FailRound < 0 {
+		t.Fatal("node 1 never recorded its failure round")
+	}
+	if res.FailedOver == 0 {
+		t.Fatal("replication 2 with a mid-run node failure moved no streams")
+	}
+	var absorbed int
+	for i, n := range res.PerNode {
+		if i == 1 && n.FailedOverIn != 0 {
+			t.Fatalf("dead node absorbed %d failovers", n.FailedOverIn)
+		}
+		absorbed += n.FailedOverIn
+	}
+	if absorbed != res.FailedOver {
+		t.Fatalf("absorbed %d != FailedOver %d", absorbed, res.FailedOver)
+	}
+	// Every in-flight stream on the dead node either moved or was lost;
+	// with replication 2 the survivors usually have room, so losses stay
+	// a minority.
+	if res.LostStreams > res.FailedOver {
+		t.Fatalf("lost %d > failed over %d — failover barely worked", res.LostStreams, res.FailedOver)
+	}
+
+	// Unreplicated: the same failure must lose streams instead.
+	noRep := base
+	noRep.Replication = 1
+	res1, err := RunCluster(noRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.FailedOver != 0 {
+		t.Fatalf("replication 1 failed over %d streams", res1.FailedOver)
+	}
+	if res1.LostStreams == 0 {
+		t.Fatal("replication 1 node failure lost nothing")
+	}
+}
+
+func TestRunClusterRestartRejoins(t *testing.T) {
+	base := clusterBase(t)
+	down := base
+	down.NodeTrace = []FailureEvent{{Disk: 0, At: 30 * units.Second}}
+	restart := base
+	restart.NodeTrace = []FailureEvent{{Disk: 0, At: 30 * units.Second, Rebuild: true}}
+
+	dres, err := RunCluster(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := RunCluster(restart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restarting node keeps admitting after the failure round; the
+	// permanently down one cannot, so the restart run services at least
+	// as many streams (strictly more under this load).
+	if rres.Serviced <= dres.Serviced {
+		t.Fatalf("restart serviced %d, permanent-down %d — rejoin had no effect", rres.Serviced, dres.Serviced)
+	}
+	if rres.PerNode[0].FailRound < 0 || dres.PerNode[0].FailRound < 0 {
+		t.Fatal("failure round not recorded")
+	}
+}

@@ -169,6 +169,7 @@ func RunMany(cfg Config, seeds []int64, workers int) ([]Result, error) {
 // clip is one active stream. Failure accounting reads the controllers'
 // phase counts directly, so only completion bookkeeping lives here.
 type clip struct {
+	clipID    int
 	doneRound int64
 	ticket    admission.Ticket
 	bufSize   units.Bits
@@ -479,6 +480,7 @@ func (e *engine) run() (Result, error) {
 				return false
 			}
 			c := &clip{
+				clipID:    pd.clipID,
 				doneRound: now + e.clipRounds,
 				ticket:    tk,
 				bufSize:   e.perClip,

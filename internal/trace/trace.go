@@ -80,6 +80,36 @@ func WriteContinuityCSV(w io.Writer, points []experiments.ContinuityPoint) error
 	return cw.Error()
 }
 
+// WriteClusterCSV emits
+// nodes,replication,serviced,peak_active,mean_response_s,fault_serviced,
+// failed_over,lost_streams rows (E14).
+func WriteClusterCSV(w io.Writer, points []experiments.ClusterPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"nodes", "replication", "serviced", "peak_active", "mean_response_s",
+		"fault_serviced", "failed_over", "lost_streams",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			fmt.Sprint(pt.Nodes),
+			fmt.Sprint(pt.Replication),
+			fmt.Sprint(pt.Serviced),
+			fmt.Sprint(pt.PeakActive),
+			fmt.Sprintf("%.6f", pt.MeanResponse.Seconds()),
+			fmt.Sprint(pt.FaultServiced),
+			fmt.Sprint(pt.FailedOver),
+			fmt.Sprint(pt.LostStreams),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteRebuildCSV emits scheme,p,rebuild_s,mttdl_hours rows (E11).
 func WriteRebuildCSV(w io.Writer, points []experiments.RebuildPoint) error {
 	cw := csv.NewWriter(w)

@@ -130,3 +130,24 @@ func TestWriteErrorsPropagate(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteClusterCSV(t *testing.T) {
+	points := []experiments.ClusterPoint{
+		{Nodes: 3, Replication: 2, Serviced: 900, PeakActive: 120,
+			MeanResponse: units.Duration(0.25), FaultServiced: 850, FailedOver: 30, LostStreams: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	if rows[0][0] != "nodes" || rows[0][7] != "lost_streams" {
+		t.Fatalf("header %v", rows[0])
+	}
+	if rows[1][0] != "3" || rows[1][6] != "30" {
+		t.Fatalf("row %v", rows[1])
+	}
+}
