@@ -9,11 +9,17 @@
 //	LIST                  clip names with sizes and replica nodes
 //	PLAY <clip>           stream clip bytes; survives node failures when
 //	                      the clip is replicated
-//	STATS                 cluster counters plus per-node summaries
+//	STATS                 cluster counters plus per-node summaries,
+//	                      including each node's scrub progress and
+//	                      corruption detect/repair counters
 //	FAIL <node>           demo alias for the node-fault injector: the
 //	                      health detector discovers the fault from the
 //	                      node's own probe errors and fails it over —
 //	                      never an operator command on the data path
+//	CORRUPT <node> <disk> demo alias for the silent-corruption injector:
+//	                      rots blocks of one disk inside one node; only
+//	                      that node's checksums (patrol scrub or read
+//	                      path) can notice and repair it
 //
 // Usage:
 //
@@ -48,17 +54,26 @@ type server struct {
 	mu sync.Mutex
 	cl *cluster.Cluster
 
+	// inj[i] is node i's disk-fault injector, armed at startup so
+	// CORRUPT can script silent corruption inside a node. Distinct from
+	// the cluster-level injector, which scripts whole-node faults.
+	inj []*faultinject.Injector
+
 	writeTimeout time.Duration
 	closing      chan struct{}
 	conns        sync.WaitGroup
 }
 
 func newServer(cl *cluster.Cluster, writeTimeout time.Duration) *server {
-	return &server{
+	s := &server{
 		cl:           cl,
 		writeTimeout: writeTimeout,
 		closing:      make(chan struct{}),
 	}
+	for i := 0; i < cl.NodeCount(); i++ {
+		s.inj = append(s.inj, cl.NodeServer(i).InjectFaults(faultinject.Plan{Seed: int64(i) + 1}))
+	}
+	return s
 }
 
 func main() {
@@ -71,6 +86,7 @@ func main() {
 	nclips := flag.Int("clips", 4, "synthetic clips to store")
 	clipKB := flag.Int("clipkb", 256, "clip size in KB")
 	speed := flag.Float64("speed", 100, "time acceleration factor")
+	scrub := flag.Int("scrub", -1, "per-node patrol scrub rate in verify reads per disk per round (0: off, -1: idle-bounded)")
 	wtimeout := flag.Duration("wtimeout", 10*time.Second, "per-client write deadline")
 	flag.Parse()
 
@@ -91,14 +107,15 @@ func main() {
 	}
 	for i := 0; i < *nodes; i++ {
 		cfg.Nodes = append(cfg.Nodes, core.Config{
-			Scheme: scheme,
-			Disk:   diskmodel.Default(),
-			D:      geo.D,
-			P:      geo.P,
-			Block:  64 * units.KB,
-			Q:      8,
-			F:      2,
-			Buffer: 256 * units.MB,
+			Scheme:    scheme,
+			Disk:      diskmodel.Default(),
+			D:         geo.D,
+			P:         geo.P,
+			Block:     64 * units.KB,
+			Q:         8,
+			F:         2,
+			Buffer:    256 * units.MB,
+			ScrubRate: *scrub,
 		})
 	}
 	cl, err := cluster.New(cfg)
@@ -122,7 +139,9 @@ func main() {
 		if interval < time.Millisecond {
 			interval = time.Millisecond
 		}
-		for range time.Tick(interval) {
+		pacer := time.NewTicker(interval)
+		defer pacer.Stop()
+		for range pacer.C {
 			s.mu.Lock()
 			if err := s.cl.Tick(); err != nil {
 				log.Printf("cmcluster: tick: %v", err)
@@ -260,8 +279,10 @@ func (s *server) handle(conn net.Conn) {
 			return
 		}
 		for i, ns := range st.Node {
-			if s.printf(conn, "node=%d active=%d served=%d hiccups=%d failed_disks=%v mode=%s\n",
-				i, ns.Active, ns.Served, ns.Hiccups, ns.FailedDisks, ns.Mode) != nil {
+			if s.printf(conn, "node=%d active=%d served=%d hiccups=%d failed_disks=%v mode=%s scrub_scanned=%d scrub_total=%d scrub_cycles=%d corruptions=%d corruption_repairs=%d\n",
+				i, ns.Active, ns.Served, ns.Hiccups, ns.FailedDisks, ns.Mode,
+				ns.ScrubScanned, ns.ScrubTotal, ns.ScrubCycles,
+				ns.CorruptionsDetected, ns.CorruptionRepairs) != nil {
 				return
 			}
 		}
@@ -289,6 +310,38 @@ func (s *server) handle(conn net.Conn) {
 		inj.AddFailStop(faultinject.FailStop{Disk: node, Round: inj.Round() + 1})
 		s.mu.Unlock()
 		s.printf(conn, "OK node %d failed\n", node)
+	case "CORRUPT":
+		// Demo alias for the silent-corruption injector: rot a burst of
+		// blocks on one disk of one node starting next round. Nothing on
+		// the data path is told — only that node's checksums (patrol
+		// scrub or a stream read) can catch it and repair from parity.
+		if len(fields) < 3 {
+			s.printf(conn, "ERR usage: CORRUPT <node> <disk>\n")
+			return
+		}
+		node, err1 := strconv.Atoi(fields[1])
+		disk, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			s.printf(conn, "ERR usage: CORRUPT <node> <disk>\n")
+			return
+		}
+		s.mu.Lock()
+		if n := s.cl.NodeCount(); node < 0 || node >= n {
+			s.mu.Unlock()
+			s.printf(conn, "ERR node %d out of range [0, %d)\n", node, n)
+			return
+		}
+		if nd := s.cl.NodeServer(node).Disks(); disk < 0 || disk >= nd {
+			s.mu.Unlock()
+			s.printf(conn, "ERR disk %d out of range [0, %d)\n", disk, nd)
+			return
+		}
+		next := s.inj[node].Round() + 1
+		s.inj[node].AddSilentCorruption(faultinject.SilentCorruption{
+			Disk: disk, Block: -1, Rate: 1, From: next, Until: next + 1, Bits: 3,
+		})
+		s.mu.Unlock()
+		s.printf(conn, "OK node %d disk %d corrupted\n", node, disk)
 	case "PLAY":
 		if len(fields) < 2 {
 			s.printf(conn, "ERR usage: PLAY <clip>\n")

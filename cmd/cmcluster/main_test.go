@@ -38,6 +38,7 @@ func testCluster(t *testing.T) (addr string, clips map[string][]byte, s *server,
 				PlaybackRate: 1.5 * units.Mbps,
 			},
 			D: 7, P: 3, Block: 8 * units.KB, Q: 8, F: 2, Buffer: 16 * units.MB,
+			ScrubRate: -1,
 		})
 	}
 	cl, err := cluster.New(cfg)
@@ -128,6 +129,47 @@ func TestHandleStats(t *testing.T) {
 			t.Fatalf("STATS missing node %d line: %s", i, out)
 		}
 	}
+	for _, field := range []string{
+		"scrub_scanned=", "scrub_total=", "scrub_cycles=",
+		"corruptions=0", "corruption_repairs=0",
+	} {
+		if !strings.Contains(out, field) {
+			t.Fatalf("STATS missing %q: %s", field, out)
+		}
+	}
+}
+
+// TestCorruptIsDetectedAndRepaired: CORRUPT rots one block inside node 1;
+// the node's idle-bounded patrol scrub finds the checksum mismatch and
+// repairs it from parity, surfacing in that node's STATS line, and both
+// clips still stream byte-exact afterwards.
+func TestCorruptIsDetectedAndRepaired(t *testing.T) {
+	addr, clips, _, _ := testCluster(t)
+	if out := string(send(t, addr, "CORRUPT 1 2")); !strings.Contains(out, "OK node 1 disk 2 corrupted") {
+		t.Fatalf("CORRUPT output: %s", out)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out := string(send(t, addr, "STATS"))
+		var line string
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "node=1 ") {
+				line = l
+			}
+		}
+		if strings.Contains(line, "corruptions=1") && strings.Contains(line, "corruption_repairs=1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("corruption never detected and repaired: %s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for name, want := range clips {
+		if got := send(t, addr, "PLAY "+name); !bytes.Equal(got, want) {
+			t.Fatalf("PLAY %s after repair returned %d bytes, want %d (exact)", name, len(got), len(want))
+		}
+	}
 }
 
 func TestHandlePlayByteExact(t *testing.T) {
@@ -164,12 +206,16 @@ func TestHandlePlayThroughNodeFailure(t *testing.T) {
 func TestHandleErrors(t *testing.T) {
 	addr, _, _, _ := testCluster(t)
 	for cmd, want := range map[string]string{
-		"PLAY":      "ERR usage",
-		"PLAY nope": "ERR",
-		"FAIL":      "ERR usage",
-		"FAIL 99":   "ERR node 99 out of range",
-		"BOGUS":     "ERR unknown command",
-		"   ":       "ERR empty command",
+		"PLAY":         "ERR usage",
+		"PLAY nope":    "ERR",
+		"FAIL":         "ERR usage",
+		"FAIL 99":      "ERR node 99 out of range",
+		"CORRUPT":      "ERR usage",
+		"CORRUPT x 1":  "ERR usage",
+		"CORRUPT 99 0": "ERR node 99 out of range",
+		"CORRUPT 0 99": "ERR disk 99 out of range",
+		"BOGUS":        "ERR unknown command",
+		"   ":          "ERR empty command",
 	} {
 		if out := string(send(t, addr, cmd)); !strings.Contains(out, want) {
 			t.Errorf("%q -> %q, want %q", cmd, strings.TrimSpace(out), want)

@@ -109,7 +109,7 @@ func main() {
 		}
 	default:
 		if *d != 32 {
-			fatal(fmt.Errorf("Figure 5 is defined for d=32; use -optimal with -d"))
+			fatal(fmt.Errorf("figure 5 is defined for d=32; use -optimal with -d"))
 		}
 		for _, b := range buffers {
 			if *csvOut {

@@ -6,11 +6,15 @@
 // Protocol: a client connects and sends one line, "PLAY <clip>\n"; the
 // server responds with the clip bytes as rounds deliver them, then
 // closes. "LIST\n" returns the clip names. "STATS\n" reports counters,
-// including the failure-lifecycle mode. "FAIL <disk>\n" is a demo alias
-// for the fault injector: it schedules a fail-stop on the disk, which the
-// health detector then discovers from the disk's own read errors — the
-// server needs no operator command to degrade (a real deployment would
-// not expose this knob at all).
+// including the failure-lifecycle mode and the integrity subsystem
+// (patrol-scrub progress, corruptions detected, repairs). "FAIL <disk>\n"
+// is a demo alias for the fault injector: it schedules a fail-stop on the
+// disk, which the health detector then discovers from the disk's own read
+// errors — the server needs no operator command to degrade (a real
+// deployment would not expose this knob at all). "CORRUPT <disk>\n"
+// likewise schedules a silent bit flip on a random written block of the
+// disk; only the checksum layer can see it, and the patrol scrub
+// (enabled with -scrub) detects and repairs it from parity.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // connections, lets active streams drain, then exits. Every client write
@@ -80,6 +84,7 @@ func main() {
 	clipKB := flag.Int("clipkb", 256, "clip size in KB")
 	speed := flag.Float64("speed", 100, "time acceleration factor")
 	spares := flag.Int("spares", 1, "hot spares for automatic online rebuild")
+	scrub := flag.Int("scrub", -1, "patrol scrub rate in verify reads per round (0: off, -1: idle-bounded)")
 	wtimeout := flag.Duration("wtimeout", 10*time.Second, "per-client write deadline")
 	flag.Parse()
 
@@ -93,15 +98,16 @@ func main() {
 	}
 
 	cs, err := core.New(core.Config{
-		Scheme: scheme,
-		Disk:   diskmodel.Default(),
-		D:      geo.D,
-		P:      geo.P,
-		Block:  64 * units.KB,
-		Q:      8,
-		F:      2,
-		Buffer: 256 * units.MB,
-		Spares: *spares,
+		Scheme:    scheme,
+		Disk:      diskmodel.Default(),
+		D:         geo.D,
+		P:         geo.P,
+		Block:     64 * units.KB,
+		Q:         8,
+		F:         2,
+		Buffer:    256 * units.MB,
+		Spares:    *spares,
+		ScrubRate: *scrub,
 	})
 	if err != nil {
 		log.Fatalf("cmserve: %v", err)
@@ -124,7 +130,9 @@ func main() {
 		if interval < time.Millisecond {
 			interval = time.Millisecond
 		}
-		for range time.Tick(interval) {
+		pacer := time.NewTicker(interval)
+		defer pacer.Stop()
+		for range pacer.C {
 			s.mu.Lock()
 			if err := s.srv.Tick(); err != nil {
 				log.Printf("cmserve: tick: %v", err)
@@ -257,10 +265,11 @@ func (s *server) handle(conn net.Conn) {
 		s.mu.Lock()
 		st := s.srv.Stats()
 		s.mu.Unlock()
-		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d rebuild_pending=%d rebuild_total=%d rebuilds_done=%d terminated=%d\n",
+		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d rebuild_pending=%d rebuild_total=%d rebuilds_done=%d terminated=%d scrub_scanned=%d scrub_total=%d scrub_cycles=%d corruptions=%d corruption_repairs=%d\n",
 			st.Rounds, st.Active, st.Served, st.Hiccups, st.Overflows, st.FailedDisks,
 			st.Mode, st.SparesLeft, st.Rebuilding, st.RebuildPending, st.RebuildTotal,
-			st.RebuildsDone, st.Terminated)
+			st.RebuildsDone, st.Terminated, st.ScrubScanned, st.ScrubTotal, st.ScrubCycles,
+			st.CorruptionsDetected, st.CorruptionRepairs)
 	case "FAIL":
 		// Demo alias for the fault injector: schedule a fail-stop on the
 		// disk starting next round. The health detector notices from the
@@ -283,6 +292,31 @@ func (s *server) handle(conn net.Conn) {
 		s.injector.AddFailStop(faultinject.FailStop{Disk: disk, Round: s.injector.Round() + 1})
 		s.mu.Unlock()
 		s.printf(conn, "OK disk %d failed\n", disk)
+	case "CORRUPT":
+		// Demo alias for silent corruption: flip bits of one random
+		// written block next round. The device keeps serving the block
+		// without error — only the checksum layer (read path or patrol
+		// scrub) can catch it.
+		if len(fields) < 2 {
+			s.printf(conn, "ERR usage: CORRUPT <disk>\n")
+			return
+		}
+		disk, err := strconv.Atoi(fields[1])
+		if err != nil {
+			s.printf(conn, "ERR usage: CORRUPT <disk>\n")
+			return
+		}
+		if disk < 0 || disk >= s.disks() {
+			s.printf(conn, "ERR disk %d out of range [0, %d)\n", disk, s.disks())
+			return
+		}
+		s.mu.Lock()
+		next := s.injector.Round() + 1
+		s.injector.AddSilentCorruption(faultinject.SilentCorruption{
+			Disk: disk, Block: -1, Rate: 1, From: next, Until: next + 1, Bits: 3,
+		})
+		s.mu.Unlock()
+		s.printf(conn, "OK disk %d corrupted\n", disk)
 	case "PLAY":
 		if len(fields) < 2 {
 			s.printf(conn, "ERR usage: PLAY <clip>\n")

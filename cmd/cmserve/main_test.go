@@ -38,7 +38,8 @@ func testServerSpares(t *testing.T, spares int) (addr string, clips map[string][
 			PlaybackRate: 1.5 * units.Mbps,
 		},
 		D: 7, P: 3, Block: 8 * units.KB, Q: 8, F: 2, Buffer: 16 * units.MB,
-		Spares: spares,
+		Spares:    spares,
+		ScrubRate: -1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -122,11 +123,41 @@ func TestHandleStats(t *testing.T) {
 	if !strings.Contains(out, "rounds=") || !strings.Contains(out, "failed=[]") {
 		t.Fatalf("STATS output: %s", out)
 	}
-	// Hot-spare pool and online-rebuild progress are always reported,
-	// idle values included.
-	for _, field := range []string{"spares=0", "rebuilding=-1", "rebuild_pending=0", "rebuild_total=0", "rebuilds_done=0"} {
+	// Hot-spare pool, online-rebuild progress and the integrity
+	// subsystem are always reported, idle values included.
+	for _, field := range []string{
+		"spares=0", "rebuilding=-1", "rebuild_pending=0", "rebuild_total=0", "rebuilds_done=0",
+		"scrub_scanned=", "scrub_total=", "scrub_cycles=", "corruptions=0", "corruption_repairs=0",
+	} {
 		if !strings.Contains(out, field) {
 			t.Fatalf("STATS missing %q: %s", field, out)
+		}
+	}
+}
+
+// TestCorruptIsDetectedAndRepaired: CORRUPT flips bits of a written
+// block without any device error; the patrol scrub catches the checksum
+// mismatch, repairs the block from parity, and playback stays
+// byte-exact.
+func TestCorruptIsDetectedAndRepaired(t *testing.T) {
+	addr, clips, _, _ := testServer(t)
+	if out := string(send(t, addr, "CORRUPT 2")); !strings.Contains(out, "OK disk 2 corrupted") {
+		t.Fatalf("CORRUPT output: %s", out)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out := string(send(t, addr, "STATS"))
+		if strings.Contains(out, "corruptions=1") && strings.Contains(out, "corruption_repairs=1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrub never repaired the corruption; last STATS: %s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for name, want := range clips {
+		if got := send(t, addr, "PLAY "+name); !bytes.Equal(got, want) {
+			t.Fatalf("PLAY %s after corruption: %d bytes, want %d (exact)", name, len(got), len(want))
 		}
 	}
 }
@@ -187,12 +218,15 @@ func TestHandlePlayThroughFailure(t *testing.T) {
 func TestHandleErrors(t *testing.T) {
 	addr, _, _, _ := testServer(t)
 	for cmd, want := range map[string]string{
-		"PLAY":      "ERR usage",
-		"PLAY nope": "ERR",
-		"FAIL":      "ERR usage",
-		"FAIL 99":   "ERR",
-		"BOGUS":     "ERR unknown command",
-		"   ":       "ERR empty command",
+		"PLAY":       "ERR usage",
+		"PLAY nope":  "ERR",
+		"FAIL":       "ERR usage",
+		"FAIL 99":    "ERR",
+		"CORRUPT":    "ERR usage",
+		"CORRUPT x":  "ERR usage",
+		"CORRUPT 99": "ERR",
+		"BOGUS":      "ERR unknown command",
+		"   ":        "ERR empty command",
 	} {
 		if out := string(send(t, addr, cmd)); !strings.Contains(out, want) {
 			t.Errorf("%q -> %q, want %q", cmd, strings.TrimSpace(out), want)

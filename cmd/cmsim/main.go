@@ -12,8 +12,10 @@
 //	cmsim -fail 5 -failat 50 -rebuild    # E12 online rebuild
 //	cmsim -batch 10                      # E15 request batching window
 //	cmsim -mixed                         # E16 mixed-rate workload
+//	cmsim -integrity                     # E17 patrol-scrub vs. corruption sweep
+//	cmsim -corrupt 5@100:40 -scrub -1    # rot 40 blocks of disk 5 at t=100s
 //	cmsim -dynamic                       # §5 dynamic reservation controller
-//	cmsim -csv                           # CSV output (-grid, -continuity)
+//	cmsim -csv                           # CSV output (-grid, -continuity, -integrity)
 package main
 
 import (
@@ -51,6 +53,9 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of tables (-grid and -continuity)")
 	batch := flag.Float64("batch", 0, "batching window in seconds (0: off): requests piggyback on same-clip streams")
 	mixed := flag.Bool("mixed", false, "run the E16 mixed-rate workload (audio + MPEG-1 + MPEG-2, declustered)")
+	integrity := flag.Bool("integrity", false, "run the E17 patrol-scrub vs. silent-corruption sweep")
+	scrub := flag.Int("scrub", 0, "patrol scrub rate in verify reads per disk per round (0: off, -1: idle-bounded)")
+	corrupt := flag.String("corrupt", "", "silent-corruption script: disk@sec:blocks[,disk@sec:blocks...]")
 	workers := flag.Int("workers", 0, "parallel sweep workers for -grid (0: one per CPU, 1: sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -128,6 +133,20 @@ func main() {
 		if err := experiments.WriteAdmissionAblation(os.Stdout, buffer, *seed); err != nil {
 			fatal(err)
 		}
+	case *integrity:
+		if *csvOut {
+			pts, err := experiments.CorruptionSweep(buffer, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteCorruptionCSV(os.Stdout, pts); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := experiments.WriteCorruptionSweep(os.Stdout, buffer, *seed); err != nil {
+			fatal(err)
+		}
 	case *continuity:
 		if *csvOut {
 			pts, err := experiments.FailureContinuity(buffer, *seed)
@@ -150,6 +169,10 @@ func main() {
 		if _, err := cliutil.ParseGeometry(32, *p); err != nil {
 			fatal(err)
 		}
+		corruptions, err := parseCorruptions(*corrupt)
+		if err != nil {
+			fatal(err)
+		}
 		res, err := sim.Run(sim.Config{
 			Scheme:      scheme,
 			Dynamic:     *dynamic,
@@ -166,6 +189,8 @@ func main() {
 			FailAt:      units.Duration(*failAt),
 			Rebuild:     *rebuildFlag,
 			BatchWindow: units.Duration(*batch),
+			ScrubRate:   *scrub,
+			Corruptions: corruptions,
 		})
 		if err != nil {
 			fatal(err)
@@ -182,6 +207,14 @@ func main() {
 		fmt.Printf("mean response     %v\n", res.MeanResponse)
 		fmt.Printf("p95 response      %v\n", res.ResponseP95)
 		fmt.Printf("max queue         %d\n", res.MaxQueue)
+		if len(corruptions) > 0 {
+			fmt.Printf("corruptions       %d injected, %d detected, %d repaired\n",
+				res.CorruptionsInjected, res.CorruptionsDetected, res.CorruptionsRepaired)
+			if res.CorruptionsDetected > 0 {
+				fmt.Printf("mean detection    %v\n", res.MeanDetection)
+			}
+			fmt.Printf("scrub sweeps      %d\n", res.ScrubSweeps)
+		}
 		if *failDisk >= 0 {
 			fmt.Printf("deadline misses   %d\n", res.DeadlineMisses)
 			fmt.Printf("lost blocks       %d\n", res.LostBlocks)
@@ -194,6 +227,28 @@ func main() {
 			}
 		}
 	}
+}
+
+// parseCorruptions parses "disk@sec:blocks[,disk@sec:blocks...]" into a
+// silent-corruption script.
+func parseCorruptions(s string) ([]sim.CorruptionEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []sim.CorruptionEvent
+	for _, part := range strings.Split(s, ",") {
+		var disk, blocks int
+		var sec float64
+		if _, err := fmt.Sscanf(part, "%d@%f:%d", &disk, &sec, &blocks); err != nil {
+			return nil, fmt.Errorf("bad -corrupt entry %q (want disk@sec:blocks): %v", part, err)
+		}
+		out = append(out, sim.CorruptionEvent{
+			Disk:   disk,
+			At:     units.Duration(sec) * units.Second,
+			Blocks: blocks,
+		})
+	}
+	return out, nil
 }
 
 func fatal(err error) {

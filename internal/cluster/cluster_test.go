@@ -33,8 +33,8 @@ func nodeConfig() core.Config {
 		Scheme: core.Declustered,
 		Disk:   fastDisk(),
 		D:      7, P: 3,
-		Block:  8 * units.KB,
-		Q:      8, F: 2,
+		Block: 8 * units.KB,
+		Q:     8, F: 2,
 		Buffer: 16 * units.MB,
 	}
 }
@@ -441,5 +441,82 @@ func TestOpenStreamErrors(t *testing.T) {
 	}
 	if _, err := c.OpenStream("a"); !errors.Is(err, ErrNoReplica) {
 		t.Fatalf("open with no live replica: %v, want ErrNoReplica", err)
+	}
+}
+
+// TestNodeCorruptionEscalatesToRebuild: a sustained silent-corruption
+// storm on one disk inside node 1 drives that node's per-disk corruption
+// counter past its CorruptionThreshold. The node declares the disk
+// failed and rebuilds it onto its hot spare entirely within the node:
+// the cluster never observes a node fault, no stream fails over, and
+// replicated playback stays byte-exact throughout.
+func TestNodeCorruptionEscalatesToRebuild(t *testing.T) {
+	cfg := Config{Replication: 2}
+	for i := 0; i < 2; i++ {
+		nc := nodeConfig()
+		nc.ScrubRate = -1
+		cfg.Nodes = append(cfg.Nodes, nc)
+	}
+	// Node 1: one hot spare, a low corruption threshold, and an endless
+	// rate-1 corruption storm on disk 2 from round 5 on. The storm stops
+	// only when the disk is declared failed and replaced — the injector
+	// drops a replaced disk's plan entries.
+	cfg.Nodes[1].Spares = 1
+	cfg.Nodes[1].Health = health.Config{CorruptionThreshold: 4}
+	cfg.Nodes[1].Faults = &faultinject.Plan{
+		Seed: 7,
+		Corruptions: []faultinject.SilentCorruption{
+			{Disk: 2, Block: -1, Rate: 1, From: 5, Bits: 1},
+		},
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := clipBytes(9, 50_000)
+	if err := c.AddClip("clip", clip); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.OpenStream("clip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offset int64
+	done := false
+	recovered := func() bool {
+		ns := c.Stats().Node[1]
+		return ns.RebuildsDone == 1 && ns.Mode == core.ModeHealthy
+	}
+	for round := 0; round < 600 && !(done && recovered()); round++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if !done {
+			if done, err = readAvailable(t, st, clip, &offset); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !done || offset != int64(len(clip)) {
+		t.Fatalf("stream incomplete: done=%v offset=%d want %d", done, offset, len(clip))
+	}
+	// Each detection event books two corrupt observations with the
+	// detector (the read plus its retry), so threshold 4 declares the
+	// disk after two events — and the rebuild itself wipes any rot the
+	// patrol had not reached yet. At least one event must have entered
+	// repair before the declaration.
+	ns := c.Stats().Node[1]
+	if ns.CorruptionsDetected < 1 || ns.CorruptionsInjected < 2 {
+		t.Fatalf("node 1 injected/detected %d/%d corruptions, want >= 2/1",
+			ns.CorruptionsInjected, ns.CorruptionsDetected)
+	}
+	if ns.DetectedFailures != 1 || ns.RebuildsDone != 1 || ns.Mode != core.ModeHealthy || ns.SparesLeft != 0 {
+		t.Fatalf("node 1 did not escalate to a completed hot-spare rebuild: %+v", ns)
+	}
+	// The escalation stayed inside the node: the cluster tier saw no
+	// fault and moved no streams.
+	cs := c.Stats()
+	if cs.Alive != 2 || len(cs.FailedNodes) != 0 || cs.FailedOver != 0 || cs.Terminated != 0 {
+		t.Fatalf("corruption escalation leaked to the cluster tier: %+v", cs)
 	}
 }

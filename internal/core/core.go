@@ -94,6 +94,11 @@ type Config struct {
 	// AddClip runs at round 0, before the injector's clock first
 	// advances.
 	Faults *faultinject.Plan
+	// ScrubRate caps the background scrubber's verify reads per round
+	// across the array. 0 disables scrubbing (the default, preserving
+	// pre-scrub behaviour); negative means unlimited — the sweep is then
+	// bounded only by the idle capacity each round leaves under q.
+	ScrubRate int
 }
 
 // Stats reports a server's running counters.
@@ -136,6 +141,21 @@ type Stats struct {
 	// LostBlocks counts blocks the online rebuild had to skip because a
 	// second failure made their group unrecoverable.
 	LostBlocks int64
+	// CorruptionsInjected counts silent-corruption orders that landed on
+	// a written block (fault-injection accounting, not detection).
+	CorruptionsInjected int64
+	// CorruptionsDetected counts checksum mismatches caught — by the
+	// streaming read path or the scrubber — that entered repair.
+	CorruptionsDetected int64
+	// CorruptionRepairs counts corrupt blocks reconstructed from their
+	// parity group and rewritten byte-exactly.
+	CorruptionRepairs int64
+	// ScrubScanned and ScrubTotal report the current scrub sweep's
+	// position in queue entries (both zero when scrubbing is off or the
+	// sweep is between cycles).
+	ScrubScanned, ScrubTotal int
+	// ScrubCycles counts completed full-array scrub sweeps.
+	ScrubCycles int64
 }
 
 // Server is a fault-tolerant continuous media server.
@@ -174,6 +194,13 @@ type Server struct {
 	badBlockRepairs  int64
 	terminated       int
 	lostBlocks       int64
+
+	// Data integrity (scrub.go).
+	scrub               *scrubState
+	scrubCycles         int64
+	corruptionsInjected int64
+	corruptionsDetected int64
+	corruptionRepairs   int64
 
 	// prefetchDepth is how many blocks ahead of delivery fetching runs
 	// (p−1 for the pre-fetching schemes, 1 otherwise).
@@ -495,11 +522,20 @@ func (s *Server) Stats() Stats {
 		BadBlockRepairs:  s.badBlockRepairs,
 		Terminated:       s.terminated,
 		LostBlocks:       s.lostBlocks,
+
+		CorruptionsInjected: s.corruptionsInjected,
+		CorruptionsDetected: s.corruptionsDetected,
+		CorruptionRepairs:   s.corruptionRepairs,
+		ScrubCycles:         s.scrubCycles,
 	}
 	if s.rebuild != nil {
 		st.Rebuilding = s.rebuild.disk
 		st.RebuildTotal = len(s.rebuild.queue)
 		st.RebuildPending = len(s.rebuild.queue) - s.rebuild.next
+	}
+	if s.scrub != nil {
+		st.ScrubScanned = s.scrub.next
+		st.ScrubTotal = len(s.scrub.queue)
 	}
 	return st
 }

@@ -300,6 +300,22 @@ func (s *Server) readMonitored(logical int64, addr layout.BlockAddr) ([]byte, er
 			s.badBlockRepairs++
 		}
 		return data, nil
+	case errors.Is(err, storage.ErrCorruptBlock):
+		// Checksum mismatch: the disk answered with rotten bytes. Serve
+		// the true contents from the parity group — contingency
+		// bandwidth, same accounting as a failed-disk read — and rewrite
+		// them in place, which re-records the checksum. The detector has
+		// already scored the observation toward the disk's corruption
+		// threshold.
+		s.corruptionsDetected++
+		data, rerr := s.reconstructCharged(logical)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if werr := arr.Write(addr.Disk, addr.Block, data); werr == nil {
+			s.corruptionRepairs++
+		}
+		return data, nil
 	case errors.Is(err, storage.ErrNotWritten) && arr.State(addr.Disk) == storage.Rebuilding:
 		// Not yet rebuilt: serve by reconstruction and install the block
 		// on the spare while we have it (free rebuild progress).

@@ -312,12 +312,16 @@ func (st *Stream) Read(p []byte) (int, error) {
 // in an unrecoverable parity group (second failure) is terminated with
 // an explicit reason rather than failing the round; every other stream
 // is served normally. Idle capacity left after stream service drives the
-// online rebuild. Tick itself errors only on programming bugs.
+// online rebuild first and then the integrity scrubber. Tick itself
+// errors only on programming bugs.
 func (s *Server) Tick() error {
 	s.engine.BeginRound()
 	if s.injector != nil {
 		s.injector.SetRound(s.engine.Round())
 	}
+	// Land this round's scripted bit rot before any read happens, so a
+	// given plan and stream population replays bit-identically.
+	s.applyCorruptions()
 	perRound := int64(1)
 	if s.groupFetch {
 		perRound = int64(s.cfg.P - 1)
@@ -343,6 +347,7 @@ func (s *Server) Tick() error {
 		}
 	}
 	s.rebuildStep()
+	s.scrubStep()
 	return nil
 }
 

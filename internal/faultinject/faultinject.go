@@ -14,6 +14,12 @@
 //   - Slow: reads succeed but take a multiple of their nominal service
 //     time inside a window — the "limping disk" that timeout detection,
 //     not error counting, must catch.
+//   - SilentCorruption: bits of a stored block flip at rest and the read
+//     returns wrong bytes with NO error — the one fault the ReadHook
+//     cannot express (hooks may veto a read, not rewrite its data).
+//     The injector therefore emits CorruptionOrders via CorruptionsDue,
+//     which the round driver applies to the array with CorruptBits;
+//     only the checksum layer ever notices.
 //
 // The Injector compiles a Plan into a storage.ReadHook. It keeps its own
 // round clock, advanced by whoever drives rounds (core.Server ticks it);
@@ -62,14 +68,43 @@ type Slow struct {
 	From, Until int64
 }
 
+// SilentCorruption scripts at-rest bit rot on a disk. With Block >= 0
+// it flips bits of that one block exactly once, at the first round at
+// or after From the injector sees. With Block < 0 it runs a per-round
+// Rate coin during [From, Until) (Until == 0 means forever) and, on
+// heads, corrupts one pseudo-randomly chosen written block. Bits is the
+// number of distinct bit positions to flip (0 selects 1). The flips are
+// silent: reads of the block succeed at the device level and only the
+// checksum layer can tell.
+type SilentCorruption struct {
+	Disk        int
+	Block       int64
+	Rate        float64
+	From, Until int64
+	// Bits is how many distinct bits flip per corruption event.
+	Bits int
+}
+
+// CorruptionOrder is one bit-flip the driver must apply to the array
+// (storage.Array.CorruptBits / CorruptRandomBlock). Block < 0 means
+// "some written block", selected by Pick over the disk's written blocks
+// in ascending order.
+type CorruptionOrder struct {
+	Disk  int
+	Block int64
+	Pick  uint64
+	Bits  []uint64
+}
+
 // Plan scripts a run's faults. The zero value injects nothing.
 type Plan struct {
-	// Seed drives the transient-error coin flips.
-	Seed       int64
-	FailStops  []FailStop
-	BadBlocks  []BadBlock
-	Transients []Transient
-	Slows      []Slow
+	// Seed drives the transient-error and corruption coin flips.
+	Seed        int64
+	FailStops   []FailStop
+	BadBlocks   []BadBlock
+	Transients  []Transient
+	Slows       []Slow
+	Corruptions []SilentCorruption
 }
 
 // Stats counts what the injector actually did, for test assertions.
@@ -80,6 +115,8 @@ type Stats struct {
 	BadBlockErrors int64
 	// SlowReads counts reads that were slowed.
 	SlowReads int64
+	// Corruptions counts silent-corruption orders emitted.
+	Corruptions int64
 }
 
 // Injector applies a Plan to an array's reads. Install its Hook with
@@ -91,7 +128,14 @@ type Injector struct {
 	rng   *rand.Rand
 	round int64
 	bad   map[[2]int64]bool // (disk, block) → latent error active
+	corr  []corruptionEntry
 	stats Stats
+}
+
+// corruptionEntry is a SilentCorruption plus its one-shot latch.
+type corruptionEntry struct {
+	SilentCorruption
+	fired bool // explicit-block entries corrupt exactly once
 }
 
 // New compiles a plan. The plan is copied; later mutations go through
@@ -104,6 +148,9 @@ func New(plan Plan) *Injector {
 	}
 	for _, b := range plan.BadBlocks {
 		in.bad[[2]int64{int64(b.Disk), b.Block}] = true
+	}
+	for _, c := range plan.Corruptions {
+		in.corr = append(in.corr, corruptionEntry{SilentCorruption: c})
 	}
 	return in
 }
@@ -152,6 +199,60 @@ func (in *Injector) AddSlow(s Slow) {
 	in.plan.Slows = append(in.plan.Slows, s)
 }
 
+// AddSilentCorruption schedules at-rest bit rot at runtime (the cmserve
+// CORRUPT demo alias injects through this).
+func (in *Injector) AddSilentCorruption(c SilentCorruption) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.corr = append(in.corr, corruptionEntry{SilentCorruption: c})
+}
+
+// CorruptionsDue returns the silent-corruption orders due at the current
+// round, advancing each entry's state: explicit-block entries fire once
+// at the first round ≥ From; rate entries roll their per-round coin. The
+// round driver must call this exactly once per round, after SetRound and
+// before serving reads, so the seeded RNG sequence stays reproducible.
+func (in *Injector) CorruptionsDue() []CorruptionOrder {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []CorruptionOrder
+	for i := range in.corr {
+		c := &in.corr[i]
+		if c.Block >= 0 {
+			if !c.fired && in.round >= c.From {
+				c.fired = true
+				out = append(out, CorruptionOrder{Disk: c.Disk, Block: c.Block, Bits: in.randBits(c.Bits)})
+			}
+			continue
+		}
+		if window(in.round, c.From, c.Until) && in.rng.Float64() < c.Rate {
+			out = append(out, CorruptionOrder{Disk: c.Disk, Block: -1, Pick: in.rng.Uint64(), Bits: in.randBits(c.Bits)})
+		}
+	}
+	in.stats.Corruptions += int64(len(out))
+	return out
+}
+
+// randBits draws n distinct pseudo-random bit offsets (n ≤ 0 selects 1).
+// Distinctness matters: two flips of the same bit cancel, and an order
+// that nets out to zero flips would be "corruption" nothing can detect.
+func (in *Injector) randBits(n int) []uint64 {
+	if n <= 0 {
+		n = 1
+	}
+	bits := make([]uint64, 0, n)
+	seen := make(map[uint64]bool, n)
+	for len(bits) < n {
+		b := in.rng.Uint64()
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		bits = append(bits, b)
+	}
+	return bits
+}
+
 // ClearBadBlock removes a latent error — the model of a sector remap
 // after the block is reconstructed and rewritten.
 func (in *Injector) ClearBadBlock(disk int, block int64) {
@@ -188,6 +289,13 @@ func (in *Injector) ClearDisk(disk int) {
 		}
 	}
 	in.plan.Slows = filterSL
+	filterCO := in.corr[:0]
+	for _, c := range in.corr {
+		if c.Disk != disk {
+			filterCO = append(filterCO, c)
+		}
+	}
+	in.corr = filterCO
 	for key := range in.bad {
 		if key[0] == int64(disk) {
 			delete(in.bad, key)

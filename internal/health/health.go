@@ -18,6 +18,13 @@
 //   - storage.ErrBadBlock indicts a block, not the device: it is retried
 //     once (controller hiccups happen) and surfaced to the caller for
 //     per-block reconstruction without counting against the disk;
+//   - storage.ErrCorruptBlock is its own class: like a bad block it
+//     indicts the block (retry once, surface for reconstruction, no
+//     consecutive-error strike — the disk answered on time), but unlike
+//     a bad block the wrong bytes came from the medium itself, so the
+//     detector also keeps a per-disk *cumulative* corruption count; a
+//     disk that rots past CorruptionThreshold is declared failed and
+//     takes the normal hot-spare rebuild exit;
 //   - storage.ErrNotWritten is not a fault at all — the disk answered.
 package health
 
@@ -80,6 +87,12 @@ type Config struct {
 	// exponential retry backoff (base << (attempt−1), capped at 32×base)
 	// which Stop interrupts immediately. Takes precedence over Backoff.
 	BackoffBase time.Duration
+	// CorruptionThreshold is the cumulative per-disk count of corrupt
+	// block observations that declares the disk failed (default 16; any
+	// negative value disables escalation). Cumulative, not consecutive:
+	// bit rot is at-rest damage that successful reads of *other* blocks
+	// say nothing about.
+	CorruptionThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowFactor <= 1 {
 		c.SlowFactor = 8
+	}
+	if c.CorruptionThreshold == 0 {
+		c.CorruptionThreshold = 16
 	}
 	return c
 }
@@ -125,17 +141,21 @@ type Detector struct {
 	mu     sync.Mutex
 	cfg    Config
 	consec []int
-	state  []State
-	onFail func(disk int)
+	// corrupt is the per-disk cumulative corrupt-block count feeding
+	// CorruptionThreshold escalation. Cleared only by Reset.
+	corrupt []int
+	state   []State
+	onFail  func(disk int)
 	// stop is closed by Stop; in-flight BackoffBase sleeps wake on it.
 	stop     chan struct{}
 	stopOnce sync.Once
 
 	// counters for Stats
-	hardErrors int64
-	timeouts   int64
-	badBlocks  int64
-	declared   int64
+	hardErrors  int64
+	timeouts    int64
+	badBlocks   int64
+	corruptions int64
+	declared    int64
 }
 
 // Stats is a snapshot of the detector's counters.
@@ -147,6 +167,8 @@ type Stats struct {
 	Timeouts int64
 	// BadBlocks counts latent-sector errors observed.
 	BadBlocks int64
+	// Corruptions counts corrupt-block (checksum mismatch) observations.
+	Corruptions int64
 	// Declared counts disks declared failed.
 	Declared int64
 }
@@ -154,10 +176,11 @@ type Stats struct {
 // NewDetector creates a detector for d disks.
 func NewDetector(d int, cfg Config) *Detector {
 	return &Detector{
-		cfg:    cfg.withDefaults(),
-		consec: make([]int, d),
-		state:  make([]State, d),
-		stop:   make(chan struct{}),
+		cfg:     cfg.withDefaults(),
+		consec:  make([]int, d),
+		corrupt: make([]int, d),
+		state:   make([]State, d),
+		stop:    make(chan struct{}),
 	}
 }
 
@@ -222,11 +245,21 @@ func (dt *Detector) ConsecutiveErrors(disk int) int {
 	return dt.consec[disk]
 }
 
+// CorruptionCount returns the disk's cumulative corrupt-block count.
+func (dt *Detector) CorruptionCount(disk int) int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if disk < 0 || disk >= len(dt.corrupt) {
+		return 0
+	}
+	return dt.corrupt[disk]
+}
+
 // Stats returns a counter snapshot.
 func (dt *Detector) Stats() Stats {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
-	return Stats{HardErrors: dt.hardErrors, Timeouts: dt.timeouts, BadBlocks: dt.badBlocks, Declared: dt.declared}
+	return Stats{HardErrors: dt.hardErrors, Timeouts: dt.timeouts, BadBlocks: dt.badBlocks, Corruptions: dt.corruptions, Declared: dt.declared}
 }
 
 // Reset clears the disk's strikes and state — called when a rebuilt disk
@@ -238,6 +271,7 @@ func (dt *Detector) Reset(disk int) {
 		return
 	}
 	dt.consec[disk] = 0
+	dt.corrupt[disk] = 0
 	dt.state[disk] = OK
 }
 
@@ -253,6 +287,7 @@ func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 		return OK
 	}
 	strike := false
+	var fire func(int)
 	switch {
 	case err == nil:
 		if slowdown >= dt.cfg.SlowFactor {
@@ -261,6 +296,19 @@ func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 		}
 	case errors.Is(err, storage.ErrBadBlock):
 		dt.badBlocks++
+	case errors.Is(err, storage.ErrCorruptBlock):
+		// Block-indicting, like a bad block: no consecutive-error
+		// strike — the device answered on time. But rot is medium
+		// damage, so it accrues on the disk's cumulative count, and a
+		// disk past the threshold is declared failed exactly as if it
+		// had struck out.
+		dt.corruptions++
+		dt.corrupt[disk]++
+		if dt.cfg.CorruptionThreshold > 0 && dt.corrupt[disk] >= dt.cfg.CorruptionThreshold && dt.state[disk] != Down {
+			dt.state[disk] = Down
+			dt.declared++
+			fire = dt.onFail
+		}
 	case errors.Is(err, storage.ErrNotWritten):
 		// The disk answered; the block is absent. Not a fault.
 	default:
@@ -268,7 +316,6 @@ func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 		strike = true
 	}
 
-	var fire func(int)
 	if strike {
 		dt.consec[disk]++
 		if dt.state[disk] != Down {
@@ -294,9 +341,10 @@ func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 
 // Read performs one monitored block read with bounded retry and backoff:
 // attempt() is tried up to Retries+1 times; every outcome is Observed.
-// Hard errors and timeouts retry; a bad block retries once then
-// surfaces (reconstruction is the cure, not persistence); ErrNotWritten
-// surfaces immediately. The returned error is the last attempt's.
+// Hard errors and timeouts retry; a bad block or corrupt block retries
+// once then surfaces (reconstruction is the cure, not persistence);
+// ErrNotWritten surfaces immediately. The returned error is the last
+// attempt's.
 func (dt *Detector) Read(disk int, attempt func() (data []byte, slowdown float64, err error)) ([]byte, error) {
 	dt.mu.Lock()
 	cfg := dt.cfg
@@ -327,7 +375,7 @@ func (dt *Detector) Read(disk int, attempt func() (data []byte, slowdown float64
 		if errors.Is(err, storage.ErrNotWritten) {
 			return nil, err
 		}
-		if errors.Is(err, storage.ErrBadBlock) && try >= 1 {
+		if (errors.Is(err, storage.ErrBadBlock) || errors.Is(err, storage.ErrCorruptBlock)) && try >= 1 {
 			return nil, err
 		}
 	}

@@ -95,6 +95,13 @@ type Config struct {
 	// the same clip that started within the window, consuming no extra
 	// disk bandwidth or buffer — the classic VoD multicast optimization.
 	BatchWindow units.Duration
+	// ScrubRate caps the patrol scrubber's verify reads per disk per
+	// round. 0 disables scrubbing (corruption then stays latent);
+	// negative means the sweep is bounded only by each disk's idle
+	// capacity under q.
+	ScrubRate int
+	// Corruptions scripts silent at-rest corruption events (scrub.go).
+	Corruptions []CorruptionEvent
 }
 
 // FailureEvent is one scripted disk failure in a Config.Trace.
@@ -149,6 +156,17 @@ type Result struct {
 	RebuildDone bool
 	// RebuildsDone counts completed online rebuilds across the trace.
 	RebuildsDone int
+	// CorruptionsInjected, CorruptionsDetected and CorruptionsRepaired
+	// trace the silent-corruption pipeline: blocks rotted by the script,
+	// blocks the patrol scrub caught, and blocks whose reconstruction
+	// reads were paid from idle capacity.
+	CorruptionsInjected, CorruptionsDetected, CorruptionsRepaired int64
+	// MeanDetection is the mean injection→detection latency of detected
+	// corruptions (zero when nothing was detected).
+	MeanDetection units.Duration
+	// ScrubSweeps counts completed full-array patrol sweeps (the minimum
+	// over disks).
+	ScrubSweeps int64
 }
 
 // RunMany executes one independent simulation per seed, fanned out over
@@ -240,6 +258,10 @@ type engine struct {
 	nextEvent   int
 	failures    []*failureState
 	rebuildsReq int
+
+	// Integrity state (scrub.go); nil when the run scripts neither
+	// corruption nor scrubbing.
+	scrub *scrubModel
 
 	res Result
 }
@@ -429,6 +451,9 @@ func (e *engine) run() (Result, error) {
 	if err := e.initTrace(); err != nil {
 		return Result{}, err
 	}
+	if err := e.initScrub(); err != nil {
+		return Result{}, err
+	}
 
 	var responseSum units.Duration
 	nextArrival := 0
@@ -500,7 +525,11 @@ func (e *engine) run() (Result, error) {
 
 		// 4. Failure-mode accounting and online rebuilds (failure.go).
 		e.failureStep(now)
+
+		// 5. Silent corruption and the patrol scrub (scrub.go).
+		e.scrubStep(now)
 	}
+	e.finishScrub()
 
 	e.res.RebuildDone = e.rebuildsReq > 0 && e.res.RebuildsDone == e.rebuildsReq
 	e.res.Rounds = totalRounds

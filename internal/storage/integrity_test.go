@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// corruptArray returns a 4×16 array with block 5 of disks 0..2 written
+// with distinct contents.
+func corruptArray(t *testing.T) *Array {
+	t.Helper()
+	a := newArray(t)
+	for disk := 0; disk < 3; disk++ {
+		if err := a.Write(disk, 5, block(byte(disk+1), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestReadVerifiesChecksum(t *testing.T) {
+	a := corruptArray(t)
+	if _, err := a.Read(0, 5); err != nil {
+		t.Fatalf("read of intact block: %v", err)
+	}
+	if err := a.CorruptBits(0, 5, []uint64{3}); err != nil {
+		t.Fatalf("CorruptBits: %v", err)
+	}
+	if _, err := a.Read(0, 5); !errors.Is(err, ErrCorruptBlock) {
+		t.Fatalf("read of corrupt block = %v, want ErrCorruptBlock", err)
+	}
+	// Corruption indicts the block, not the disk or its neighbours.
+	if _, err := a.Read(1, 5); err != nil {
+		t.Fatalf("read of sibling block: %v", err)
+	}
+	// A rewrite re-records the checksum — the repair path's cure.
+	if err := a.Write(0, 5, block(9, 16)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Read(0, 5)
+	if err != nil {
+		t.Fatalf("read after repair rewrite: %v", err)
+	}
+	if !bytes.Equal(data, block(9, 16)) {
+		t.Fatalf("read after rewrite = %v, want fill 9", data)
+	}
+}
+
+// TestFailedDiskNeverReturnsZeros pins the hazard called out in the
+// package comment: no read variant may ever hand back fabricated zero
+// bytes for a failed disk or an unrebuilt spare block — a reconstruction
+// that XORed them in would be silently wrong.
+func TestFailedDiskNeverReturnsZeros(t *testing.T) {
+	a := corruptArray(t)
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := block(0xAA, 16)
+
+	if data, err := a.Read(0, 5); !errors.Is(err, ErrFailed) || data != nil {
+		t.Fatalf("Read on failed disk = (%v, %v), want (nil, ErrFailed)", data, err)
+	}
+	if data, err := a.ReadZero(0, 5); !errors.Is(err, ErrFailed) || data != nil {
+		t.Fatalf("ReadZero on failed disk = (%v, %v), want (nil, ErrFailed)", data, err)
+	}
+	dst := append([]byte(nil), sentinel...)
+	if err := a.ReadInto(0, 5, dst); !errors.Is(err, ErrFailed) {
+		t.Fatalf("ReadInto on failed disk = %v, want ErrFailed", err)
+	}
+	if !bytes.Equal(dst, sentinel) {
+		t.Fatalf("ReadInto on failed disk mutated dst to %v", dst)
+	}
+	dst = append(dst[:0], sentinel...)
+	if err := a.ReadZeroInto(0, 5, dst); !errors.Is(err, ErrFailed) {
+		t.Fatalf("ReadZeroInto on failed disk = %v, want ErrFailed", err)
+	}
+	if !bytes.Equal(dst, sentinel) {
+		t.Fatalf("ReadZeroInto on failed disk mutated dst to %v", dst)
+	}
+
+	// Same discipline for a rebuilding spare's unrebuilt blocks: absent
+	// means ErrNotWritten, never zeroes.
+	if err := a.Replace(0); err != nil {
+		t.Fatal(err)
+	}
+	dst = append(dst[:0], sentinel...)
+	if err := a.ReadZeroInto(0, 5, dst); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("ReadZeroInto on unrebuilt block = %v, want ErrNotWritten", err)
+	}
+	if !bytes.Equal(dst, sentinel) {
+		t.Fatalf("ReadZeroInto on unrebuilt block mutated dst to %v", dst)
+	}
+}
+
+// TestReadZeroIntoCorruptBlock pins that the zero-fill convention never
+// masks corruption: a corrupt-flagged block surfaces ErrCorruptBlock
+// from ReadZeroInto/ReadZero exactly like plain reads, with no zero (or
+// corrupt) bytes delivered.
+func TestReadZeroIntoCorruptBlock(t *testing.T) {
+	a := corruptArray(t)
+	if err := a.CorruptBits(1, 5, []uint64{0, 77}); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := block(0xAA, 16)
+	dst := append([]byte(nil), sentinel...)
+	if err := a.ReadZeroInto(1, 5, dst); !errors.Is(err, ErrCorruptBlock) {
+		t.Fatalf("ReadZeroInto on corrupt block = %v, want ErrCorruptBlock", err)
+	}
+	if !bytes.Equal(dst, sentinel) {
+		t.Fatalf("ReadZeroInto on corrupt block mutated dst to %v", dst)
+	}
+	if data, err := a.ReadZero(1, 5); !errors.Is(err, ErrCorruptBlock) || data != nil {
+		t.Fatalf("ReadZero on corrupt block = (%v, %v), want (nil, ErrCorruptBlock)", data, err)
+	}
+}
+
+func TestCorruptBitsSemantics(t *testing.T) {
+	a := corruptArray(t)
+	if err := a.CorruptBits(0, 9, []uint64{1}); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("corrupt absent block = %v, want ErrNotWritten", err)
+	}
+	if err := a.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CorruptBits(2, 5, []uint64{1}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("corrupt failed disk = %v, want ErrFailed", err)
+	}
+	// Bit offsets wrap modulo the block width, and a double flip is the
+	// identity: the block verifies again.
+	width := uint64(16 * 8)
+	if err := a.CorruptBits(0, 5, []uint64{7, 7 + width}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read(0, 5); err != nil {
+		t.Fatalf("read after self-cancelling flips: %v", err)
+	}
+}
+
+func TestCorruptRandomBlockDeterministic(t *testing.T) {
+	a := newArray(t)
+	for _, b := range []int64{9, 3, 7} {
+		if err := a.Write(0, b, block(1, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Written blocks are ranked in ascending order: pick 1 → block 7.
+	got, err := a.CorruptRandomBlock(0, 1, []uint64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("CorruptRandomBlock pick 1 hit block %d, want 7", got)
+	}
+	if _, err := a.Read(0, 7); !errors.Is(err, ErrCorruptBlock) {
+		t.Fatalf("read of randomly corrupted block = %v, want ErrCorruptBlock", err)
+	}
+	if _, err := a.CorruptRandomBlock(1, 0, []uint64{0}); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("CorruptRandomBlock on empty disk = %v, want ErrNotWritten", err)
+	}
+}
+
+func TestReplaceDropsChecksums(t *testing.T) {
+	a := corruptArray(t)
+	if err := a.CorruptBits(0, 5, []uint64{4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Replace(0); err != nil {
+		t.Fatal(err)
+	}
+	// The spare is fresh medium: rebuilding the block there must not
+	// trip over the dead disk's stale checksum.
+	if err := a.Write(0, 5, block(7, 16)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Read(0, 5)
+	if err != nil {
+		t.Fatalf("read of rebuilt block: %v", err)
+	}
+	if !bytes.Equal(data, block(7, 16)) {
+		t.Fatalf("rebuilt block = %v, want fill 7", data)
+	}
+}
+
+func TestAuditChecksums(t *testing.T) {
+	a := corruptArray(t)
+	if bad := a.AuditChecksums(); len(bad) != 0 {
+		t.Fatalf("audit of intact array = %v, want none", bad)
+	}
+	if err := a.CorruptBits(2, 5, []uint64{8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CorruptBits(0, 5, []uint64{8}); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.AuditChecksums()
+	want := [][2]int64{{0, 5}, {2, 5}}
+	if len(bad) != 2 || bad[0] != want[0] || bad[1] != want[1] {
+		t.Fatalf("audit = %v, want %v", bad, want)
+	}
+	// Repair rewrites clear the audit.
+	if err := a.Write(0, 5, block(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Write(2, 5, block(3, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if bad := a.AuditChecksums(); len(bad) != 0 {
+		t.Fatalf("audit after rewrites = %v, want none", bad)
+	}
+}

@@ -21,12 +21,22 @@
 //     ErrNotWritten and are NOT zero-filled by ReadZero — an unrebuilt
 //     block must never masquerade as zeroes, or a concurrent second
 //     failure would silently corrupt reconstructions that XOR it in.
+//
+// Beyond loud failures the array also models *silent* ones: CorruptBits
+// flips bits of a stored block in place, exactly as bit rot would,
+// without any error at injection time. Every write records a CRC-32C
+// checksum (internal/integrity) and every read re-verifies it, so the
+// wrong bytes surface as ErrCorruptBlock on the next read instead of
+// flowing silently into streams or XOR reconstructions.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+
+	"ftcms/internal/integrity"
 )
 
 // ErrFailed is returned when reading or writing any block of a failed
@@ -42,6 +52,15 @@ var ErrNotWritten = errors.New("storage: block not written")
 // not a device — the cure is reconstructing the block from its parity
 // group and rewriting it, not failing the disk.
 var ErrBadBlock = errors.New("storage: unreadable block (latent sector error)")
+
+// ErrCorruptBlock is returned when a block's contents fail checksum
+// verification: the disk answered, but with the wrong bytes. Like
+// ErrBadBlock it indicts a block, not a device — the cure is
+// reconstructing the true contents from the parity group and rewriting
+// (which re-records the checksum). Sustained corruption on one disk is
+// a device-level signal, but that escalation belongs to the health
+// detector's per-disk corruption counters, not to this error.
+var ErrCorruptBlock = errors.New("storage: corrupt block (checksum mismatch)")
 
 // DiskState is the lifecycle state of one disk.
 type DiskState int
@@ -86,6 +105,10 @@ type Array struct {
 	disks     []map[int64][]byte
 	state     []DiskState
 	hook      ReadHook
+	// sums holds one CRC-32C per written block; maintained by Write,
+	// checked by every read, dropped wholesale when a disk's medium is
+	// swapped (Replace/Repair).
+	sums *integrity.Map
 
 	// reads counts successful block reads per disk, for load assertions.
 	reads []int64
@@ -104,6 +127,7 @@ func NewArray(d, blockSize int) (*Array, error) {
 		blockSize: blockSize,
 		disks:     make([]map[int64][]byte, d),
 		state:     make([]DiskState, d),
+		sums:      integrity.NewMap(),
 		reads:     make([]int64, d),
 	}
 	for i := range a.disks {
@@ -161,6 +185,7 @@ func (a *Array) Write(disk int, block int64, data []byte) error {
 		a.disks[disk][block] = buf
 	}
 	copy(buf, data)
+	a.sums.Record(disk, block, buf)
 	return nil
 }
 
@@ -244,6 +269,13 @@ func (a *Array) readTimed(disk int, block int64, dst []byte) ([]byte, float64, e
 	if !ok {
 		return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrNotWritten)
 	}
+	if verr := a.sums.Verify(disk, block, buf); verr != nil {
+		// The disk answered with the wrong bytes. Surfacing the error —
+		// instead of the data — is the whole point of the checksum
+		// layer: corrupt bytes must never reach a stream or be XORed
+		// into a reconstruction. The read is not counted as served.
+		return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w: %v", disk, block, ErrCorruptBlock, verr)
+	}
 	a.reads[disk]++
 	if dst != nil {
 		if len(dst) != a.blockSize {
@@ -316,6 +348,9 @@ func (a *Array) Replace(disk int) error {
 	}
 	a.state[disk] = Rebuilding
 	a.disks[disk] = make(map[int64][]byte)
+	// The spare is new medium: the old disk's checksums vouch for blocks
+	// that no longer exist. The rebuild re-records sums as it writes.
+	a.sums.DropDisk(disk)
 	return nil
 }
 
@@ -347,6 +382,7 @@ func (a *Array) Repair(disk int) error {
 	defer a.mu.Unlock()
 	a.state[disk] = Healthy
 	a.disks[disk] = make(map[int64][]byte)
+	a.sums.DropDisk(disk)
 	return nil
 }
 
@@ -400,4 +436,100 @@ func (a *Array) ResetReadCounts() {
 	for i := range a.reads {
 		a.reads[i] = 0
 	}
+}
+
+// VerifyRead checks data against the checksum recorded for
+// (disk, block), flagging a mismatch as ErrCorruptBlock. The read path
+// applies it to every block served; it is exported so scrubbers and
+// tests can verify bytes they already hold without a second read.
+func (a *Array) VerifyRead(disk int, block int64, data []byte) error {
+	if err := a.sums.Verify(disk, block, data); err != nil {
+		return fmt.Errorf("storage: verify disk %d block %d: %w: %v", disk, block, ErrCorruptBlock, err)
+	}
+	return nil
+}
+
+// ChecksumStats returns a snapshot of the integrity layer's counters.
+func (a *Array) ChecksumStats() integrity.Stats {
+	return a.sums.Stats()
+}
+
+// CorruptBits flips the given bit offsets (taken modulo the block's bit
+// width) of the stored block in place — silent corruption: no error is
+// returned at injection time, the checksum record is left stale on
+// purpose, and nothing is counted as a read or write. The next read of
+// the block fails verification with ErrCorruptBlock. Corrupting an
+// absent block reports ErrNotWritten and a failed disk ErrFailed, so
+// injectors know the flip did not land.
+func (a *Array) CorruptBits(disk int, block int64, bits []uint64) error {
+	if err := a.checkAddr(disk, block); err != nil {
+		return err
+	}
+	if len(bits) == 0 {
+		return errors.New("storage: corrupt with no bits to flip")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state[disk] == Failed {
+		return fmt.Errorf("storage: corrupt disk %d block %d: %w", disk, block, ErrFailed)
+	}
+	buf, ok := a.disks[disk][block]
+	if !ok {
+		return fmt.Errorf("storage: corrupt disk %d block %d: %w", disk, block, ErrNotWritten)
+	}
+	for _, b := range bits {
+		b %= uint64(a.blockSize) * 8
+		buf[b/8] ^= 1 << (b % 8)
+	}
+	return nil
+}
+
+// CorruptRandomBlock flips bits in one written block of the disk,
+// chosen deterministically by pick over the disk's written blocks in
+// ascending order — the injector's way of hitting "some occupied
+// sector" reproducibly from its seeded RNG. Returns the block hit, or
+// ErrNotWritten when the disk holds no blocks at all.
+func (a *Array) CorruptRandomBlock(disk int, pick uint64, bits []uint64) (int64, error) {
+	if err := a.checkAddr(disk, 0); err != nil {
+		return 0, err
+	}
+	a.mu.RLock()
+	blocks := make([]int64, 0, len(a.disks[disk]))
+	for b := range a.disks[disk] {
+		blocks = append(blocks, b)
+	}
+	a.mu.RUnlock()
+	if len(blocks) == 0 {
+		return 0, fmt.Errorf("storage: corrupt disk %d: no written blocks: %w", disk, ErrNotWritten)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	block := blocks[pick%uint64(len(blocks))]
+	return block, a.CorruptBits(disk, block, bits)
+}
+
+// AuditChecksums re-verifies every written block on every non-failed
+// disk and returns the (disk, block) addresses that no longer match
+// their recorded checksums. A planning/assertion probe: it consults no
+// hook and counts no reads.
+func (a *Array) AuditChecksums() [][2]int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var bad [][2]int64
+	for disk := range a.disks {
+		if a.state[disk] == Failed {
+			continue
+		}
+		for block, buf := range a.disks[disk] {
+			if a.sums.Verify(disk, block, buf) != nil {
+				bad = append(bad, [2]int64{int64(disk), block})
+			}
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool {
+		if bad[i][0] != bad[j][0] {
+			return bad[i][0] < bad[j][0]
+		}
+		return bad[i][1] < bad[j][1]
+	})
+	return bad
 }

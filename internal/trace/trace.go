@@ -110,6 +110,35 @@ func WriteClusterCSV(w io.Writer, points []experiments.ClusterPoint) error {
 	return cw.Error()
 }
 
+// WriteCorruptionCSV emits
+// scrub_rate,serviced,injected,detected,repaired,mean_detection_s,sweeps
+// rows (E17).
+func WriteCorruptionCSV(w io.Writer, points []experiments.CorruptionPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scrub_rate", "serviced", "injected", "detected", "repaired",
+		"mean_detection_s", "sweeps",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			fmt.Sprint(pt.Rate),
+			fmt.Sprint(pt.Serviced),
+			fmt.Sprint(pt.Injected),
+			fmt.Sprint(pt.Detected),
+			fmt.Sprint(pt.Repaired),
+			fmt.Sprintf("%.6f", pt.MeanDetection.Seconds()),
+			fmt.Sprint(pt.Sweeps),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteRebuildCSV emits scheme,p,rebuild_s,mttdl_hours rows (E11).
 func WriteRebuildCSV(w io.Writer, points []experiments.RebuildPoint) error {
 	cw := csv.NewWriter(w)

@@ -151,3 +151,31 @@ func TestWriteClusterCSV(t *testing.T) {
 		t.Fatalf("row %v", rows[1])
 	}
 }
+
+func TestWriteCorruptionCSV(t *testing.T) {
+	points := []experiments.CorruptionPoint{
+		{Rate: -1, Serviced: 2900, Injected: 80, Detected: 80, Repaired: 80,
+			MeanDetection: 12 * units.Second, Sweeps: 3},
+		{Rate: 2, Serviced: 2900, Injected: 80, Detected: 41, Repaired: 41,
+			MeanDetection: 300 * units.Second, Sweeps: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteCorruptionCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	if rows[0][0] != "scrub_rate" || rows[0][6] != "sweeps" {
+		t.Fatalf("header %v", rows[0])
+	}
+	if rows[1][0] != "-1" || rows[1][3] != "80" || rows[2][4] != "41" {
+		t.Fatalf("rows %v", rows[1:])
+	}
+	for _, n := range []int{0, 10} {
+		if err := WriteCorruptionCSV(&failWriter{n: n}, points); err == nil {
+			t.Errorf("Corruption n=%d: error swallowed", n)
+		}
+	}
+}
