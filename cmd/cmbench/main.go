@@ -13,10 +13,16 @@
 // default): stream routing/spillover cost, cluster round cost with
 // failover traffic, and the multi-node simulation end to end.
 //
+// The -pq flag swaps in the P+Q double-parity suite (BENCH_3.json by
+// default): the GF(2^8) Q-column encode kernel in its byte-wise and
+// word-sliced forms, every two-erasure reconstruction pair, and the
+// doubly-degraded server round end to end.
+//
 // Usage:
 //
 //	cmbench            # full single-array suite -> BENCH_1.json
 //	cmbench -cluster   # cluster routing/admission suite -> BENCH_2.json
+//	cmbench -pq        # P+Q encode/reconstruct suite -> BENCH_3.json
 //	cmbench -o out.json
 //	cmbench -quick     # skip the slow simulation benchmarks
 package main
@@ -110,14 +116,18 @@ type bench struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output JSON path (default BENCH_1.json, BENCH_2.json with -cluster)")
+	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq)")
 	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim)")
 	clusterSuite := flag.Bool("cluster", false, "run the cluster routing/admission suite instead")
+	pqSuite := flag.Bool("pq", false, "run the P+Q double-parity suite instead")
 	flag.Parse()
 	if *out == "" {
-		if *clusterSuite {
+		switch {
+		case *clusterSuite:
 			*out = "BENCH_2.json"
-		} else {
+		case *pqSuite:
+			*out = "BENCH_3.json"
+		default:
 			*out = "BENCH_1.json"
 		}
 	}
@@ -212,6 +222,9 @@ func main() {
 	}
 	if *clusterSuite {
 		benches = clusterBenches(*quick)
+	}
+	if *pqSuite {
+		benches = pqBenches()
 	}
 
 	rep := report{
@@ -425,6 +438,169 @@ func clusterBenches(quick bool) []bench {
 		}})
 	}
 	return benches
+}
+
+// naiveQEncode is the per-byte table-lookup reference kernel, kept as
+// the "before" side of the Q-column comparison (Horner form, like the
+// production kernel, but one byte at a time).
+func naiveQEncode(dst []byte, srcs ...[]byte) {
+	for i := range dst {
+		var v byte
+		for _, s := range srcs {
+			v = recovery.GMul(v, 2) ^ s[i]
+		}
+		dst[i] = v
+	}
+}
+
+// pqInputs builds a (13, 4)-shaped group's worth of 256 KB data
+// columns plus P and Q.
+func pqInputs(nd int) (data [][]byte, p, q []byte) {
+	bs := 256 * 1024
+	data = make([][]byte, nd)
+	for k := range data {
+		data[k] = make([]byte, bs)
+		for j := range data[k] {
+			data[k][j] = byte(k*37 + j)
+		}
+	}
+	p, q = make([]byte, bs), make([]byte, bs)
+	recovery.XOR(p, data...)
+	recovery.QEncode(q, data...)
+	return data, p, q
+}
+
+// benchRecoverPQ benchmarks one erasure pair: the missing buffers are
+// re-zeroed each iteration so every op does the full reconstruction.
+func benchRecoverPQ(b *testing.B, nd int, missing []int) {
+	data, p, q := pqInputs(nd)
+	buf := func(idx int) []byte {
+		switch {
+		case idx < nd:
+			return data[idx]
+		case idx == nd:
+			return p
+		default:
+			return q
+		}
+	}
+	bs := len(p)
+	b.SetBytes(int64(bs * len(missing)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range missing {
+			clear(buf(m))
+		}
+		if err := recovery.RecoverPQ(data, p, q, missing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pqBenches is the -pq suite: the Q encode kernel in both forms, every
+// two-erasure reconstruction class, and the doubly-degraded server
+// round end to end.
+func pqBenches() []bench {
+	const nd = 8 // data columns per group in the kernel benchmarks
+	return []bench{
+		{"QEncodeNaive", func(b *testing.B) {
+			data, _, q := pqInputs(nd)
+			b.SetBytes(int64(len(q) * nd))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				naiveQEncode(q, data...)
+			}
+		}},
+		{"QEncode", func(b *testing.B) {
+			data, _, q := pqInputs(nd)
+			b.SetBytes(int64(len(q) * nd))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recovery.QEncode(q, data...)
+			}
+		}},
+		{"PQRecoverDataData", func(b *testing.B) { benchRecoverPQ(b, nd, []int{1, 5}) }},
+		{"PQRecoverDataP", func(b *testing.B) { benchRecoverPQ(b, nd, []int{2, nd}) }},
+		{"PQRecoverDataQ", func(b *testing.B) { benchRecoverPQ(b, nd, []int{3, nd + 1}) }},
+		{"PQRecoverPQ", func(b *testing.B) { benchRecoverPQ(b, nd, []int{nd, nd + 1}) }},
+		{"DeclusteredPQGroupOf", func(b *testing.B) {
+			l, err := layout.NewDeclusteredPQ(13, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = l.GroupOf(int64(i % 100000))
+			}
+		}},
+		// The end-to-end cost of a doubly-degraded round: a (13, 4) P+Q
+		// server with two failed disks streams four clips, every block of
+		// the damaged groups served by two-erasure reconstruction.
+		{"PQDegradedTick", func(b *testing.B) {
+			lay, err := layout.NewDeclusteredPQ(13, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := core.New(core.Config{
+				Scheme: core.DeclusteredPQ,
+				Disk:   diskmodel.Default(),
+				D:      13, P: 4,
+				Block: 64 * units.KB,
+				Q:     8, F: 2,
+				Buffer: 256 * units.MB,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, 4_000_000)
+			for i := range data {
+				data[i] = byte(i * 131)
+			}
+			for i := 0; i < 4; i++ {
+				if err := srv.AddClip(fmt.Sprintf("clip-%d", i), data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			g := lay.GroupOf(0)
+			for _, disk := range []int{lay.Place(0).Disk, g.Parity.Disk} {
+				if err := srv.FailDisk(disk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var streams []*core.Stream
+			var names []string
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("clip-%d", i)
+				st, err := srv.OpenStream(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				streams = append(streams, st)
+				names = append(names, name)
+			}
+			scratch := make([]byte, 128<<10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := srv.Tick(); err != nil {
+					b.Fatal(err)
+				}
+				for j, st := range streams {
+					if _, err := st.Read(scratch); err == io.EOF {
+						ns, err := srv.OpenStream(names[j])
+						if err != nil {
+							b.Fatal(err)
+						}
+						streams[j] = ns
+					}
+				}
+			}
+		}},
+	}
 }
 
 func fatal(err error) {

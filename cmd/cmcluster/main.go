@@ -279,10 +279,11 @@ func (s *server) handle(conn net.Conn) {
 			return
 		}
 		for i, ns := range st.Node {
-			if s.printf(conn, "node=%d active=%d served=%d hiccups=%d failed_disks=%v mode=%s scrub_scanned=%d scrub_total=%d scrub_cycles=%d corruptions=%d corruption_repairs=%d\n",
+			if s.printf(conn, "node=%d active=%d served=%d hiccups=%d failed_disks=%v mode=%s scrub_scanned=%d scrub_total=%d scrub_cycles=%d corruptions=%d corruption_repairs=%d detect_hist=%s rebuild_hist=%s\n",
 				i, ns.Active, ns.Served, ns.Hiccups, ns.FailedDisks, ns.Mode,
 				ns.ScrubScanned, ns.ScrubTotal, ns.ScrubCycles,
-				ns.CorruptionsDetected, ns.CorruptionRepairs) != nil {
+				ns.CorruptionsDetected, ns.CorruptionRepairs,
+				cliutil.Histogram(ns.DetectLatencies), cliutil.Histogram(ns.RebuildLatencies)) != nil {
 				return
 			}
 		}

@@ -132,6 +132,7 @@ func TestHandleStats(t *testing.T) {
 	for _, field := range []string{
 		"scrub_scanned=", "scrub_total=", "scrub_cycles=",
 		"corruptions=0", "corruption_repairs=0",
+		"detect_hist=[]", "rebuild_hist=[]",
 	} {
 		if !strings.Contains(out, field) {
 			t.Fatalf("STATS missing %q: %s", field, out)

@@ -11,6 +11,7 @@
 //	cmopt -staggered      # E9 staggered-buffering ablation
 //	cmopt -rebuild        # E11 rebuild-time/MTTDL ablation
 //	cmopt -conservatism   # E13 Equation-1 conservatism ablation
+//	cmopt -mttdl          # MTTDL vs storage overhead per redundancy level
 //	cmopt -csv            # CSV output (Figure 5 and -rebuild)
 //	cmopt -buffer 512MB   # custom buffer size
 //	cmopt -d 64           # custom array width (with -optimal)
@@ -34,6 +35,8 @@ func main() {
 	staggered := flag.Bool("staggered", false, "print the E9 staggered-buffering ablation")
 	rebuild := flag.Bool("rebuild", false, "print the E11 rebuild-time/MTTDL ablation")
 	conservatism := flag.Bool("conservatism", false, "print the E13 Equation-1 conservatism ablation")
+	mttdl := flag.Bool("mttdl", false, "print MTTDL vs storage overhead for single parity, P+Q and replication")
+	p := flag.Int("p", 4, "parity group size (with -mttdl)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of a table (Figure 5 and -rebuild)")
 	bufferFlag := flag.String("buffer", "", "buffer size (e.g. 256MB, 2GB); default: both paper sizes")
 	d := flag.Int("d", 32, "number of disks")
@@ -60,6 +63,10 @@ func main() {
 	}
 
 	switch {
+	case *mttdl:
+		if err := experiments.WriteMTTDLTradeoff(os.Stdout, *d, *p); err != nil {
+			fatal(err)
+		}
 	case *optimal:
 		for _, b := range buffers {
 			cfg := experiments.PaperAnalyticConfig(b)

@@ -265,11 +265,12 @@ func (s *server) handle(conn net.Conn) {
 		s.mu.Lock()
 		st := s.srv.Stats()
 		s.mu.Unlock()
-		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d rebuild_pending=%d rebuild_total=%d rebuilds_done=%d terminated=%d scrub_scanned=%d scrub_total=%d scrub_cycles=%d corruptions=%d corruption_repairs=%d\n",
+		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d rebuild_pending=%d rebuild_total=%d rebuilds_done=%d terminated=%d scrub_scanned=%d scrub_total=%d scrub_cycles=%d corruptions=%d corruption_repairs=%d detect_hist=%s rebuild_hist=%s\n",
 			st.Rounds, st.Active, st.Served, st.Hiccups, st.Overflows, st.FailedDisks,
 			st.Mode, st.SparesLeft, st.Rebuilding, st.RebuildPending, st.RebuildTotal,
 			st.RebuildsDone, st.Terminated, st.ScrubScanned, st.ScrubTotal, st.ScrubCycles,
-			st.CorruptionsDetected, st.CorruptionRepairs)
+			st.CorruptionsDetected, st.CorruptionRepairs,
+			cliutil.Histogram(st.DetectLatencies), cliutil.Histogram(st.RebuildLatencies))
 	case "FAIL":
 		// Demo alias for the fault injector: schedule a fail-stop on the
 		// disk starting next round. The health detector notices from the

@@ -128,6 +128,7 @@ func TestHandleStats(t *testing.T) {
 	for _, field := range []string{
 		"spares=0", "rebuilding=-1", "rebuild_pending=0", "rebuild_total=0", "rebuilds_done=0",
 		"scrub_scanned=", "scrub_total=", "scrub_cycles=", "corruptions=0", "corruption_repairs=0",
+		"detect_hist=[]", "rebuild_hist=[]",
 	} {
 		if !strings.Contains(out, field) {
 			t.Fatalf("STATS missing %q: %s", field, out)
@@ -184,6 +185,11 @@ func TestStatsReportsRebuildProgress(t *testing.T) {
 		out := string(send(t, addr, "STATS"))
 		if strings.Contains(out, "spares=0") && strings.Contains(out, "rebuilds_done=1") &&
 			strings.Contains(out, "rebuild_pending=0") && strings.Contains(out, "failed=[]") {
+			// The completed detect→declare and fail→rejoin cycles must
+			// each have produced exactly one histogram sample.
+			if strings.Contains(out, "detect_hist=[]") || strings.Contains(out, "rebuild_hist=[]") {
+				t.Fatalf("latency histograms empty after a completed rebuild: %s", out)
+			}
 			return
 		}
 		if time.Now().After(deadline) {

@@ -13,6 +13,7 @@
 //	cmsim -batch 10                      # E15 request batching window
 //	cmsim -mixed                         # E16 mixed-rate workload
 //	cmsim -integrity                     # E17 patrol-scrub vs. corruption sweep
+//	cmsim -doublefault                   # E18 double-failure sweep (single parity vs P+Q)
 //	cmsim -corrupt 5@100:40 -scrub -1    # rot 40 blocks of disk 5 at t=100s
 //	cmsim -dynamic                       # §5 dynamic reservation controller
 //	cmsim -csv                           # CSV output (-grid, -continuity, -integrity)
@@ -54,6 +55,7 @@ func main() {
 	batch := flag.Float64("batch", 0, "batching window in seconds (0: off): requests piggyback on same-clip streams")
 	mixed := flag.Bool("mixed", false, "run the E16 mixed-rate workload (audio + MPEG-1 + MPEG-2, declustered)")
 	integrity := flag.Bool("integrity", false, "run the E17 patrol-scrub vs. silent-corruption sweep")
+	doublefault := flag.Bool("doublefault", false, "run the E18 double-failure sweep (single parity vs P+Q)")
 	scrub := flag.Int("scrub", 0, "patrol scrub rate in verify reads per disk per round (0: off, -1: idle-bounded)")
 	corrupt := flag.String("corrupt", "", "silent-corruption script: disk@sec:blocks[,disk@sec:blocks...]")
 	workers := flag.Int("workers", 0, "parallel sweep workers for -grid (0: one per CPU, 1: sequential)")
@@ -145,6 +147,20 @@ func main() {
 			return
 		}
 		if err := experiments.WriteCorruptionSweep(os.Stdout, buffer, *seed); err != nil {
+			fatal(err)
+		}
+	case *doublefault:
+		if *csvOut {
+			pts, err := experiments.DoubleFaultSweep(*seed)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteDoubleFaultCSV(os.Stdout, pts); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := experiments.WriteDoubleFaultSweep(os.Stdout, *seed); err != nil {
 			fatal(err)
 		}
 	case *continuity:

@@ -79,7 +79,7 @@ func PerClip(scheme string, b units.Bits, p int) (units.Bits, error) {
 		return 0, fmt.Errorf("buffer: bad parameters b=%d p=%d", b, p)
 	}
 	switch scheme {
-	case "declustered", "declustered-dynamic", "non-clustered":
+	case "declustered", "declustered-dynamic", "non-clustered", "declustered-pq":
 		return 2 * b, nil
 	case "prefetch-parity-disk", "prefetch-flat":
 		return units.Bits(p) * b / 2, nil

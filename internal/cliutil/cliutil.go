@@ -4,6 +4,7 @@ package cliutil
 import (
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 
 	"ftcms/internal/units"
@@ -38,4 +39,33 @@ func ParseSize(s string) (units.Bits, error) {
 		return 0, fmt.Errorf("size %q overflows", s)
 	}
 	return bits, nil
+}
+
+// Histogram renders integer samples (e.g. detection or rebuild latencies
+// in rounds) as a compact value:count string: "[4:1 12:2]" means one
+// sample of 4 and two of 12. Samples are round-granular and few, so the
+// exact multiset beats bucketing. Empty input renders as "[]".
+func Histogram(samples []int64) string {
+	if len(samples) == 0 {
+		return "[]"
+	}
+	counts := map[int64]int{}
+	var keys []int64
+	for _, s := range samples {
+		if counts[s] == 0 {
+			keys = append(keys, s)
+		}
+		counts[s]++
+	}
+	slices.Sort(keys)
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", k, counts[k])
+	}
+	b.WriteByte(']')
+	return b.String()
 }

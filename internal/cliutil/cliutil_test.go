@@ -36,3 +36,20 @@ func TestParseSizeErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogram(t *testing.T) {
+	cases := []struct {
+		samples []int64
+		want    string
+	}{
+		{nil, "[]"},
+		{[]int64{4}, "[4:1]"},
+		{[]int64{12, 4, 12}, "[4:1 12:2]"},
+		{[]int64{0, 0, 7}, "[0:2 7:1]"},
+	}
+	for _, c := range cases {
+		if got := Histogram(c.samples); got != c.want {
+			t.Errorf("Histogram(%v) = %q, want %q", c.samples, got, c.want)
+		}
+	}
+}

@@ -58,9 +58,10 @@ func SchemeNames() []string {
 }
 
 // ResolveCoreScheme maps a -scheme flag value to the core server's
-// scheme set — the analytic schemes plus declustered-dynamic, which the
-// simulator selects with a knob but the server treats as a scheme of its
-// own.
+// scheme set — the analytic schemes plus declustered-dynamic and
+// declustered-pq, which only the server implements (the simulator
+// selects dynamic reservations with a knob and the analytic models
+// have no double-parity column).
 func ResolveCoreScheme(name string) (core.Scheme, error) {
 	for _, n := range CoreSchemeNames() {
 		if n == name {
@@ -72,7 +73,7 @@ func ResolveCoreScheme(name string) (core.Scheme, error) {
 
 // CoreSchemeNames returns the core server's scheme names, sorted.
 func CoreSchemeNames() []string {
-	out := append(SchemeNames(), string(core.DeclusteredDynamic))
+	out := append(SchemeNames(), string(core.DeclusteredDynamic), string(core.DeclusteredPQ))
 	sort.Strings(out)
 	return out
 }

@@ -59,6 +59,9 @@ func TestResolveCoreScheme(t *testing.T) {
 	if got, err := ResolveCoreScheme("declustered-dynamic"); err != nil || got != core.DeclusteredDynamic {
 		t.Errorf("ResolveCoreScheme(declustered-dynamic) = %v, %v", got, err)
 	}
+	if got, err := ResolveCoreScheme("declustered-pq"); err != nil || got != core.DeclusteredPQ {
+		t.Errorf("ResolveCoreScheme(declustered-pq) = %v, %v", got, err)
+	}
 	if _, err := ResolveCoreScheme("raid-0"); err == nil {
 		t.Error("resolved a bogus scheme name")
 	}
@@ -70,7 +73,7 @@ func TestSchemeNamesSortedAndComplete(t *testing.T) {
 		t.Fatalf("%d names for %d schemes", len(names), len(analytic.Schemes()))
 	}
 	coreNames := CoreSchemeNames()
-	if len(coreNames) != len(names)+1 {
+	if len(coreNames) != len(names)+2 {
 		t.Fatalf("core names %v", coreNames)
 	}
 	for i := 1; i < len(coreNames); i++ {

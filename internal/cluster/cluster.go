@@ -210,8 +210,15 @@ func (c *Cluster) AddClipReplicated(name string, data []byte, replicas int) erro
 			cands = append(cands, n)
 		}
 	}
+	// A node's placement rank is its free capacity discounted by the
+	// fraction of its array currently failed or rebuilding: a degraded
+	// node (one mid-rebuild, or a P+Q array absorbing two overlapping
+	// failures) keeps serving its streams, but new clips land on whole
+	// arrays first — their contingency bandwidth is already spoken for.
 	freeBytes := func(n *node) int64 {
-		return n.srv.FreeBlocks() * n.srv.BlockSize().Bytes()
+		free := n.srv.FreeBlocks() * n.srv.BlockSize().Bytes()
+		d := n.srv.Disks()
+		return free * int64(d-n.srv.DegradedDisks()) / int64(d)
 	}
 	sort.SliceStable(cands, func(a, b int) bool { return freeBytes(cands[a]) > freeBytes(cands[b]) })
 	var placed []int

@@ -520,3 +520,51 @@ func TestNodeCorruptionEscalatesToRebuild(t *testing.T) {
 		t.Fatalf("corruption escalation leaked to the cluster tier: %+v", cs)
 	}
 }
+
+// TestPlacementDiscountsDegradedNode: a dual-degraded P+Q node keeps
+// serving, but its advertised spare capacity shrinks by the degraded
+// fraction of its array, so new clips land on whole nodes first.
+func TestPlacementDiscountsDegradedNode(t *testing.T) {
+	build := func() *Cluster {
+		cfg := Config{Replication: 1}
+		pqNode := nodeConfig()
+		pqNode.Scheme = core.DeclusteredPQ
+		cfg.Nodes = append(cfg.Nodes, pqNode, nodeConfig(), nodeConfig())
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// Control: with every node whole and equal free space, the tie goes
+	// to node 0.
+	c := build()
+	if err := c.AddClip("ctl", clipBytes(1, 64_000)); err != nil {
+		t.Fatal(err)
+	}
+	if reps := c.Replicas("ctl"); len(reps) != 1 || reps[0] != 0 {
+		t.Fatalf("healthy placement went to %v, want [0]", reps)
+	}
+
+	// Same cluster shape, but node 0 absorbs two overlapping disk
+	// failures before any placement.
+	c = build()
+	for _, disk := range []int{0, 1} {
+		if err := c.NodeServer(0).FailDisk(disk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.NodeServer(0).DegradedDisks(); got != 2 {
+		t.Fatalf("DegradedDisks = %d, want 2", got)
+	}
+	if !c.NodeAlive(0) {
+		t.Fatal("a dual-degraded node must stay in service")
+	}
+	if err := c.AddClip("v", clipBytes(2, 64_000)); err != nil {
+		t.Fatal(err)
+	}
+	if reps := c.Replicas("v"); len(reps) != 1 || reps[0] == 0 {
+		t.Fatalf("placement went to %v, want a whole node (not 0)", reps)
+	}
+}

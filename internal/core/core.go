@@ -55,6 +55,11 @@ const (
 	// NonClustered is the [BGM95] baseline: parity disks, no
 	// pre-fetching, degraded-mode whole-group reads.
 	NonClustered Scheme = "non-clustered"
+	// DeclusteredPQ is the §4 declustered scheme hardened with RAID-6
+	// style P+Q double parity: every group carries an XOR column and a
+	// GF(2^8) Reed-Solomon column, so any two overlapping disk failures
+	// stay recoverable and up to two online rebuilds run concurrently.
+	DeclusteredPQ Scheme = "declustered-pq"
 )
 
 // Config sizes a Server.
@@ -122,11 +127,18 @@ type Stats struct {
 	// SparesLeft is the unused hot-spare count.
 	SparesLeft int
 	// Rebuilding is the disk an online rebuild is refilling (-1 when
-	// none).
+	// none); with concurrent rebuilds (the P+Q scheme) it is the first.
 	Rebuilding int
+	// RebuildingDisks lists every disk with an in-flight online rebuild.
+	RebuildingDisks []int
 	// RebuildPending and RebuildTotal report online-rebuild progress in
-	// queue entries (both zero when no rebuild is active).
+	// queue entries, summed over in-flight rebuilds (both zero when no
+	// rebuild is active).
 	RebuildPending, RebuildTotal int
+	// RebuildReads counts physical reads charged on behalf of online
+	// rebuilds since start; RebuildReadsLastRound is the previous
+	// round's share — the measured repair rate.
+	RebuildReads, RebuildReadsLastRound int64
 	// RebuildsDone counts completed online rebuilds (disk rejoined).
 	RebuildsDone int
 	// DetectedFailures counts disk failures handled (detector-declared
@@ -156,6 +168,14 @@ type Stats struct {
 	ScrubScanned, ScrubTotal int
 	// ScrubCycles counts completed full-array scrub sweeps.
 	ScrubCycles int64
+	// DetectLatencies holds, per declared disk in declaration order, the
+	// rounds from the health detector's first suspicious observation to
+	// its failure declaration — the MTTDL model's detection-time input.
+	DetectLatencies []int64
+	// RebuildLatencies holds, per completed online rebuild in completion
+	// order, the rounds from failure handling to spare rejoin — the MTTDL
+	// model's repair-time (MTTR) input.
+	RebuildLatencies []int64
 }
 
 // Server is a fault-tolerant continuous media server.
@@ -186,7 +206,7 @@ type Server struct {
 	detector         *health.Detector
 	injector         *faultinject.Injector
 	sparesLeft       int
-	rebuild          *rebuildState
+	rebuilds         []*rebuildState
 	rebuildQueue     []int
 	rebuildsDone     int
 	rebuiltBlocks    int64
@@ -194,6 +214,17 @@ type Server struct {
 	badBlockRepairs  int64
 	terminated       int
 	lostBlocks       int64
+	// rebuildReads counts physical reads charged on behalf of online
+	// rebuilds (the Luby-style repair-rate ledger); rebuildReadsLast is
+	// the previous round's share of it.
+	rebuildReads     int64
+	rebuildReadsLast int64
+	// failRound records, per disk, the round its failure was handled —
+	// the start of the detect→rebuild clock (satellite of the health
+	// histograms).
+	failRound map[int]int64
+	// rebuildLat collects completed rebuilds' durations in rounds.
+	rebuildLat []int64
 
 	// Data integrity (scrub.go).
 	scrub               *scrubState
@@ -266,6 +297,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:           cfg,
 		clips:         make(map[string]clipInfo),
 		streams:       make(map[int]*Stream),
+		failRound:     make(map[int]int64),
 		prefetchDepth: 1,
 	}
 
@@ -293,6 +325,8 @@ func New(cfg Config) (*Server, error) {
 		s.groupFetch = true
 	case NonClustered:
 		lay, err = layout.NewNonClustered(cfg.D, cfg.P)
+	case DeclusteredPQ:
+		lay, err = layout.NewDeclusteredPQ(cfg.D, cfg.P)
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %q", cfg.Scheme)
 	}
@@ -320,6 +354,7 @@ func New(cfg Config) (*Server, error) {
 	s.sparesLeft = cfg.Spares
 	s.detector = health.NewDetector(cfg.D, cfg.Health)
 	s.detector.SetOnFail(s.failDeclared)
+	s.detector.SetClock(s.engine.Round)
 	if cfg.Faults != nil {
 		s.injector = faultinject.New(*cfg.Faults)
 		arr.SetReadHook(s.injector.Hook)
@@ -328,6 +363,16 @@ func New(cfg Config) (*Server, error) {
 	switch cfg.Scheme {
 	case Declustered:
 		r := lay.(*layout.Declustered).Rows()
+		f := cfg.F
+		if f < 1 {
+			f = 1
+		}
+		s.admitStatic, err = admission.NewStatic(cfg.D, r, cfg.Q, f)
+	case DeclusteredPQ:
+		// Same static contingency reservation as single-parity
+		// declustering; a double-degraded read still spreads over one
+		// parity group, only with up to one extra source per block.
+		r := lay.(*layout.DeclusteredPQ).Rows()
 		f := cfg.F
 		if f < 1 {
 			f = 1
@@ -465,10 +510,8 @@ func (s *Server) RepairDisk(disk int) error {
 	}
 	// Operator replacement supersedes any in-flight online rebuild of
 	// the same disk and clears its detection history.
-	if s.rebuild != nil && s.rebuild.disk == disk {
-		s.rebuild = nil
-		s.nextRebuild()
-	}
+	s.dropRebuild(disk)
+	s.nextRebuild()
 	for i := 0; i < len(s.rebuildQueue); i++ {
 		if s.rebuildQueue[i] == disk {
 			s.rebuildQueue = append(s.rebuildQueue[:i], s.rebuildQueue[i+1:]...)
@@ -487,7 +530,7 @@ func (s *Server) RepairDisk(disk int) error {
 			i := ci.block(n)
 			addr := s.lay.Place(i)
 			g := s.lay.GroupOf(i)
-			if addr.Disk != disk && g.Parity.Disk != disk {
+			if addr.Disk != disk && g.Parity.Disk != disk && !(g.HasQ && g.Q.Disk == disk) {
 				continue
 			}
 			data, err := s.store.Reconstruct(i)
@@ -527,12 +570,19 @@ func (s *Server) Stats() Stats {
 		CorruptionsDetected: s.corruptionsDetected,
 		CorruptionRepairs:   s.corruptionRepairs,
 		ScrubCycles:         s.scrubCycles,
+		DetectLatencies:     s.DetectLatencies(),
+		RebuildLatencies:    s.RebuildLatencies(),
 	}
-	if s.rebuild != nil {
-		st.Rebuilding = s.rebuild.disk
-		st.RebuildTotal = len(s.rebuild.queue)
-		st.RebuildPending = len(s.rebuild.queue) - s.rebuild.next
+	for _, rb := range s.rebuilds {
+		if st.Rebuilding < 0 {
+			st.Rebuilding = rb.disk
+		}
+		st.RebuildingDisks = append(st.RebuildingDisks, rb.disk)
+		st.RebuildTotal += len(rb.queue)
+		st.RebuildPending += len(rb.queue) - rb.next
 	}
+	st.RebuildReads = s.rebuildReads
+	st.RebuildReadsLastRound = s.rebuildReadsLast
 	if s.scrub != nil {
 		st.ScrubScanned = s.scrub.next
 		st.ScrubTotal = len(s.scrub.queue)
@@ -555,6 +605,9 @@ func (s *Server) CheckAdmission() error {
 		q, f := s.admitStatic.MaxPerRound(), s.admitStatic.Reserved()
 		m := s.cfg.D - (s.cfg.P - 1) // flat parity-target classes
 		if l, ok := s.lay.(*layout.Declustered); ok {
+			m = l.Rows()
+		}
+		if l, ok := s.lay.(*layout.DeclusteredPQ); ok {
 			m = l.Rows()
 		}
 		for i := 0; i < s.cfg.D; i++ {
@@ -619,6 +672,19 @@ func (s *Server) FreeBlocks() int64 {
 		return free
 	}
 	return s.cfg.Capacity - s.nextFree
+}
+
+// DegradedDisks counts disks currently not fully serving — failed or
+// still rebuilding onto a spare. Cluster placement uses it to discount a
+// node's advertised spare capacity while it is absorbing repair load.
+func (s *Server) DegradedDisks() int {
+	n := 0
+	for i := 0; i < s.cfg.D; i++ {
+		if s.store.Array.State(i) != storage.Healthy {
+			n++
+		}
+	}
+	return n
 }
 
 // ClipSize returns a stored clip's payload size in bytes, or -1 when the

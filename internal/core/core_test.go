@@ -147,6 +147,7 @@ func TestStreamRoundTripAllSchemes(t *testing.T) {
 		{PrefetchFlat, 9, 4},
 		{StreamingRAID, 8, 4},
 		{NonClustered, 8, 4},
+		{DeclusteredPQ, 13, 4},
 	}
 	for _, c := range cases {
 		s := newServer(t, c.scheme, c.d, c.p)
@@ -189,6 +190,7 @@ func TestStreamThroughFailure(t *testing.T) {
 		{PrefetchFlat, 9, 4},
 		{StreamingRAID, 8, 4},
 		{NonClustered, 8, 4},
+		{DeclusteredPQ, 13, 4},
 	}
 	for _, c := range cases {
 		for fail := 0; fail < c.d; fail++ {

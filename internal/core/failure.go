@@ -92,17 +92,38 @@ func (s *Server) SparesLeft() int { return s.sparesLeft }
 // spare is available.
 func (s *Server) onDiskFailed(disk int) {
 	s.detectedFailures++
+	if _, seen := s.failRound[disk]; !seen {
+		s.failRound[disk] = s.engine.Round()
+	}
 	// A failure of the disk currently being rebuilt kills the spare:
 	// abandon the rebuild (a further spare, if any, restarts it).
-	if s.rebuild != nil && s.rebuild.disk == disk {
-		s.rebuild = nil
-	}
+	s.dropRebuild(disk)
 	s.terminateUnrecoverable()
 	if s.sparesLeft > 0 {
-		if s.rebuild == nil {
+		if len(s.rebuilds) < s.maxRebuilds() {
 			s.startRebuild(disk)
 		} else {
 			s.rebuildQueue = append(s.rebuildQueue, disk)
+		}
+	}
+}
+
+// maxRebuilds bounds the number of concurrent online rebuilds: the P+Q
+// scheme repairs both halves of a double failure at once; every other
+// scheme keeps the original one-at-a-time behaviour.
+func (s *Server) maxRebuilds() int {
+	if s.cfg.Scheme == DeclusteredPQ {
+		return 2
+	}
+	return 1
+}
+
+// dropRebuild abandons the in-flight rebuild of disk, if any.
+func (s *Server) dropRebuild(disk int) {
+	for j, rb := range s.rebuilds {
+		if rb.disk == disk {
+			s.rebuilds = append(s.rebuilds[:j], s.rebuilds[j+1:]...)
+			return
 		}
 	}
 }
@@ -139,35 +160,59 @@ func (s *Server) startRebuild(disk int) {
 				// One entry per parity block, not one per group member.
 				seenParity[g.Parity] = true
 				queue = append(queue, i)
+			case g.HasQ && g.Q.Disk == disk && !seenParity[g.Q]:
+				seenParity[g.Q] = true
+				queue = append(queue, i)
 			}
 		}
 	}
 	// Clip-map iteration is randomized; rebuild order must not be.
 	sort.Slice(queue, func(a, b int) bool { return queue[a] < queue[b] })
-	s.rebuild = &rebuildState{disk: disk, queue: queue}
+	s.rebuilds = append(s.rebuilds, &rebuildState{disk: disk, queue: queue})
 }
 
-// rebuildStep advances the online rebuild using only this round's idle
-// capacity: a block is rebuilt only if every disk it must read has
-// charges left under q. It runs after stream service each Tick, so
-// streams always have priority — the §4 contingency bandwidth doubles
+// rebuildStep advances every in-flight online rebuild using only this
+// round's idle capacity: a block is rebuilt only if every disk it must
+// read has charges left under q. It runs after stream service each Tick,
+// so streams always have priority — the §4 contingency bandwidth doubles
 // as rebuild bandwidth only when failure reads leave it free.
 func (s *Server) rebuildStep() {
-	rb := s.rebuild
-	if rb == nil {
-		return
+	for j := 0; j < len(s.rebuilds); j++ {
+		if s.rebuildOne(s.rebuilds[j]) {
+			s.rebuilds = append(s.rebuilds[:j], s.rebuilds[j+1:]...)
+			j--
+		}
 	}
+	s.nextRebuild()
+}
+
+// rebuildOne advances one rebuild as far as idle capacity allows; it
+// returns true when the rebuild is finished or abandoned.
+func (s *Server) rebuildOne(rb *rebuildState) bool {
 	arr := s.store.Array
 	if arr.State(rb.disk) != storage.Rebuilding {
-		s.rebuild = nil // spare crashed or operator repaired the disk
-		s.nextRebuild()
-		return
+		return true // spare crashed or operator repaired the disk
 	}
 	q := s.cfg.Q
 	for rb.next < len(rb.queue) {
 		i := rb.queue[rb.next]
-		addr := s.lay.Place(i)
 		g := s.lay.GroupOf(i)
+		if g.HasQ {
+			switch s.rebuildPQEntry(rb, i, g) {
+			case rebuildStalled:
+				return false // out of idle capacity; resume next round
+			case rebuildLost:
+				rb.skipped++
+				s.lostBlocks++
+				fallthrough
+			case rebuildOK:
+				rb.next++
+			case rebuildAbandon:
+				return true
+			}
+			continue
+		}
+		addr := s.lay.Place(i)
 		target := addr
 		var need []layout.BlockAddr
 		if addr.Disk == rb.disk {
@@ -205,13 +250,14 @@ func (s *Server) rebuildStep() {
 			continue
 		}
 		if !idle {
-			return // out of idle capacity; resume next round
+			return false // out of idle capacity; resume next round
 		}
 		var data []byte
 		var err error
 		if addr.Disk == rb.disk {
 			for _, a := range need {
 				s.charge(a.Disk)
+				s.rebuildReads++
 			}
 			data, err = s.reconstructMonitored(i)
 		} else {
@@ -220,6 +266,7 @@ func (s *Server) rebuildStep() {
 			member := s.getBlock()
 			for _, a := range need {
 				s.charge(a.Disk)
+				s.rebuildReads++
 				if rerr := s.readMemberInto(a, member); rerr != nil {
 					err = rerr
 					break
@@ -240,10 +287,7 @@ func (s *Server) rebuildStep() {
 		werr := arr.Write(rb.disk, target.Block, data)
 		s.putBlock(data)
 		if werr != nil {
-			// Spare crashed mid-write; abandon.
-			s.rebuild = nil
-			s.nextRebuild()
-			return
+			return true // spare crashed mid-write; abandon
 		}
 		s.rebuiltBlocks++
 		rb.next++
@@ -253,16 +297,37 @@ func (s *Server) rebuildStep() {
 		_ = arr.Rejoin(rb.disk)
 		s.detector.Reset(rb.disk)
 		s.rebuildsDone++
+		s.recordRebuildDone(rb.disk)
 	}
 	// With skipped blocks the disk stays Rebuilding: its absent blocks
 	// must keep erroring explicitly rather than zero-filling.
-	s.rebuild = nil
-	s.nextRebuild()
+	return true
 }
 
-// nextRebuild starts the next queued rebuild, if spares remain.
+// recordRebuildDone closes the detect→rejoin latency clock for a disk
+// whose rebuild completed, feeding the time-to-rebuild histogram.
+func (s *Server) recordRebuildDone(disk int) {
+	if start, ok := s.failRound[disk]; ok {
+		s.rebuildLat = append(s.rebuildLat, s.engine.Round()-start)
+		delete(s.failRound, disk)
+	}
+}
+
+// RebuildLatencies returns the completed online rebuilds' detect→rejoin
+// durations in rounds, in completion order.
+func (s *Server) RebuildLatencies() []int64 {
+	return append([]int64(nil), s.rebuildLat...)
+}
+
+// DetectLatencies returns the health detector's first-strike→declaration
+// durations in rounds, in declaration order.
+func (s *Server) DetectLatencies() []int64 {
+	return s.detector.DetectLatencies()
+}
+
+// nextRebuild starts queued rebuilds while slots and spares remain.
 func (s *Server) nextRebuild() {
-	for s.rebuild == nil && len(s.rebuildQueue) > 0 && s.sparesLeft > 0 {
+	for len(s.rebuilds) < s.maxRebuilds() && len(s.rebuildQueue) > 0 && s.sparesLeft > 0 {
 		disk := s.rebuildQueue[0]
 		s.rebuildQueue = s.rebuildQueue[1:]
 		if s.store.Array.Failed(disk) {
@@ -374,6 +439,9 @@ func (s *Server) readMemberInto(a layout.BlockAddr, dst []byte) error {
 // unavailable after retries.
 func (s *Server) reconstructMonitored(i int64) ([]byte, error) {
 	g := s.lay.GroupOf(i)
+	if g.HasQ {
+		return s.reconstructPQMonitored(i, g, false)
+	}
 	out := s.getBlock()
 	clear(out)
 	member := s.getBlock()
@@ -398,9 +466,13 @@ func (s *Server) reconstructMonitored(i int64) ([]byte, error) {
 }
 
 // reconstructCharged is reconstructMonitored plus the round-ledger
-// charges for every survivor read.
+// charges for every survivor read. The P+Q path charges from inside the
+// reconstruction, where the set of disks actually read is decided.
 func (s *Server) reconstructCharged(i int64) ([]byte, error) {
 	g := s.lay.GroupOf(i)
+	if g.HasQ {
+		return s.reconstructPQMonitored(i, g, true)
+	}
 	for k, li := range g.Data {
 		if li != i {
 			s.charge(g.DataAddr[k].Disk)
@@ -423,22 +495,34 @@ func (s *Server) blockReadable(a layout.BlockAddr) bool {
 }
 
 // blockUnrecoverable reports whether logical data block i can currently
-// be served neither directly nor by reconstruction — its disk is down
-// and so is another member of its parity group.
+// be served neither directly nor by reconstruction: the count of
+// unreadable group members (the block itself included) exceeds what the
+// group's redundancy covers — one for single parity, two for P+Q.
 func (s *Server) blockUnrecoverable(i int64) bool {
 	if s.blockReadable(s.lay.Place(i)) {
 		return false
 	}
 	g := s.lay.GroupOf(i)
+	tolerance := 1
+	if g.HasQ {
+		tolerance = 2
+	}
+	unreadable := 1 // the block itself
 	for k, li := range g.Data {
 		if li == i {
 			continue
 		}
 		if !s.blockReadable(g.DataAddr[k]) {
-			return true
+			unreadable++
 		}
 	}
-	return !s.blockReadable(g.Parity)
+	if !s.blockReadable(g.Parity) {
+		unreadable++
+	}
+	if g.HasQ && !s.blockReadable(g.Q) {
+		unreadable++
+	}
+	return unreadable > tolerance
 }
 
 // UnrecoverableGroups enumerates (up to max, unlimited when max <= 0)

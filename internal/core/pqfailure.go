@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+
+	"ftcms/internal/layout"
+	"ftcms/internal/recovery"
+)
+
+// This file holds the P+Q halves of the failure lifecycle: degraded
+// reads that survive two concurrent failures in one parity group, and
+// the per-entry step of an online rebuild that may be running next to a
+// second rebuild. Both survey the group first (blockReadable is free),
+// read only the members the erasure count requires, and hand the group
+// to recovery.RecoverPQ.
+
+// pqMemberAddr returns the address of group member idx under the
+// RecoverPQ numbering: 0..nd-1 data, nd = P, nd+1 = Q.
+func pqMemberAddr(g layout.Group, idx int) layout.BlockAddr {
+	nd := len(g.Data)
+	switch {
+	case idx < nd:
+		return g.DataAddr[idx]
+	case idx == nd:
+		return g.Parity
+	default:
+		return g.Q
+	}
+}
+
+// pqBalance spreads single-data-erasure repairs across the two parity
+// columns: either column closes the erasure with the same number of
+// reads, so when the P disk is the more loaded of the two, P is
+// declared erased as well (a synthetic erasure) and the repair routes
+// through Q. Returns the index of the synthetic erasure (-1 when none)
+// so late-failure handling can revoke it — the synthetically-erased
+// column is still physically readable.
+func (s *Server) pqBalance(g layout.Group, missing []int, tIdx, nd int) ([]int, int) {
+	if len(missing) != 1 || tIdx >= nd {
+		return missing, -1
+	}
+	if s.engine.Load(g.Parity.Disk) > s.engine.Load(g.Q.Disk) {
+		return append(missing, nd), nd
+	}
+	return missing, -1
+}
+
+// revokeSynthetic removes a synthetic erasure after a real read failure
+// elsewhere in the group: the column it named is still readable and
+// becomes the fallback source.
+func revokeSynthetic(missing []int, synth int) []int {
+	out := missing[:0]
+	for _, m := range missing {
+		if m != synth {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// pqNeeded lists the present members a RecoverPQ call with this missing
+// set will read: all of them, except that a single erasure is closed by
+// one parity column alone — Q is skipped unless the erasure IS Q (then
+// the data members suffice and P is skipped).
+func pqNeeded(nd int, missing []int, tIdx int) []int {
+	iP, iQ := nd, nd+1
+	need := make([]int, 0, nd+1)
+	for idx := 0; idx <= iQ; idx++ {
+		gone := false
+		for _, m := range missing {
+			if m == idx {
+				gone = true
+				break
+			}
+		}
+		if gone {
+			continue
+		}
+		if len(missing) == 1 {
+			if tIdx == iQ && idx == iP {
+				continue
+			}
+			if tIdx != iQ && idx == iQ {
+				continue
+			}
+		}
+		need = append(need, idx)
+	}
+	return need
+}
+
+// reconstructPQMonitored rebuilds logical data block i of a P+Q group
+// through the failure detector, tolerating one unreadable member besides
+// i itself. When charged is set, every disk actually read is charged to
+// the round ledger — the degraded-service accounting the budget audit
+// sees.
+func (s *Server) reconstructPQMonitored(i int64, g layout.Group, charged bool) ([]byte, error) {
+	nd := len(g.Data)
+	x := -1
+	for k, li := range g.Data {
+		if li == i {
+			x = k
+			break
+		}
+	}
+	if x < 0 {
+		return nil, fmt.Errorf("core: block %d missing from its own parity group", i)
+	}
+	missing := []int{x}
+	for idx := 0; idx <= nd+1; idx++ {
+		if idx != x && !s.blockReadable(pqMemberAddr(g, idx)) {
+			missing = append(missing, idx)
+		}
+	}
+	if len(missing) > 2 {
+		return nil, fmt.Errorf("%w: %d members of block %d's group unavailable", recovery.ErrUnrecoverable, len(missing), i)
+	}
+	var synth int
+	missing, synth = s.pqBalance(g, missing, x, nd)
+
+	data := make([][]byte, nd)
+	var pooled [][]byte
+	defer func() {
+		for _, b := range pooled {
+			s.putBlock(b)
+		}
+	}()
+	grab := func() []byte {
+		b := s.getBlock()
+		pooled = append(pooled, b)
+		return b
+	}
+	out := s.getBlock() // the recovered block, handed to the caller
+	for k := range data {
+		if k == x {
+			data[k] = out
+		} else {
+			data[k] = grab()
+		}
+	}
+	p, q := grab(), grab()
+	buf := func(idx int) []byte {
+		switch {
+		case idx < nd:
+			return data[idx]
+		case idx == nd:
+			return p
+		default:
+			return q
+		}
+	}
+
+	read := make([]bool, nd+2)
+	readOne := func(idx int) error {
+		a := pqMemberAddr(g, idx)
+		if charged {
+			s.charge(a.Disk)
+		}
+		read[idx] = true
+		return s.readMemberInto(a, buf(idx))
+	}
+	for _, idx := range pqNeeded(nd, missing, x) {
+		if err := readOne(idx); err != nil {
+			missing = append(missing, idx)
+			if synth >= 0 {
+				missing = revokeSynthetic(missing, synth)
+				synth = -1
+			}
+		}
+	}
+	// A read that failed after the survey can raise the erasure count
+	// past what the planned column set covers: bring in the skipped
+	// parity column, if it is still standing.
+	if len(missing) == 2 {
+		for idx := nd; idx <= nd+1; idx++ {
+			gone := false
+			for _, m := range missing {
+				if m == idx {
+					gone = true
+				}
+			}
+			if gone || read[idx] {
+				continue
+			}
+			if err := readOne(idx); err != nil {
+				missing = append(missing, idx)
+			}
+		}
+	}
+	if len(missing) > 2 {
+		s.putBlock(out)
+		return nil, fmt.Errorf("%w: %d members of block %d's group unavailable", recovery.ErrUnrecoverable, len(missing), i)
+	}
+	if err := recovery.RecoverPQ(data, p, q, missing); err != nil {
+		s.putBlock(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// rebuildResult classifies one rebuild-queue entry's outcome.
+type rebuildResult int
+
+const (
+	// rebuildOK: the block was reconstructed and written to the spare.
+	rebuildOK rebuildResult = iota
+	// rebuildStalled: a source disk is out of idle capacity this round.
+	rebuildStalled
+	// rebuildLost: too many failures — skip the entry, never guess.
+	rebuildLost
+	// rebuildAbandon: the spare itself died mid-write.
+	rebuildAbandon
+)
+
+// rebuildPQEntry rebuilds one queue entry of a P+Q online rebuild: the
+// group member of block i's group living on rb.disk — data, P or Q —
+// reconstructed from whichever present members the erasure count needs,
+// on idle round capacity only.
+func (s *Server) rebuildPQEntry(rb *rebuildState, i int64, g layout.Group) rebuildResult {
+	nd := len(g.Data)
+	tIdx := -1
+	switch addr := s.lay.Place(i); {
+	case addr.Disk == rb.disk:
+		for k, li := range g.Data {
+			if li == i {
+				tIdx = k
+			}
+		}
+	case g.Parity.Disk == rb.disk:
+		tIdx = nd
+	case g.Q.Disk == rb.disk:
+		tIdx = nd + 1
+	}
+	if tIdx < 0 {
+		return rebuildLost
+	}
+	target := pqMemberAddr(g, tIdx)
+
+	missing := []int{tIdx}
+	for idx := 0; idx <= nd+1; idx++ {
+		if idx != tIdx && !s.blockReadable(pqMemberAddr(g, idx)) {
+			missing = append(missing, idx)
+		}
+	}
+	if len(missing) > 2 {
+		return rebuildLost // third overlapping failure
+	}
+	var synth int
+	missing, synth = s.pqBalance(g, missing, tIdx, nd)
+	need := pqNeeded(nd, missing, tIdx)
+	q := s.cfg.Q
+	for _, idx := range need {
+		if s.engine.Load(pqMemberAddr(g, idx).Disk) >= q {
+			return rebuildStalled
+		}
+	}
+
+	data := make([][]byte, nd)
+	var pooled [][]byte
+	defer func() {
+		for _, b := range pooled {
+			s.putBlock(b)
+		}
+	}()
+	grab := func() []byte {
+		b := s.getBlock()
+		pooled = append(pooled, b)
+		return b
+	}
+	for k := range data {
+		data[k] = grab()
+	}
+	p, qq := grab(), grab()
+	buf := func(idx int) []byte {
+		switch {
+		case idx < nd:
+			return data[idx]
+		case idx == nd:
+			return p
+		default:
+			return qq
+		}
+	}
+
+	read := make([]bool, nd+2)
+	readOne := func(idx int) error {
+		a := pqMemberAddr(g, idx)
+		s.charge(a.Disk)
+		s.rebuildReads++
+		read[idx] = true
+		return s.readMemberInto(a, buf(idx))
+	}
+	for _, idx := range need {
+		if err := readOne(idx); err != nil {
+			missing = append(missing, idx)
+			if synth >= 0 {
+				missing = revokeSynthetic(missing, synth)
+				synth = -1
+			}
+			if len(missing) > 2 {
+				return rebuildLost
+			}
+		}
+	}
+	// Same late-failure fix-up as the degraded read path.
+	if len(missing) == 2 {
+		for idx := nd; idx <= nd+1; idx++ {
+			gone := false
+			for _, m := range missing {
+				if m == idx {
+					gone = true
+				}
+			}
+			if gone || read[idx] {
+				continue
+			}
+			if s.engine.Load(pqMemberAddr(g, idx).Disk) >= q {
+				return rebuildStalled
+			}
+			if err := readOne(idx); err != nil {
+				return rebuildLost
+			}
+		}
+	}
+	if err := recovery.RecoverPQ(data, p, qq, missing); err != nil {
+		return rebuildLost
+	}
+	if s.store.Array.Write(rb.disk, target.Block, buf(tIdx)) != nil {
+		return rebuildAbandon
+	}
+	s.rebuiltBlocks++
+	return rebuildOK
+}

@@ -116,6 +116,11 @@ func (s *Server) admit(now int64, start int64) (ticketRef, bool) {
 		addr := l.Place(start)
 		tk, ok := s.admitStatic.Admit(now, addr.Disk, l.RowOf(start))
 		return ticketRef{kind: ticketStatic, t: tk}, ok
+	case DeclusteredPQ:
+		l := s.lay.(*layout.DeclusteredPQ)
+		addr := l.Place(start)
+		tk, ok := s.admitStatic.Admit(now, addr.Disk, l.RowOf(start))
+		return ticketRef{kind: ticketStatic, t: tk}, ok
 	case DeclusteredDynamic:
 		l := s.lay.(*layout.Interleaved)
 		addr := l.Place(start)
@@ -346,8 +351,10 @@ func (s *Server) Tick() error {
 			return err
 		}
 	}
+	before := s.rebuildReads
 	s.rebuildStep()
 	s.scrubStep()
+	s.rebuildReadsLast = s.rebuildReads - before
 	return nil
 }
 

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"ftcms/internal/core"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/faultinject"
+	"ftcms/internal/layout"
+	"ftcms/internal/parallel"
+	"ftcms/internal/reliability"
+	"ftcms/internal/units"
+)
+
+// DoubleFaultPoint is one scheme's outcome under E18: the same two
+// overlapping fail-stops inside one P+Q parity group, the same clips
+// and streams. Single parity must lose exactly the streams that cross
+// a doubly-degraded group; P+Q must lose none.
+type DoubleFaultPoint struct {
+	Scheme core.Scheme
+	// Streams is the admitted population; Completed finished byte-exact,
+	// Lost ended with an explicit unrecoverable-group error.
+	Streams, Completed, Lost int
+	Hiccups                  int64
+	LostBlocks               int64
+	RebuildsDone             int
+	// MeasuredRebuild and AnalyticRebuild compare, for a quiescent
+	// single-disk rebuild of the same store, the simulated detect→rejoin
+	// duration against the reliability model's estimate (both in rounds).
+	MeasuredRebuild, AnalyticRebuild int64
+}
+
+// doubleFaultDisk is the small array E18 runs on: fast enough for a
+// deterministic in-test sweep, same shape as the paper's Figure 1 disk.
+func doubleFaultDisk() diskmodel.Parameters {
+	return diskmodel.Parameters{
+		TransferRate: 45 * units.Mbps,
+		Settle:       0.05 * units.Millisecond,
+		Seek:         0.1 * units.Millisecond,
+		Rotation:     0.1 * units.Millisecond,
+		Capacity:     2 * units.GB,
+		PlaybackRate: 1.5 * units.Mbps,
+	}
+}
+
+func doubleFaultConfig(scheme core.Scheme) core.Config {
+	return core.Config{
+		Scheme: scheme,
+		Disk:   doubleFaultDisk(),
+		D:      13,
+		P:      4,
+		Block:  8 * units.KB,
+		Q:      8,
+		F:      2,
+		Buffer: 64 * units.MB,
+		Spares: 2,
+	}
+}
+
+// doubleFaultClip generates deterministic clip payload.
+func doubleFaultClip(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// DoubleFaultSweep runs E18: single-parity declustering and P+Q
+// declustering through the identical double-failure scenario — two
+// fail-stops one round apart on a data disk and the P disk of the same
+// P+Q parity group, under three playing streams.
+func DoubleFaultSweep(seed int64) ([]DoubleFaultPoint, error) {
+	schemes := []core.Scheme{core.Declustered, core.DeclusteredPQ}
+	return parallel.Map(len(schemes), 0, func(k int) (DoubleFaultPoint, error) {
+		return doubleFaultRun(schemes[k], seed)
+	})
+}
+
+// doubleFaultTargets picks the two disks E18 fail-stops: block 0's own
+// disk and its group's P disk, in the (13, 4) P+Q geometry. Both
+// schemes fail the same physical disks.
+func doubleFaultTargets() (int, int, error) {
+	lay, err := layout.NewDeclusteredPQ(13, 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := lay.GroupOf(0)
+	return lay.Place(0).Disk, g.Parity.Disk, nil
+}
+
+func doubleFaultRun(scheme core.Scheme, seed int64) (DoubleFaultPoint, error) {
+	d1, d2, err := doubleFaultTargets()
+	if err != nil {
+		return DoubleFaultPoint{}, err
+	}
+	cfg := doubleFaultConfig(scheme)
+	plan := &faultinject.Plan{Seed: seed}
+	plan.Overlap(d1, d2, 5, 1)
+	cfg.Faults = plan
+	s, err := core.New(cfg)
+	if err != nil {
+		return DoubleFaultPoint{}, err
+	}
+	clips := map[string][]byte{
+		"a": doubleFaultClip(seed + 1, 480_000),
+		"b": doubleFaultClip(seed + 2, 400_000),
+		"c": doubleFaultClip(seed + 3, 320_000),
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if err := s.AddClip(name, clips[name]); err != nil {
+			return DoubleFaultPoint{}, err
+		}
+	}
+	type track struct {
+		st   *core.Stream
+		want []byte
+		got  int64
+		err  error
+		done bool
+	}
+	var tracks []*track
+	for _, name := range []string{"a", "b", "c"} {
+		st, err := s.OpenStream(name)
+		if err != nil {
+			return DoubleFaultPoint{}, err
+		}
+		tracks = append(tracks, &track{st: st, want: clips[name]})
+	}
+	pt := DoubleFaultPoint{Scheme: scheme, Streams: len(tracks)}
+	buf := make([]byte, 64<<10)
+	for round := 0; round < 4000; round++ {
+		if err := s.Tick(); err != nil {
+			return DoubleFaultPoint{}, err
+		}
+		allDone := true
+		for _, tr := range tracks {
+			for !tr.done {
+				n, rerr := tr.st.Read(buf)
+				if n > 0 {
+					if tr.got+int64(n) <= int64(len(tr.want)) &&
+						!bytes.Equal(buf[:n], tr.want[tr.got:tr.got+int64(n)]) {
+						return DoubleFaultPoint{}, fmt.Errorf("%s: corrupt byte at offset %d", scheme, tr.got)
+					}
+					tr.got += int64(n)
+				}
+				if errors.Is(rerr, io.EOF) || errors.Is(rerr, core.ErrStreamLost) {
+					tr.done, tr.err = true, rerr
+					break
+				}
+				if n == 0 {
+					break
+				}
+			}
+			allDone = allDone && tr.done
+		}
+		if allDone {
+			break
+		}
+	}
+	for _, tr := range tracks {
+		switch {
+		case tr.done && errors.Is(tr.err, io.EOF) && tr.got == int64(len(tr.want)):
+			pt.Completed++
+		case tr.done && errors.Is(tr.err, core.ErrStreamLost):
+			pt.Lost++
+		}
+	}
+	st := s.Stats()
+	pt.Hiccups = st.Hiccups
+	pt.LostBlocks = st.LostBlocks
+	pt.RebuildsDone = st.RebuildsDone
+
+	pt.MeasuredRebuild, pt.AnalyticRebuild, err = MeasureRebuild(scheme)
+	if err != nil {
+		return DoubleFaultPoint{}, err
+	}
+	return pt, nil
+}
+
+// MeasureRebuild validates the reliability model's rebuild-time
+// estimate against the simulator: a quiescent server (no streams, so
+// the full q of every survivor is idle contingency) rebuilds one
+// operator-failed disk, and the measured detect→rejoin duration in
+// rounds is compared with reliability.RebuildTime for the same block
+// population. Returns (measured, analytic) rounds.
+func MeasureRebuild(scheme core.Scheme) (int64, int64, error) {
+	cfg := doubleFaultConfig(scheme)
+	cfg.Spares = 1
+	// A large clip stretches the rebuild over dozens of rounds, so the
+	// ceil-to-a-round granularity of the model cannot dominate the
+	// comparison.
+	const clipSize = 96_000_000
+	s, err := core.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := s.AddClip("v", doubleFaultClip(7, clipSize)); err != nil {
+		return 0, 0, err
+	}
+	fail := 0
+	if err := s.FailDisk(fail); err != nil {
+		return 0, 0, err
+	}
+	for round := 0; round < 10000; round++ {
+		if err := s.Tick(); err != nil {
+			return 0, 0, err
+		}
+		if s.Stats().RebuildsDone == 1 {
+			break
+		}
+	}
+	lats := s.RebuildLatencies()
+	if len(lats) != 1 {
+		return 0, 0, fmt.Errorf("%s: rebuild never completed", scheme)
+	}
+	entries, err := rebuildQueueLen(scheme, cfg, fail, clipSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	roundDur := cfg.Disk.RoundDuration(cfg.Block)
+	var rt units.Duration
+	if scheme == core.DeclusteredPQ {
+		rt, err = reliability.RebuildTimePQ(entries, cfg.P, cfg.D, cfg.Q, roundDur)
+	} else {
+		rt, err = reliability.RebuildTime(entries, cfg.P, cfg.D, cfg.Q, roundDur)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return lats[0], int64(rt / roundDur), nil
+}
+
+// rebuildQueueLen counts, from the layout alone, the rebuild queue a
+// failed disk produces for a clip of the given size: one entry per data
+// block on the disk plus one per distinct parity (and Q) block on it —
+// exactly the queue the server's online rebuild walks.
+func rebuildQueueLen(scheme core.Scheme, cfg core.Config, disk int, clipSize int64) (int64, error) {
+	var lay layout.Layout
+	var err error
+	switch scheme {
+	case core.Declustered:
+		lay, err = layout.NewDeclustered(cfg.D, cfg.P)
+	case core.DeclusteredPQ:
+		lay, err = layout.NewDeclusteredPQ(cfg.D, cfg.P)
+	default:
+		return 0, fmt.Errorf("experiments: no rebuild model for %s", scheme)
+	}
+	if err != nil {
+		return 0, err
+	}
+	blockBytes := int64(cfg.Block.Bytes())
+	clipBlocks := (clipSize + blockBytes - 1) / blockBytes
+	var entries int64
+	seen := make(map[layout.BlockAddr]bool)
+	for i := int64(0); i < clipBlocks; i++ {
+		g := lay.GroupOf(i)
+		switch {
+		case lay.Place(i).Disk == disk:
+			entries++
+		case g.Parity.Disk == disk && !seen[g.Parity]:
+			seen[g.Parity] = true
+			entries++
+		case g.HasQ && g.Q.Disk == disk && !seen[g.Q]:
+			seen[g.Q] = true
+			entries++
+		}
+	}
+	return entries, nil
+}
+
+// WriteDoubleFaultSweep renders E18.
+func WriteDoubleFaultSweep(w io.Writer, seed int64) error {
+	pts, err := DoubleFaultSweep(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E18 — two overlapping disk failures in one parity group (d=13, p=4, 3 streams, 2 spares)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tstreams\tcompleted\tlost\thiccups\tlost blocks\trebuilds\trebuild rounds (sim)\trebuild rounds (model)")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			pt.Scheme, pt.Streams, pt.Completed, pt.Lost, pt.Hiccups,
+			pt.LostBlocks, pt.RebuildsDone, pt.MeasuredRebuild, pt.AnalyticRebuild)
+	}
+	return tw.Flush()
+}
+
+// WriteMTTDLTradeoff renders the redundancy-selection table: what each
+// level of redundancy costs in storage and buys in expected time to
+// data loss, on one geometry. The repair window fed to the MTTDL
+// models is each scheme's own analytic rebuild time (floored at one
+// hour — operator handling dominates tiny windows), so faster rebuild
+// directly buys reliability.
+func WriteMTTDLTradeoff(w io.Writer, d, p int) error {
+	if d < 3 || p < 3 || p > d {
+		return fmt.Errorf("experiments: bad geometry d=%d p=%d", d, p)
+	}
+	disk := diskmodel.Default()
+	block := 8 * units.KB
+	blocks := int64(disk.Capacity / block)
+	rt, err := reliability.RebuildTime(blocks, p, d, 1, disk.RoundDuration(block))
+	if err != nil {
+		return err
+	}
+	mttr := reliability.Hours(rt.Seconds() / 3600)
+	if mttr < 1 {
+		mttr = 1
+	}
+	rows, err := reliability.CompareRedundancy(reliability.PaperDiskMTTF, d, p, mttr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "MTTDL vs storage overhead — d=%d, p=%d, %v disks, MTTF %.0f h, MTTR %.1f h\n",
+		d, p, disk.Capacity, float64(reliability.PaperDiskMTTF), float64(mttr))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\toverhead\tMTTDL (hours)\tMTTDL (years)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.3g\t%.3g\n",
+			r.Scheme, r.Overhead*100, float64(r.MTTDL), float64(r.MTTDL)/(24*365))
+	}
+	return tw.Flush()
+}

@@ -107,6 +107,18 @@ type Plan struct {
 	Corruptions []SilentCorruption
 }
 
+// Overlap schedules the double-failure scenario the P+Q scheme is built
+// for: disk1 fail-stops at round, disk2 follows within window rounds
+// (window 0 means the same round — a simultaneous double failure). The
+// plan gains two FailStops; pick two disks of one parity group to make
+// the overlap actually stress a group's second redundancy column.
+func (p *Plan) Overlap(disk1, disk2 int, round, window int64) {
+	p.FailStops = append(p.FailStops,
+		FailStop{Disk: disk1, Round: round},
+		FailStop{Disk: disk2, Round: round + window},
+	)
+}
+
 // Stats counts what the injector actually did, for test assertions.
 type Stats struct {
 	// HardErrors counts injected fail-stop and transient read errors.

@@ -170,3 +170,41 @@ func TestHookOnArray(t *testing.T) {
 		t.Fatalf("untouched disk: %v", err)
 	}
 }
+
+func TestOverlapSchedulesTwoFailStops(t *testing.T) {
+	var plan Plan
+	plan.Overlap(3, 7, 10, 2)
+	if len(plan.FailStops) != 2 {
+		t.Fatalf("Overlap added %d fail-stops, want 2", len(plan.FailStops))
+	}
+	in := New(plan)
+	// Before the window: both disks answer.
+	in.SetRound(9)
+	if _, err := in.Hook(3, 0); err != nil {
+		t.Fatalf("disk 3 round 9: %v", err)
+	}
+	// First failure lands at round 10, the second not yet.
+	in.SetRound(10)
+	if _, err := in.Hook(3, 0); !errors.Is(err, storage.ErrFailed) {
+		t.Fatalf("disk 3 round 10: %v, want ErrFailed", err)
+	}
+	if _, err := in.Hook(7, 0); err != nil {
+		t.Fatalf("disk 7 round 10: %v (window not elapsed)", err)
+	}
+	// Second failure overlaps the first at round 10+2.
+	in.SetRound(12)
+	if _, err := in.Hook(7, 0); !errors.Is(err, storage.ErrFailed) {
+		t.Fatalf("disk 7 round 12: %v, want ErrFailed", err)
+	}
+	if _, err := in.Hook(3, 0); !errors.Is(err, storage.ErrFailed) {
+		t.Fatalf("disk 3 round 12: %v, want ErrFailed (still down)", err)
+	}
+}
+
+func TestOverlapAppendsToExistingPlan(t *testing.T) {
+	plan := Plan{FailStops: []FailStop{{Disk: 0, Round: 1}}}
+	plan.Overlap(4, 5, 20, 1)
+	if len(plan.FailStops) != 3 {
+		t.Fatalf("FailStops = %d, want 3 (Overlap must append, not replace)", len(plan.FailStops))
+	}
+}

@@ -146,6 +146,14 @@ type Detector struct {
 	corrupt []int
 	state   []State
 	onFail  func(disk int)
+	// clock, when set, timestamps detection: suspectAt[d] records the
+	// clock reading of the first strike (or corruption) in the disk's
+	// current suspicion window, and a declaration appends the elapsed
+	// time to detectLat. The unit is whatever the clock counts — the
+	// tick-driven server passes rounds.
+	clock     func() int64
+	suspectAt []int64
+	detectLat []int64
 	// stop is closed by Stop; in-flight BackoffBase sleeps wake on it.
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -175,13 +183,18 @@ type Stats struct {
 
 // NewDetector creates a detector for d disks.
 func NewDetector(d int, cfg Config) *Detector {
-	return &Detector{
+	dt := &Detector{
 		cfg:     cfg.withDefaults(),
 		consec:  make([]int, d),
 		corrupt: make([]int, d),
 		state:   make([]State, d),
 		stop:    make(chan struct{}),
 	}
+	dt.suspectAt = make([]int64, d)
+	for i := range dt.suspectAt {
+		dt.suspectAt[i] = -1
+	}
+	return dt
 }
 
 // Stop shuts the detector down: any Read sleeping in a BackoffBase
@@ -223,6 +236,45 @@ func (dt *Detector) SetOnFail(fn func(disk int)) {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
 	dt.onFail = fn
+}
+
+// SetClock installs the timestamp source used for time-to-detect
+// accounting. The detector reads it (under its lock) at the first
+// strike of a suspicion window and again at declaration; the tick-
+// driven server passes the round counter. With no clock, detection
+// latencies are simply not recorded.
+func (dt *Detector) SetClock(fn func() int64) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.clock = fn
+}
+
+// DetectLatencies returns, in declaration order, the time from each
+// declared disk's first suspicious observation to its declaration, in
+// clock units. Empty when no clock is installed.
+func (dt *Detector) DetectLatencies() []int64 {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return append([]int64(nil), dt.detectLat...)
+}
+
+// suspect stamps the start of a disk's suspicion window, once.
+func (dt *Detector) suspect(disk int) {
+	if dt.clock != nil && dt.suspectAt[disk] < 0 {
+		dt.suspectAt[disk] = dt.clock()
+	}
+}
+
+// declareAt closes a disk's suspicion window into a detection latency.
+func (dt *Detector) declareAt(disk int) {
+	if dt.clock != nil {
+		start := dt.suspectAt[disk]
+		if start < 0 {
+			start = dt.clock()
+		}
+		dt.detectLat = append(dt.detectLat, dt.clock()-start)
+	}
+	dt.suspectAt[disk] = -1
 }
 
 // State returns the detector's opinion of the disk.
@@ -273,6 +325,7 @@ func (dt *Detector) Reset(disk int) {
 	dt.consec[disk] = 0
 	dt.corrupt[disk] = 0
 	dt.state[disk] = OK
+	dt.suspectAt[disk] = -1
 }
 
 // Observe records one read outcome for a disk and returns the disk's
@@ -304,9 +357,11 @@ func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 		// had struck out.
 		dt.corruptions++
 		dt.corrupt[disk]++
+		dt.suspect(disk)
 		if dt.cfg.CorruptionThreshold > 0 && dt.corrupt[disk] >= dt.cfg.CorruptionThreshold && dt.state[disk] != Down {
 			dt.state[disk] = Down
 			dt.declared++
+			dt.declareAt(disk)
 			fire = dt.onFail
 		}
 	case errors.Is(err, storage.ErrNotWritten):
@@ -318,10 +373,12 @@ func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 
 	if strike {
 		dt.consec[disk]++
+		dt.suspect(disk)
 		if dt.state[disk] != Down {
 			if dt.consec[disk] >= dt.cfg.FailThreshold {
 				dt.state[disk] = Down
 				dt.declared++
+				dt.declareAt(disk)
 				fire = dt.onFail
 			} else {
 				dt.state[disk] = Suspect
@@ -330,6 +387,12 @@ func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 	} else if err == nil && dt.state[disk] != Down {
 		dt.consec[disk] = 0
 		dt.state[disk] = OK
+		// A clean read closes the strike window, but a disk accruing
+		// corruption stays on its cumulative clock: rot on other blocks
+		// is not exonerated by this one.
+		if dt.corrupt[disk] == 0 {
+			dt.suspectAt[disk] = -1
+		}
 	}
 	st := dt.state[disk]
 	dt.mu.Unlock()

@@ -282,3 +282,65 @@ func TestStopLeavesObserveWorking(t *testing.T) {
 		t.Fatalf("Observe after Stop: %v, want Down", st)
 	}
 }
+
+func TestDetectLatencies(t *testing.T) {
+	dt := NewDetector(4, Config{FailThreshold: 3})
+	var now int64
+	dt.SetClock(func() int64 { return now })
+
+	// Disk 1: strikes at rounds 10, 11, 14 → declared, latency 4.
+	now = 10
+	dt.Observe(1, 1, storage.ErrFailed)
+	now = 11
+	dt.Observe(1, 1, storage.ErrFailed)
+	now = 14
+	dt.Observe(1, 1, storage.ErrFailed)
+	if got := dt.DetectLatencies(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("DetectLatencies = %v, want [4]", got)
+	}
+
+	// Disk 2: a clean read mid-run restarts the window.
+	now = 20
+	dt.Observe(2, 1, storage.ErrFailed)
+	now = 21
+	dt.Observe(2, 1, nil) // window closes
+	now = 30
+	dt.Observe(2, 1, storage.ErrFailed)
+	now = 31
+	dt.Observe(2, 1, storage.ErrFailed)
+	now = 32
+	dt.Observe(2, 1, storage.ErrFailed)
+	got := dt.DetectLatencies()
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("DetectLatencies = %v, want [4 2]", got)
+	}
+
+	// Reset clears the suspicion window too.
+	dt.Reset(1)
+	now = 40
+	dt.Observe(1, 1, storage.ErrFailed)
+	now = 45
+	dt.Observe(1, 1, storage.ErrFailed)
+	dt.Observe(1, 1, storage.ErrFailed)
+	if got := dt.DetectLatencies(); len(got) != 3 || got[2] != 5 {
+		t.Fatalf("DetectLatencies after Reset = %v, want third entry 5", got)
+	}
+}
+
+func TestDetectLatencyCorruptionClock(t *testing.T) {
+	dt := NewDetector(2, Config{CorruptionThreshold: 3})
+	var now int64
+	dt.SetClock(func() int64 { return now })
+	now = 5
+	dt.Observe(0, 1, storage.ErrCorruptBlock)
+	// Successful reads of other blocks do not exonerate rot.
+	now = 6
+	dt.Observe(0, 1, nil)
+	now = 8
+	dt.Observe(0, 1, storage.ErrCorruptBlock)
+	now = 12
+	dt.Observe(0, 1, storage.ErrCorruptBlock)
+	if got := dt.DetectLatencies(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("DetectLatencies = %v, want [7]", got)
+	}
+}

@@ -49,8 +49,17 @@ type Group struct {
 	Data []int64
 	// DataAddr lists the corresponding disk addresses, parallel to Data.
 	DataAddr []BlockAddr
-	// Parity is the address of the group's parity block.
+	// Parity is the address of the group's parity block (the XOR column
+	// P for double-parity layouts).
 	Parity BlockAddr
+	// Q is the address of the group's second, Reed-Solomon-coded parity
+	// block. Only meaningful when HasQ is set; single-parity layouts
+	// leave it zero.
+	Q BlockAddr
+	// HasQ reports whether the group carries a Q column — i.e. whether
+	// the layout is a P+Q double-parity placement. The data block at
+	// Data[k] takes Q coefficient g^k.
+	HasQ bool
 }
 
 // Layout is the common interface over all placements.

@@ -38,6 +38,11 @@ type Table struct {
 	// sequence: windows n ≡ ρ (mod p) hold parity there. Precomputed so
 	// placement arithmetic is pure table reads.
 	rho []int
+	// rhoQ[row*D + col] = the same residue for the Q column of a P+Q
+	// double-parity layout: Q trails P by one position in the backwards
+	// rotation, so ρQ = (ρP + p − 1) mod p. Precomputed unconditionally;
+	// single-parity layouts simply never read it.
+	rhoQ []int
 }
 
 // New builds the PGT for a design. The design's per-object replication
@@ -74,6 +79,7 @@ func New(d *bibd.Design) (*Table, error) {
 		}
 	}
 	t.rho = make([]int, r*t.D)
+	t.rhoQ = make([]int, r*t.D)
 	for row := 0; row < r; row++ {
 		for col := 0; col < t.D; col++ {
 			disks := d.Sets[t.cell[row][col]]
@@ -86,6 +92,7 @@ func New(d *bibd.Design) (*Table, error) {
 				}
 			}
 			t.rho[row*t.D+col] = (p - 1 - idx) % p
+			t.rhoQ[row*t.D+col] = (t.rho[row*t.D+col] + p - 1) % p
 		}
 	}
 	return t, nil
@@ -95,6 +102,10 @@ func New(d *bibd.Design) (*Table, error) {
 // that PGT cell, windows n ≡ ρ (mod p) hold parity (the backwards
 // rotation of ParityDisk lands on disk exactly at those windows).
 func (t *Table) ParityResidue(disk, row int) int { return t.rho[row*t.D+disk] }
+
+// ParityResidueQ returns ρQ for (disk, row): within that cell's block
+// sequence, windows n ≡ ρQ (mod p) hold the Q parity of a P+Q layout.
+func (t *Table) ParityResidueQ(disk, row int) int { return t.rhoQ[row*t.D+disk] }
 
 // Set returns the set index in cell (row, col).
 func (t *Table) Set(row, col int) int { return t.cell[row][col] }
@@ -125,6 +136,16 @@ func (t *Table) ParityDisk(s, n int) int {
 	disks := t.Design.Sets[s]
 	p := len(disks)
 	return disks[(p-1-n%p+p)%p]
+}
+
+// ParityDiskQ returns the disk holding the Q parity block for the
+// occurrence of set s in window n under a P+Q layout: one position
+// behind P in the same backwards rotation, so every disk of the set
+// serves as Q target exactly once per p windows and P ≠ Q always.
+func (t *Table) ParityDiskQ(s, n int) int {
+	disks := t.Design.Sets[s]
+	p := len(disks)
+	return disks[(2*p-2-n%p)%p]
 }
 
 // BlockOf returns the disk block index on disk where set s's window-n

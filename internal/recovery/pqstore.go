@@ -1,0 +1,59 @@
+package recovery
+
+import "ftcms/internal/layout"
+
+// Store-level P+Q reconstruction: materialize the readable members of
+// the group and hand the erasure list to the codec. Unlike the XOR
+// path, which streams members through one scratch buffer, the
+// two-erasure solve needs every present member's position, so the whole
+// group is buffered (pooled, so steady state still allocates only the
+// returned block).
+
+// reconstructPQ rebuilds logical block i of a P+Q group, tolerating one
+// unreadable member besides i itself. Buffers at unreadable positions
+// are output slots for the codec; their stale contents are ignored.
+func (s *Store) reconstructPQ(i int64, g layout.Group) ([]byte, error) {
+	nd := len(g.Data)
+	data := make([][]byte, nd)
+	var pooled [][]byte
+	defer func() {
+		for _, b := range pooled {
+			s.putBuf(b)
+		}
+	}()
+	grab := func() []byte {
+		b := s.getBuf()
+		pooled = append(pooled, b)
+		return b
+	}
+	var missing []int
+	x := -1
+	for k, li := range g.Data {
+		if li == i {
+			x = k
+			data[k] = make([]byte, s.Array.BlockSize())
+			missing = append(missing, k)
+			continue
+		}
+		data[k] = grab()
+		a := g.DataAddr[k]
+		if err := s.Array.ReadZeroInto(a.Disk, a.Block, data[k]); err != nil {
+			missing = append(missing, k)
+		}
+	}
+	if x < 0 {
+		panic("recovery: block not a member of its own group")
+	}
+	p := grab()
+	if err := s.Array.ReadZeroInto(g.Parity.Disk, g.Parity.Block, p); err != nil {
+		missing = append(missing, nd)
+	}
+	q := grab()
+	if err := s.Array.ReadZeroInto(g.Q.Disk, g.Q.Block, q); err != nil {
+		missing = append(missing, nd+1)
+	}
+	if err := RecoverPQ(data, p, q, missing); err != nil {
+		return nil, err
+	}
+	return data[x], nil
+}

@@ -75,13 +75,28 @@ func (s *Store) rebuildParity(g layout.Group) error {
 	member := s.getBuf()
 	defer s.putBuf(member)
 	clear(parity)
-	for _, a := range g.DataAddr {
+	var q []byte
+	if g.HasQ {
+		q = s.getBuf()
+		defer s.putBuf(q)
+		clear(q)
+	}
+	for k, a := range g.DataAddr {
 		if err := s.Array.ReadZeroInto(a.Disk, a.Block, member); err != nil {
 			return fmt.Errorf("recovery: rebuilding parity: %w", err)
 		}
 		XORInto(parity, member)
+		if g.HasQ {
+			MulAccum(q, member, GExp(k))
+		}
 	}
-	return s.Array.Write(g.Parity.Disk, g.Parity.Block, parity)
+	if err := s.Array.Write(g.Parity.Disk, g.Parity.Block, parity); err != nil {
+		return err
+	}
+	if g.HasQ {
+		return s.Array.Write(g.Q.Disk, g.Q.Block, q)
+	}
+	return nil
 }
 
 // ReadBlock returns logical block i, reconstructing it from its parity
@@ -103,10 +118,14 @@ func (s *Store) ReadBlock(i int64) ([]byte, error) {
 }
 
 // Reconstruct rebuilds logical block i from the surviving members of its
-// parity group, without attempting a direct read. It fails with
-// ErrUnrecoverable if any other member of the group is also unreadable.
+// parity group, without attempting a direct read. Single-parity groups
+// fail with ErrUnrecoverable if any other member of the group is also
+// unreadable; P+Q groups tolerate one additional unreadable member.
 func (s *Store) Reconstruct(i int64) ([]byte, error) {
 	g := s.Layout.GroupOf(i)
+	if g.HasQ {
+		return s.reconstructPQ(i, g)
+	}
 	out := make([]byte, s.Array.BlockSize())
 	member := s.getBuf()
 	defer s.putBuf(member)
@@ -150,8 +169,8 @@ func (s *Store) DegradedReadSet(i int64, failedDisk int) []layout.BlockAddr {
 }
 
 // VerifyParity recomputes the parity of block i's group from data and
-// compares with the stored parity block, returning an error on mismatch —
-// a test/fsck helper.
+// compares with the stored parity block (both P and Q for double-parity
+// layouts), returning an error on mismatch — a test/fsck helper.
 func (s *Store) VerifyParity(i int64) error {
 	g := s.Layout.GroupOf(i)
 	want := s.getBuf()
@@ -159,11 +178,20 @@ func (s *Store) VerifyParity(i int64) error {
 	member := s.getBuf()
 	defer s.putBuf(member)
 	clear(want)
-	for _, a := range g.DataAddr {
+	var wantQ []byte
+	if g.HasQ {
+		wantQ = s.getBuf()
+		defer s.putBuf(wantQ)
+		clear(wantQ)
+	}
+	for k, a := range g.DataAddr {
 		if err := s.Array.ReadZeroInto(a.Disk, a.Block, member); err != nil {
 			return err
 		}
 		XORInto(want, member)
+		if g.HasQ {
+			MulAccum(wantQ, member, GExp(k))
+		}
 	}
 	got, err := s.Array.ReadZero(g.Parity.Disk, g.Parity.Block)
 	if err != nil {
@@ -172,6 +200,17 @@ func (s *Store) VerifyParity(i int64) error {
 	for k := range want {
 		if want[k] != got[k] {
 			return fmt.Errorf("recovery: parity mismatch for group of block %d at byte %d", i, k)
+		}
+	}
+	if g.HasQ {
+		gotQ, err := s.Array.ReadZero(g.Q.Disk, g.Q.Block)
+		if err != nil {
+			return err
+		}
+		for k := range wantQ {
+			if wantQ[k] != gotQ[k] {
+				return fmt.Errorf("recovery: Q parity mismatch for group of block %d at byte %d", i, k)
+			}
 		}
 	}
 	return nil

@@ -69,6 +69,114 @@ func MTTDL(disk Hours, d, critical int, mttr Hours) (Hours, error) {
 	return disk * disk / (Hours(d) * Hours(critical) * mttr), nil
 }
 
+// MTTDLDouble returns the mean time to data loss for a
+// double-failure-tolerant (P+Q) array: data is lost only when a third
+// disk critical to an already doubly-degraded group fails before either
+// repair completes. The three-state Markov chain gives
+//
+//	MTTDL ≈ MTTF³ / (d · c1 · c2 · MTTR²)
+//
+// where c1 is the number of disks whose failure (after the first)
+// leaves some group singly redundant and c2 the number whose failure
+// then loses data — both d−1 for a declustered P+Q placement. Valid
+// for MTTR ≪ MTTF.
+func MTTDLDouble(disk Hours, d, c1, c2 int, mttr Hours) (Hours, error) {
+	if disk <= 0 || mttr <= 0 {
+		return 0, errors.New("reliability: MTTF and MTTR must be positive")
+	}
+	if d < 3 {
+		return 0, errors.New("reliability: double-failure tolerance needs at least three disks")
+	}
+	if c1 < 1 || c1 > d-1 || c2 < 1 || c2 > d-1 {
+		return 0, fmt.Errorf("reliability: critical counts c1=%d c2=%d outside [1, %d]", c1, c2, d-1)
+	}
+	return disk * disk * disk / (Hours(d) * Hours(c1) * Hours(c2) * mttr * mttr), nil
+}
+
+// MTTDLReplication returns the mean time to data loss for full
+// mirroring: d primaries each with one replica; data is lost when a
+// disk's mirror partner fails during its repair window. Exactly one
+// disk is critical per failure:
+//
+//	MTTDL ≈ MTTF² / (d · MTTR)
+func MTTDLReplication(disk Hours, d int, mttr Hours) (Hours, error) {
+	if disk <= 0 || mttr <= 0 {
+		return 0, errors.New("reliability: MTTF and MTTR must be positive")
+	}
+	if d < 1 {
+		return 0, errors.New("reliability: need at least one disk")
+	}
+	return disk * disk / (Hours(d) * mttr), nil
+}
+
+// StorageOverhead returns the fraction of raw capacity a redundancy
+// scheme spends on redundancy for parity-group size p:
+//
+//	single parity:  1/p
+//	P+Q:            2/p
+//	replication:    1/2
+func StorageOverhead(scheme string, p int) (float64, error) {
+	switch scheme {
+	case "replication":
+		return 0.5, nil
+	}
+	if p < 2 {
+		return 0, fmt.Errorf("reliability: bad parity group size p=%d", p)
+	}
+	switch scheme {
+	case "prefetch-parity-disk", "streaming-raid", "non-clustered",
+		"declustered", "declustered-dynamic", "prefetch-flat":
+		return 1 / float64(p), nil
+	case "declustered-pq":
+		if p < 3 {
+			return 0, fmt.Errorf("reliability: P+Q needs p >= 3, got %d", p)
+		}
+		return 2 / float64(p), nil
+	default:
+		return 0, fmt.Errorf("reliability: unknown scheme %q", scheme)
+	}
+}
+
+// Tradeoff is one row of the redundancy-selection table: what a scheme
+// costs in storage and what it buys in expected time to data loss.
+type Tradeoff struct {
+	Scheme   string
+	Overhead float64 // fraction of raw capacity spent on redundancy
+	MTTR     Hours   // repair window assumed by the MTTDL model
+	MTTDL    Hours
+}
+
+// CompareRedundancy builds the MTTDL-vs-overhead table the optimizer
+// prints: single-parity declustering, P+Q declustering, and full
+// replication, all on the same d-disk, group-size-p geometry with the
+// same per-disk MTTF and repair window.
+func CompareRedundancy(disk Hours, d, p int, mttr Hours) ([]Tradeoff, error) {
+	if d < 3 || p < 3 || p > d {
+		return nil, fmt.Errorf("reliability: bad geometry d=%d p=%d (need 3 <= p <= d)", d, p)
+	}
+	out := make([]Tradeoff, 0, 3)
+	for _, scheme := range []string{"declustered", "declustered-pq", "replication"} {
+		ov, err := StorageOverhead(scheme, p)
+		if err != nil {
+			return nil, err
+		}
+		var mttdl Hours
+		switch scheme {
+		case "declustered":
+			mttdl, err = MTTDL(disk, d, d-1, mttr)
+		case "declustered-pq":
+			mttdl, err = MTTDLDouble(disk, d, d-1, d-1, mttr)
+		case "replication":
+			mttdl, err = MTTDLReplication(disk, d, mttr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Tradeoff{Scheme: scheme, Overhead: ov, MTTR: mttr, MTTDL: mttdl})
+	}
+	return out, nil
+}
+
 // CriticalDisks returns how many surviving disks can cause data loss if
 // they fail while the named scheme rebuilds one failed disk.
 //
@@ -76,7 +184,10 @@ func MTTDL(disk Hours, d, critical int, mttr Hours) (Hours, error) {
 //     non-clustered): only the p−1 other disks of the failed disk's
 //     cluster;
 //   - declustered and flat-uniform placements: parity groups span the
-//     array, so every other disk is critical (d−1).
+//     array, so every other disk is critical (d−1);
+//   - declustered-pq: the same d−1 — but a critical failure only drops
+//     the group to single redundancy; see MTTDLDouble for the
+//     data-loss chain.
 func CriticalDisks(scheme string, d, p int) (int, error) {
 	if d < 2 || p < 2 || p > d {
 		return 0, fmt.Errorf("reliability: bad geometry d=%d p=%d", d, p)
@@ -84,7 +195,7 @@ func CriticalDisks(scheme string, d, p int) (int, error) {
 	switch scheme {
 	case "prefetch-parity-disk", "streaming-raid", "non-clustered":
 		return p - 1, nil
-	case "declustered", "declustered-dynamic", "prefetch-flat":
+	case "declustered", "declustered-dynamic", "prefetch-flat", "declustered-pq":
 		return d - 1, nil
 	default:
 		return 0, fmt.Errorf("reliability: unknown scheme %q", scheme)
@@ -112,6 +223,25 @@ func RebuildTime(blocks int64, p, d, f int, roundDur units.Duration) (units.Dura
 		return 0, fmt.Errorf("reliability: bad geometry p=%d d=%d f=%d", p, d, f)
 	}
 	reads := blocks * int64(p-1)
+	perRound := int64(d-1) * int64(f)
+	rounds := (reads + perRound - 1) / perRound
+	return units.Duration(rounds) * roundDur, nil
+}
+
+// RebuildTimePQ is RebuildTime for a P+Q layout rebuilding one failed
+// disk: a group of size p holds p−2 data members plus two parity
+// columns, and a single erasure is closed by one parity column alone,
+// so each lost block needs only p−2 reads:
+//
+//	rounds ≈ blocks · (p−2) / ((d−1) · f)
+func RebuildTimePQ(blocks int64, p, d, f int, roundDur units.Duration) (units.Duration, error) {
+	if blocks < 0 || roundDur <= 0 {
+		return 0, errors.New("reliability: bad rebuild parameters")
+	}
+	if p < 3 || d < p || f < 1 {
+		return 0, fmt.Errorf("reliability: bad P+Q geometry p=%d d=%d f=%d", p, d, f)
+	}
+	reads := blocks * int64(p-2)
 	perRound := int64(d-1) * int64(f)
 	rounds := (reads + perRound - 1) / perRound
 	return units.Duration(rounds) * roundDur, nil

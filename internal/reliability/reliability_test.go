@@ -166,3 +166,149 @@ func TestRebuildTimeRounding(t *testing.T) {
 		t.Fatalf("RebuildTime(0) = %v, %v", got, err)
 	}
 }
+
+func TestMTTDLDouble(t *testing.T) {
+	d, mttr := 13, Hours(24)
+	got, err := MTTDLDouble(PaperDiskMTTF, d, d-1, d-1, mttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperDiskMTTF * PaperDiskMTTF * PaperDiskMTTF /
+		(Hours(d) * Hours(d-1) * Hours(d-1) * mttr * mttr)
+	if math.Abs(float64(got-want)) > float64(want)*1e-12 {
+		t.Fatalf("MTTDLDouble = %v, want %v", got, want)
+	}
+	// The extra parity column must buy orders of magnitude: the ratio to
+	// single-parity MTTDL is MTTF/((d-1)·MTTR), here ≈ 1000×.
+	single, _ := MTTDL(PaperDiskMTTF, d, d-1, mttr)
+	if got < 100*single {
+		t.Fatalf("P+Q MTTDL %v not >> single-parity %v", got, single)
+	}
+}
+
+func TestMTTDLDoubleValidation(t *testing.T) {
+	if _, err := MTTDLDouble(0, 13, 12, 12, 24); err == nil {
+		t.Error("accepted zero MTTF")
+	}
+	if _, err := MTTDLDouble(100, 13, 12, 12, 0); err == nil {
+		t.Error("accepted zero MTTR")
+	}
+	if _, err := MTTDLDouble(100, 2, 1, 1, 24); err == nil {
+		t.Error("accepted d=2")
+	}
+	if _, err := MTTDLDouble(100, 13, 13, 12, 24); err == nil {
+		t.Error("accepted c1 = d")
+	}
+	if _, err := MTTDLDouble(100, 13, 12, 0, 24); err == nil {
+		t.Error("accepted c2 = 0")
+	}
+}
+
+func TestMTTDLReplication(t *testing.T) {
+	got, err := MTTDLReplication(PaperDiskMTTF, 13, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperDiskMTTF * PaperDiskMTTF / (13 * 24)
+	if math.Abs(float64(got-want)) > 1 {
+		t.Fatalf("MTTDLReplication = %v, want %v", got, want)
+	}
+	if _, err := MTTDLReplication(0, 13, 24); err == nil {
+		t.Error("accepted zero MTTF")
+	}
+	if _, err := MTTDLReplication(100, 0, 24); err == nil {
+		t.Error("accepted zero disks")
+	}
+}
+
+func TestStorageOverhead(t *testing.T) {
+	cases := []struct {
+		scheme string
+		p      int
+		want   float64
+	}{
+		{"declustered", 4, 0.25},
+		{"prefetch-flat", 8, 0.125},
+		{"declustered-pq", 4, 0.5},
+		{"declustered-pq", 8, 0.25},
+		{"replication", 4, 0.5},
+	}
+	for _, c := range cases {
+		got, err := StorageOverhead(c.scheme, c.p)
+		if err != nil {
+			t.Errorf("%s p=%d: %v", c.scheme, c.p, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("StorageOverhead(%s, %d) = %v, want %v", c.scheme, c.p, got, c.want)
+		}
+	}
+	if _, err := StorageOverhead("declustered-pq", 2); err == nil {
+		t.Error("accepted P+Q with p=2 (no data members)")
+	}
+	if _, err := StorageOverhead("bogus", 4); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+}
+
+// TestCompareRedundancy pins the table's shape and its ordering
+// invariants: replication is the costliest in storage; P+Q costs more
+// than single parity but multiplies MTTDL by roughly MTTF/((d-1)·MTTR).
+func TestCompareRedundancy(t *testing.T) {
+	d, p, mttr := 13, 4, Hours(24)
+	rows, err := CompareRedundancy(PaperDiskMTTF, d, p, mttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byScheme := map[string]Tradeoff{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	single, pq, repl := byScheme["declustered"], byScheme["declustered-pq"], byScheme["replication"]
+	if !(single.Overhead < pq.Overhead && pq.Overhead <= repl.Overhead) {
+		t.Fatalf("overhead ordering broken: %v / %v / %v", single.Overhead, pq.Overhead, repl.Overhead)
+	}
+	if !(pq.MTTDL > repl.MTTDL && repl.MTTDL > single.MTTDL) {
+		t.Fatalf("MTTDL ordering broken: pq=%v repl=%v single=%v", pq.MTTDL, repl.MTTDL, single.MTTDL)
+	}
+	gain := float64(pq.MTTDL) / float64(single.MTTDL)
+	want := float64(PaperDiskMTTF) / (float64(d-1) * float64(mttr))
+	if math.Abs(gain-want) > 0.01*want {
+		t.Fatalf("P+Q gain %.0f, want ≈ %.0f", gain, want)
+	}
+	if _, err := CompareRedundancy(PaperDiskMTTF, 4, 8, mttr); err == nil {
+		t.Error("accepted p > d")
+	}
+}
+
+func TestCriticalDisksPQ(t *testing.T) {
+	got, err := CriticalDisks("declustered-pq", 13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12 {
+		t.Fatalf("CriticalDisks(declustered-pq) = %d, want 12", got)
+	}
+}
+
+func TestRebuildTimePQ(t *testing.T) {
+	// 120 blocks × (p−2)=2 reads = 240 reads, 12·2 = 24 per round → 10 rounds.
+	got, err := RebuildTimePQ(120, 4, 13, 2, units.Duration(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("RebuildTimePQ = %v, want 10", got)
+	}
+	// One parity column fewer to read than single parity at equal p.
+	single, _ := RebuildTime(120, 4, 13, 2, units.Duration(1))
+	if got >= single {
+		t.Fatalf("P+Q rebuild %v not faster than single-parity %v", got, single)
+	}
+	if _, err := RebuildTimePQ(100, 2, 13, 2, 1); err == nil {
+		t.Error("accepted p=2")
+	}
+}

@@ -140,6 +140,35 @@ func WriteCorruptionCSV(w io.Writer, points []experiments.CorruptionPoint) error
 }
 
 // WriteRebuildCSV emits scheme,p,rebuild_s,mttdl_hours rows (E11).
+// WriteDoubleFaultCSV emits the E18 double-failure sweep as CSV.
+func WriteDoubleFaultCSV(w io.Writer, points []experiments.DoubleFaultPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scheme", "streams", "completed", "lost", "hiccups",
+		"lost_blocks", "rebuilds_done", "rebuild_rounds_sim", "rebuild_rounds_model",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			string(pt.Scheme),
+			fmt.Sprint(pt.Streams),
+			fmt.Sprint(pt.Completed),
+			fmt.Sprint(pt.Lost),
+			fmt.Sprint(pt.Hiccups),
+			fmt.Sprint(pt.LostBlocks),
+			fmt.Sprint(pt.RebuildsDone),
+			fmt.Sprint(pt.MeasuredRebuild),
+			fmt.Sprint(pt.AnalyticRebuild),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 func WriteRebuildCSV(w io.Writer, points []experiments.RebuildPoint) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"scheme", "p", "rebuild_s", "mttdl_hours"}); err != nil {
