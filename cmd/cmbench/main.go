@@ -18,17 +18,26 @@
 // word-sliced forms, every two-erasure reconstruction pair, and the
 // doubly-degraded server round end to end.
 //
+// The -streams flag swaps in the high-stream-count round-tick suite
+// (BENCH_4.json by default): the per-round Tick cost at 1k/10k/100k
+// concurrent streams in healthy, degraded, and rebuilding modes, on a
+// fast-disk geometry where the scheduling overhead (not the simulated
+// disk) dominates. -allocgate makes the run fail if the steady-state
+// tick allocates more than the given budget per op.
+//
 // Usage:
 //
 //	cmbench            # full single-array suite -> BENCH_1.json
 //	cmbench -cluster   # cluster routing/admission suite -> BENCH_2.json
 //	cmbench -pq        # P+Q encode/reconstruct suite -> BENCH_3.json
+//	cmbench -streams   # high-stream-count tick suite -> BENCH_4.json
 //	cmbench -o out.json
 //	cmbench -quick     # skip the slow simulation benchmarks
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +73,12 @@ var seedBaseline = map[string]float64{
 	"Figure6_256MB":      475834081,
 	"SimRound":           20362658,
 }
+
+// streamsBaseline records ns/op for the -streams suite measured at the
+// commit immediately before the round-tick overhaul, on the same
+// reference machine, so the report documents the scheduling win the
+// same way seedBaseline documents the XOR and admission wins.
+var streamsBaseline = map[string]float64{}
 
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -116,17 +131,31 @@ type bench struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq)")
-	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim)")
+	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq, BENCH_4.json with -streams)")
+	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim, ClusterTick100k)")
 	clusterSuite := flag.Bool("cluster", false, "run the cluster routing/admission suite instead")
 	pqSuite := flag.Bool("pq", false, "run the P+Q double-parity suite instead")
+	streamsSuite := flag.Bool("streams", false, "run the high-stream-count tick suite instead")
+	allocGate := flag.Int("allocgate", -1, "with -streams: exit non-zero if the steady-state tick exceeds this many allocs/op (-1 disables)")
+	benchtime := flag.String("benchtime", "", "per-benchmark measuring time (e.g. 5s or 100x), as in go test; empty keeps the 1s default")
 	flag.Parse()
+	if *benchtime != "" {
+		// testing.Init registers the test.* flags testing.Benchmark
+		// reads; a longer benchtime averages over GC-phase noise on
+		// allocation-heavy benchmarks.
+		testing.Init()
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fatal(err)
+		}
+	}
 	if *out == "" {
 		switch {
 		case *clusterSuite:
 			*out = "BENCH_2.json"
 		case *pqSuite:
 			*out = "BENCH_3.json"
+		case *streamsSuite:
+			*out = "BENCH_4.json"
 		default:
 			*out = "BENCH_1.json"
 		}
@@ -220,18 +249,25 @@ func main() {
 			}},
 		)
 	}
+	baseline := seedBaseline
+	baselineDesc := "seed commit, 1-CPU Intel Xeon 2.70 GHz (ns/op)"
 	if *clusterSuite {
 		benches = clusterBenches(*quick)
 	}
 	if *pqSuite {
 		benches = pqBenches()
 	}
+	if *streamsSuite {
+		benches = streamsBenches(*quick)
+		baseline = streamsBaseline
+		baselineDesc = "pre-overhaul tick path, 1-CPU Intel Xeon 2.70 GHz (ns/op)"
+	}
 
 	rep := report{
 		GOOS:     runtime.GOOS,
 		GOARCH:   runtime.GOARCH,
 		CPUs:     runtime.NumCPU(),
-		Baseline: "seed commit, 1-CPU Intel Xeon 2.70 GHz (ns/op)",
+		Baseline: baselineDesc,
 	}
 	for _, bc := range benches {
 		fmt.Fprintf(os.Stderr, "cmbench: running %s...\n", bc.name)
@@ -252,7 +288,7 @@ func main() {
 				br.Metrics[k] = v
 			}
 		}
-		if base, ok := seedBaseline[bc.name]; ok && br.NsPerOp > 0 {
+		if base, ok := baseline[bc.name]; ok && br.NsPerOp > 0 {
 			br.SpeedupVsSeed = base / br.NsPerOp
 		}
 		rep.Results = append(rep.Results, br)
@@ -275,6 +311,17 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "cmbench: wrote %s\n", *out)
+
+	// The allocation regression gate runs after the report is written so
+	// a failing run still leaves the numbers behind for inspection.
+	if *allocGate >= 0 {
+		for _, r := range rep.Results {
+			if r.Name == steadyBenchName && r.AllocsPerOp > int64(*allocGate) {
+				fatal(fmt.Errorf("allocation gate: %s at %d allocs/op exceeds budget %d",
+					r.Name, r.AllocsPerOp, *allocGate))
+			}
+		}
+	}
 }
 
 func benchFigure5(b *testing.B, workers int) {
@@ -601,6 +648,307 @@ func pqBenches() []bench {
 			}
 		}},
 	}
+}
+
+// ---------------------------------------------------------------------
+// -streams: high-stream-count round-tick suite.
+//
+// The paper's service model makes the per-round tick the server's hot
+// path, so this suite measures Tick at populations where scheduling
+// overhead — not the simulated disk — is what's being timed: a fast
+// (6 Gbps) disk with microsecond latencies, 4 KB blocks, and rounds
+// packed to q = 128..192 streams per disk. Servers are built once per
+// benchmark and reused across testing.Benchmark's calibration runs;
+// clips are long enough that no stream reaches EOF inside a normal
+// benchtime, so the steady-state loop does the same work every round.
+// ---------------------------------------------------------------------
+
+// steadyBenchName is the benchmark the -allocgate budget applies to:
+// the healthy steady-state tick, whose hot path is required to stay
+// allocation-free.
+const steadyBenchName = "Tick1kSteady"
+
+const (
+	streamsBlock      = 32 * units.KB // 4 KB blocks: scheduling dominates transfer
+	streamsClipBlocks = 8192          // 32.8 MB clips; streams never EOF mid-benchtime
+)
+
+// fastStreamsDisk is a modern-disk geometry (6 Gbps transfer, 10 us
+// settle, 0.1 ms full-stroke seek, negligible rotation) under which
+// Equation 1 admits q = 192 streams per disk at 4 KB blocks with a
+// 21.3 ms round.
+func fastStreamsDisk() diskmodel.Parameters {
+	return diskmodel.Parameters{
+		TransferRate: 6 * units.Gbps,
+		Settle:       10 * units.Microsecond,
+		Seek:         100 * units.Microsecond,
+		Rotation:     0,
+		Capacity:     64 * units.GB,
+		PlaybackRate: 1500 * units.Kbps,
+	}
+}
+
+func streamsServerConfig(d, q, spares int) core.Config {
+	return core.Config{
+		Scheme: core.Declustered,
+		Disk:   fastStreamsDisk(),
+		D:      d, P: 4,
+		Block:  streamsBlock,
+		Q:      q, F: 16,
+		Buffer: 2 * units.GB,
+		Spares: spares,
+	}
+}
+
+// streamsClipData builds one shared clip payload; Array.Write copies
+// into its own buffers, so every clip can alias this slice.
+func streamsClipData() []byte {
+	data := make([]byte, streamsClipBlocks*int(streamsBlock/8))
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	return data
+}
+
+// tickBench is one cached high-stream-count server population.
+type tickBench struct {
+	srv     *core.Server
+	cl      *cluster.Cluster
+	streams []*core.Stream
+	cstream []*cluster.Stream
+	names   []string
+	scratch []byte
+}
+
+// drainOne reads one round's payload from stream j, recycling it if the
+// clip finished (a safety net: clips are sized so this doesn't happen
+// inside a normal benchtime).
+func (tb *tickBench) drainOne(b *testing.B, j int) {
+	if tb.cl != nil {
+		_, err := tb.cstream[j].Read(tb.scratch)
+		switch {
+		case err == nil || errors.Is(err, core.ErrNoData):
+		case err == io.EOF:
+			if ns, oerr := tb.cl.OpenStream(tb.names[j]); oerr == nil {
+				tb.cstream[j] = ns
+			} else if !errors.Is(oerr, core.ErrAdmission) {
+				b.Fatal(oerr)
+			}
+		default:
+			b.Fatal(err)
+		}
+		return
+	}
+	_, err := tb.streams[j].Read(tb.scratch)
+	switch {
+	case err == nil || errors.Is(err, core.ErrNoData):
+	case err == io.EOF:
+		if ns, oerr := tb.srv.OpenStream(tb.names[j]); oerr == nil {
+			tb.streams[j] = ns
+		} else if !errors.Is(oerr, core.ErrAdmission) {
+			b.Fatal(oerr)
+		}
+	default:
+		b.Fatal(err)
+	}
+}
+
+func (tb *tickBench) n() int {
+	if tb.cl != nil {
+		return len(tb.cstream)
+	}
+	return len(tb.streams)
+}
+
+func (tb *tickBench) tick(b *testing.B) {
+	var err error
+	if tb.cl != nil {
+		err = tb.cl.Tick()
+	} else {
+		err = tb.srv.Tick()
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < tb.n(); j++ {
+		tb.drainOne(b, j)
+	}
+}
+
+// open admits `want` streams round-robin over the clips. The admission
+// controller caps same-clip opens at f per round (they share a cell), so
+// the population builds up over several rounds, ticking and draining
+// between batches exactly like a live arrival wave.
+func (tb *tickBench) open(b *testing.B, want int) {
+	b.Helper()
+	openClip := func(name string) error {
+		if tb.cl != nil {
+			st, err := tb.cl.OpenStream(name)
+			if err != nil {
+				return err
+			}
+			tb.cstream = append(tb.cstream, st)
+		} else {
+			st, err := tb.srv.OpenStream(name)
+			if err != nil {
+				return err
+			}
+			tb.streams = append(tb.streams, st)
+		}
+		tb.names = append(tb.names, name)
+		return nil
+	}
+	clips := tb.names // the builder filled names with the clip catalog
+	tb.names = nil
+	for rounds := 0; tb.n() < want; rounds++ {
+		if rounds > want {
+			b.Fatalf("admission stalled: %d/%d streams after %d rounds", tb.n(), want, rounds)
+		}
+		for _, name := range clips {
+			for tb.n() < want {
+				if err := openClip(name); err != nil {
+					if errors.Is(err, core.ErrAdmission) {
+						break // this clip's cell is full this round
+					}
+					b.Fatal(err)
+				}
+			}
+			if tb.n() >= want {
+				break
+			}
+		}
+		if tb.n() >= want {
+			break
+		}
+		tb.tick(b)
+	}
+}
+
+// newTickBench builds a single fast-disk server with nclips clips and
+// `want` admitted streams.
+func newTickBench(b *testing.B, cfg core.Config, nclips, want int) *tickBench {
+	b.Helper()
+	srv, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := &tickBench{srv: srv, scratch: make([]byte, int(streamsBlock/8))}
+	data := streamsClipData()
+	for i := 0; i < nclips; i++ {
+		name := fmt.Sprintf("clip-%d", i)
+		if err := srv.AddClip(name, data); err != nil {
+			b.Fatal(err)
+		}
+		tb.names = append(tb.names, name)
+	}
+	tb.open(b, want)
+	// Clear the GC debt from clip ingest (gigabytes of parity
+	// read-modify-write churn) so the measured loop starts from a settled
+	// heap.
+	runtime.GC()
+	return tb
+}
+
+// newClusterTickBench shards the same population across `nodes`
+// independent arrays (replication 1: the tick cost, not failover, is
+// what's under test).
+func newClusterTickBench(b *testing.B, nodes, clipsPerNode, want int) *tickBench {
+	b.Helper()
+	cfg := cluster.Config{Replication: 1}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, streamsServerConfig(64, 192, 0))
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := &tickBench{cl: cl, scratch: make([]byte, int(streamsBlock/8))}
+	data := streamsClipData()
+	for i := 0; i < nodes*clipsPerNode; i++ {
+		name := fmt.Sprintf("clip-%d", i)
+		if err := cl.AddClip(name, data); err != nil {
+			b.Fatal(err)
+		}
+		tb.names = append(tb.names, name)
+	}
+	tb.open(b, want)
+	runtime.GC()
+	return tb
+}
+
+// streamsBenches is the -streams suite. Each benchmark caches its server
+// in the closure so testing.Benchmark's calibration re-invocations reuse
+// the built population instead of re-admitting it. The measured loop is
+// one Tick plus one Read per stream per iteration; perIter (if set) runs
+// before each tick for mode upkeep such as re-failing a rebuilt disk.
+func streamsBenches(quick bool) []bench {
+	lazy := func(build func(b *testing.B) *tickBench, perIter func(b *testing.B, tb *tickBench)) func(b *testing.B) {
+		var tb *tickBench
+		return func(b *testing.B) {
+			if tb == nil {
+				tb = build(b)
+			}
+			b.ReportMetric(float64(tb.n()), "streams")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if perIter != nil {
+					perIter(b, tb)
+				}
+				tb.tick(b)
+			}
+		}
+	}
+	benches := []bench{
+		// The allocation-gate target: healthy steady state, 1k streams on
+		// 32 disks at q=128.
+		{steadyBenchName, lazy(func(b *testing.B) *tickBench {
+			return newTickBench(b, streamsServerConfig(32, 128, 0), 8, 1000)
+		}, nil)},
+		// Same population with one failed disk and no spare: every
+		// affected group block is served by on-the-fly reconstruction.
+		{"Tick1kDegraded", lazy(func(b *testing.B) *tickBench {
+			tb := newTickBench(b, streamsServerConfig(32, 128, 0), 8, 1000)
+			if err := tb.srv.FailDisk(0); err != nil {
+				b.Fatal(err)
+			}
+			return tb
+		}, nil)},
+		// Rebuild competing with stream service for idle round capacity;
+		// the disk is re-failed (outside the timer) whenever the rebuild
+		// completes so every measured round carries rebuild traffic.
+		{"Tick1kRebuilding", lazy(func(b *testing.B) *tickBench {
+			tb := newTickBench(b, streamsServerConfig(32, 128, 4096), 8, 1000)
+			if err := tb.srv.FailDisk(0); err != nil {
+				b.Fatal(err)
+			}
+			return tb
+		}, func(b *testing.B, tb *tickBench) {
+			if tb.srv.Mode() == core.ModeHealthy {
+				b.StopTimer()
+				if err := tb.srv.FailDisk(0); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})},
+		// The headline scaling point: 10k streams on one 64-disk array at
+		// q=192.
+		{"Tick10k", lazy(func(b *testing.B) *tickBench {
+			return newTickBench(b, streamsServerConfig(64, 192, 0), 16, 10000)
+		}, nil)},
+		// 10k streams sharded over a 2-node cluster: the acceptance
+		// criterion's ClusterTick point.
+		{"ClusterTick10k", lazy(func(b *testing.B) *tickBench {
+			return newClusterTickBench(b, 2, 8, 10000)
+		}, nil)},
+	}
+	if !quick {
+		benches = append(benches, bench{"ClusterTick100k", lazy(func(b *testing.B) *tickBench {
+			return newClusterTickBench(b, 10, 16, 100000)
+		}, nil)})
+	}
+	return benches
 }
 
 func fatal(err error) {
