@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 
 	"ftcms/internal/admission"
 	"ftcms/internal/buffer"
@@ -331,16 +332,15 @@ func (s *Server) Tick() error {
 	if s.groupFetch {
 		perRound = int64(s.cfg.P - 1)
 	}
-	// Deterministic iteration: stream IDs ascending.
+	// Deterministic iteration: stream IDs ascending. Map iteration hands
+	// the IDs over in random order, so this must be a real sort — the
+	// insertion sort that used to live here went quadratic on every
+	// tick (~n²/4 swaps; dominant above a few thousand streams).
 	ids := make([]int, 0, len(s.streams))
 	for id := range s.streams {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 
 	for _, id := range ids {
 		st, ok := s.streams[id]

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"strconv"
+	"testing"
+)
+
+// insertionSortIDs is the ordering step Tick used before it switched to
+// slices.Sort, kept as the "before" side of the comparison: fine for a
+// handful of streams, quadratic (~n²/4 swaps) on the randomly-ordered
+// IDs Go map iteration produces.
+func insertionSortIDs(ids []int) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// shuffledIDs models the per-tick input: stream IDs collected from map
+// iteration, i.e. a random permutation.
+func shuffledIDs(n int, rng *rand.Rand) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids
+}
+
+func benchTickOrder(b *testing.B, n int, sortFn func([]int)) {
+	rng := rand.New(rand.NewSource(1))
+	perms := make([][]int, 16)
+	for i := range perms {
+		perms[i] = shuffledIDs(n, rng)
+	}
+	scratch := make([]int, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, perms[i%len(perms)])
+		sortFn(scratch)
+	}
+}
+
+func BenchmarkTickOrderInsertion(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			benchTickOrder(b, n, insertionSortIDs)
+		})
+	}
+}
+
+func BenchmarkTickOrderSort(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			benchTickOrder(b, n, func(ids []int) { slices.Sort(ids) })
+		})
+	}
+}
+
+func TestInsertionSortIDsMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 33, 1024} {
+		a := shuffledIDs(n, rng)
+		b := slices.Clone(a)
+		insertionSortIDs(a)
+		slices.Sort(b)
+		if !slices.Equal(a, b) {
+			t.Fatalf("n=%d: insertion sort and slices.Sort disagree", n)
+		}
+	}
+}
