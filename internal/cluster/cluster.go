@@ -32,6 +32,7 @@ import (
 	"ftcms/internal/core"
 	"ftcms/internal/faultinject"
 	"ftcms/internal/health"
+	"ftcms/internal/parallel"
 )
 
 // ErrNoReplica is returned by OpenStream when no live node holds the
@@ -61,6 +62,12 @@ type Config struct {
 	// detector, so a scripted fail-stop is discovered by detection —
 	// never by command — exactly like a disk inside one array.
 	Faults *faultinject.Plan
+	// TickWorkers bounds the worker pool Tick fans the per-node service
+	// rounds out on: 0 (the default) means one worker per available
+	// CPU, 1 forces the sequential loop. Nodes are fully independent
+	// arrays (own engine, detector, buffers), so parallel node ticks
+	// are deterministic regardless of worker count.
+	TickWorkers int
 }
 
 // node is one member array and its cluster-level liveness.
@@ -86,6 +93,11 @@ type Cluster struct {
 	streams map[int]*Stream
 	nextID  int
 	round   int64
+	// tickWorkers is Config.TickWorkers resolved via parallel.Workers;
+	// live is the per-Tick scratch list of live nodes, reused so the
+	// steady-state tick allocates nothing.
+	tickWorkers int
+	live        []*node
 
 	// pendingFailover holds streams whose node died and whose replicas
 	// had no admission capacity yet; retried every Tick.
@@ -150,6 +162,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.nodes = append(c.nodes, &node{id: i, srv: srv, alive: true})
 	}
+	c.tickWorkers = parallel.Workers(cfg.TickWorkers)
 	c.detector = health.NewDetector(len(cfg.Nodes), cfg.Health)
 	c.detector.SetOnFail(c.nodeDeclared)
 	if cfg.Faults != nil {
@@ -333,13 +346,24 @@ func (c *Cluster) Tick() error {
 			c.detector.Observe(n.id, slow, err)
 		}
 	}
+	// Nodes are independent arrays; their rounds fan out on the worker
+	// pool. ForEach reports the lowest-index failure, matching the
+	// sequential loop's first-error-wins.
+	c.live = c.live[:0]
 	for _, n := range c.nodes {
-		if !n.alive {
-			continue
+		if n.alive {
+			c.live = append(c.live, n)
 		}
-		if err := n.srv.Tick(); err != nil {
-			return fmt.Errorf("cluster: node %d: %w", n.id, err)
+	}
+	live := c.live
+	err := parallel.ForEach(len(live), c.tickWorkers, func(i int) error {
+		if terr := live[i].srv.Tick(); terr != nil {
+			return fmt.Errorf("cluster: node %d: %w", live[i].id, terr)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	c.retryFailovers()
 	return nil

@@ -26,6 +26,7 @@ import (
 	"ftcms/internal/faultinject"
 	"ftcms/internal/health"
 	"ftcms/internal/layout"
+	"ftcms/internal/parallel"
 	"ftcms/internal/recovery"
 	"ftcms/internal/sched"
 	"ftcms/internal/storage"
@@ -104,6 +105,13 @@ type Config struct {
 	// pre-scrub behaviour); negative means unlimited — the sweep is then
 	// bounded only by the idle capacity each round leaves under q.
 	ScrubRate int
+	// TickWorkers bounds the worker pool Tick shards stream service
+	// across: 0 (the default) means one worker per available CPU, 1
+	// forces the sequential path, n > 1 uses n workers. Sharding engages
+	// only on fully healthy, fault-quiescent rounds with a large stream
+	// population and is bit-identical to the sequential tick (see
+	// tickshard.go).
+	TickWorkers int
 }
 
 // Stats reports a server's running counters.
@@ -202,6 +210,22 @@ type Server struct {
 	served       int
 	hiccups      int64
 
+	// reg is the service registry: every stream the Tick loop visits, in
+	// ascending-id order, maintained incrementally on open/release
+	// instead of being collected and sorted from the streams map every
+	// round. Released streams linger (active=false) until the next
+	// round's compaction sweep drops them in place.
+	reg []*Stream
+	// tickWorkers is Config.TickWorkers resolved via parallel.Workers.
+	tickWorkers int
+	// shards holds the per-worker accumulators of the sharded tick,
+	// allocated once and reset each parallel round.
+	shards []tickShard
+	// parallelRounds counts rounds whose stream service actually
+	// sharded (parallelOK held); tests use it to prove the parallel
+	// path engaged rather than silently falling back to sequential.
+	parallelRounds int64
+
 	// Failure lifecycle (failure.go).
 	detector         *health.Detector
 	injector         *faultinject.Injector
@@ -239,26 +263,39 @@ type Server struct {
 	// groupFetch is set for streaming RAID: fetch a whole group at once.
 	groupFetch bool
 
-	// blockPool recycles block-sized buffers between the fetch/
-	// reconstruction paths and delivery, keeping the steady-state data
-	// path allocation-free.
-	blockPool sync.Pool
+	// blockMu guards blockFree, the freelist recycling block-sized
+	// buffers between the fetch/reconstruction paths and delivery. A
+	// plain LIFO stack rather than a sync.Pool: Put(&b) boxes the slice
+	// header on every recycle — one heap allocation per delivered block —
+	// while push/pop on a pre-grown slice allocates nothing. The mutex
+	// keeps it safe for the sharded tick.
+	blockMu   sync.Mutex
+	blockFree [][]byte
 }
 
 // getBlock returns a block-sized buffer with unspecified contents.
 func (s *Server) getBlock() []byte {
-	if b, ok := s.blockPool.Get().(*[]byte); ok {
-		return *b
+	s.blockMu.Lock()
+	if n := len(s.blockFree); n > 0 {
+		b := s.blockFree[n-1]
+		s.blockFree[n-1] = nil
+		s.blockFree = s.blockFree[:n-1]
+		s.blockMu.Unlock()
+		return b
 	}
+	s.blockMu.Unlock()
 	return make([]byte, s.store.Array.BlockSize())
 }
 
 // putBlock recycles a block buffer. Callers must drop every reference
 // first; delivered payload is always copied out before the put.
 func (s *Server) putBlock(b []byte) {
-	if len(b) == s.store.Array.BlockSize() {
-		s.blockPool.Put(&b)
+	if len(b) != s.store.Array.BlockSize() {
+		return
 	}
+	s.blockMu.Lock()
+	s.blockFree = append(s.blockFree, b)
+	s.blockMu.Unlock()
 }
 
 type clipInfo struct {
@@ -352,6 +389,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.sparesLeft = cfg.Spares
+	s.tickWorkers = parallel.Workers(cfg.TickWorkers)
 	s.detector = health.NewDetector(cfg.D, cfg.Health)
 	s.detector.SetOnFail(s.failDeclared)
 	s.detector.SetClock(s.engine.Round)

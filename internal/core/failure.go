@@ -147,9 +147,15 @@ func (s *Server) startRebuild(disk int) {
 	if s.injector != nil {
 		s.injector.ClearDisk(disk)
 	}
+	// Walk clips in sorted-name order: map iteration is randomized, and
+	// the representative logical index recorded for each parity block
+	// (the first group member seen) must be replayable or the sorted
+	// queue's entry order — and with it the rebuild's round-by-round
+	// progress — varies run to run.
 	var queue []int64
 	seenParity := make(map[layout.BlockAddr]bool)
-	for _, ci := range s.clips {
+	for _, name := range s.Clips() {
+		ci := s.clips[name]
 		for n := int64(0); n < ci.blocks; n++ {
 			i := ci.block(n)
 			g := s.lay.GroupOf(i)
@@ -344,12 +350,12 @@ func (s *Server) nextRebuild() {
 // disk is truly unresponsive — the caller then takes the degraded path.
 func (s *Server) readMonitored(logical int64, addr layout.BlockAddr) ([]byte, error) {
 	arr := s.store.Array
-	data, err := s.detector.Read(addr.Disk, func() ([]byte, float64, error) {
-		return arr.ReadTimed(addr.Disk, addr.Block)
-	})
+	data := s.getBlock()
+	err := s.detector.ReadInto(arr, addr.Disk, addr.Block, data)
 	if err == nil {
 		return data, nil
 	}
+	s.putBlock(data)
 	switch {
 	case errors.Is(err, storage.ErrBadBlock):
 		// Latent sector error on an otherwise healthy disk: reconstruct
@@ -405,13 +411,17 @@ func (s *Server) readMember(a layout.BlockAddr) ([]byte, error) {
 	if arr.Failed(a.Disk) {
 		return nil, fmt.Errorf("storage: disk %d: %w", a.Disk, storage.ErrFailed)
 	}
-	data, err := s.detector.Read(a.Disk, func() ([]byte, float64, error) {
-		return arr.ReadTimed(a.Disk, a.Block)
-	})
+	data := s.getBlock()
+	err := s.detector.ReadInto(arr, a.Disk, a.Block, data)
 	if errors.Is(err, storage.ErrNotWritten) && arr.State(a.Disk) == storage.Healthy {
-		return make([]byte, arr.BlockSize()), nil
+		clear(data)
+		return data, nil
 	}
-	return data, err
+	if err != nil {
+		s.putBlock(data)
+		return nil, err
+	}
+	return data, nil
 }
 
 // readMemberInto is readMember filling a caller-owned scratch buffer, so
@@ -421,10 +431,7 @@ func (s *Server) readMemberInto(a layout.BlockAddr, dst []byte) error {
 	if arr.Failed(a.Disk) {
 		return fmt.Errorf("storage: disk %d: %w", a.Disk, storage.ErrFailed)
 	}
-	_, err := s.detector.Read(a.Disk, func() ([]byte, float64, error) {
-		slow, rerr := arr.ReadTimedInto(a.Disk, a.Block, dst)
-		return dst, slow, rerr
-	})
+	err := s.detector.ReadInto(arr, a.Disk, a.Block, dst)
 	if errors.Is(err, storage.ErrNotWritten) && arr.State(a.Disk) == storage.Healthy {
 		clear(dst)
 		return nil
@@ -585,6 +592,7 @@ func (s *Server) terminate(st *Stream, reason error) {
 	s.terminated++
 	if st.paused {
 		delete(s.streams, st.id)
+		st.active = false
 		return
 	}
 	s.release(st)

@@ -45,9 +45,12 @@ type scrubState struct {
 // sweep: every clip data block, plus one entry per distinct parity
 // block.
 func (s *Server) buildScrubQueue() *scrubState {
+	// Sorted-name clip order keeps each parity entry's representative
+	// logical index replayable across runs (see startRebuild).
 	var queue []scrubEntry
 	seenParity := make(map[layout.BlockAddr]bool)
-	for _, ci := range s.clips {
+	for _, name := range s.Clips() {
+		ci := s.clips[name]
 		for n := int64(0); n < ci.blocks; n++ {
 			i := ci.block(n)
 			queue = append(queue, scrubEntry{logical: i, addr: s.lay.Place(i)})
@@ -149,11 +152,7 @@ func (s *Server) scrubStep() {
 func (s *Server) scrubRead(a layout.BlockAddr) error {
 	scratch := s.getBlock()
 	defer s.putBlock(scratch)
-	_, err := s.detector.Read(a.Disk, func() ([]byte, float64, error) {
-		slow, rerr := s.store.Array.ReadTimedInto(a.Disk, a.Block, scratch)
-		return scratch, slow, rerr
-	})
-	return err
+	return s.detector.ReadInto(s.store.Array, a.Disk, a.Block, scratch)
 }
 
 // repairOutcome is scrubRepair's verdict on one entry.

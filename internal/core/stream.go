@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"io"
@@ -47,11 +48,23 @@ type Stream struct {
 	// clip-relative index of the block they substitute for.
 	parity map[int64][]byte
 
-	// readable is delivered-but-unread payload.
+	// readable is delivered-but-unread payload; readOff is the reader's
+	// cursor into it. Read advances the cursor instead of re-slicing, so
+	// once the reader drains everything the buffer resets to its full
+	// capacity and steady-state delivery appends without reallocating.
 	readable []byte
+	readOff  int
 	// deliveredBytes counts payload moved into readable so far.
 	deliveredBytes int64
 	done           bool
+	// active mirrors membership in srv.streams: true from OpenStream (or
+	// Resume) until release, Pause or termination. The Tick loop checks
+	// it instead of a map lookup.
+	active bool
+	// inReg marks presence in srv.reg; cleared by the compaction sweep,
+	// checked by regAdd so a Resume before compaction does not insert a
+	// duplicate.
+	inReg bool
 	// termErr is the explicit reason the server terminated the stream
 	// (an unrecoverable parity group after a second failure); the reader
 	// receives it, after draining delivered bytes, instead of io.EOF.
@@ -105,7 +118,49 @@ func (s *Server) OpenStream(clipName string) (*Stream, error) {
 	}
 	s.nextStreamID++
 	s.streams[st.id] = st
+	st.active = true
+	s.regAdd(st)
 	return st, nil
+}
+
+// regAdd inserts st into the service registry, keeping ascending-id
+// order. New streams append (ids are issued in increasing order); a
+// Resume after compaction re-inserts at the sorted position.
+func (s *Server) regAdd(st *Stream) {
+	if st.inReg {
+		return
+	}
+	st.inReg = true
+	n := len(s.reg)
+	if n == 0 || s.reg[n-1].id < st.id {
+		s.reg = append(s.reg, st)
+		return
+	}
+	i, _ := slices.BinarySearchFunc(s.reg, st.id, func(a *Stream, id int) int {
+		return cmp.Compare(a.id, id)
+	})
+	s.reg = slices.Insert(s.reg, i, st)
+}
+
+// compactReg drops released streams from the registry in place,
+// preserving order. Runs at the top of every Tick; between ticks the
+// registry only ever gains entries (OpenStream/Resume), so within a
+// round it is stable and shardable.
+func (s *Server) compactReg() {
+	keep := s.reg[:0]
+	for _, st := range s.reg {
+		if st.active {
+			keep = append(keep, st)
+		} else {
+			st.inReg = false
+		}
+	}
+	// Zero the tail so released streams don't leak through the backing
+	// array.
+	for i := len(keep); i < len(s.reg); i++ {
+		s.reg[i] = nil
+	}
+	s.reg = keep
 }
 
 // admit maps the clip's real start placement to the scheme's admission
@@ -156,6 +211,7 @@ func (s *Server) release(st *Stream) {
 	}
 	s.pool.Release(st.buf)
 	delete(s.streams, st.id)
+	st.active = false
 }
 
 // Close abandons the stream, releasing its resources. Reading after Close
@@ -166,9 +222,11 @@ func (st *Stream) Close() error {
 	}
 	st.done = true
 	st.readable = nil
+	st.readOff = 0
 	st.recyclePipeline()
 	if st.paused {
 		delete(st.srv.streams, st.id) // bandwidth/buffer already released
+		st.active = false
 		return nil
 	}
 	st.srv.release(st)
@@ -223,6 +281,7 @@ func (st *Stream) SeekTo(offset int64) error {
 	st.nextFetch = block
 	st.recyclePipeline()
 	st.readable = nil
+	st.readOff = 0
 	st.deliveredBytes = block * bs
 	return nil
 }
@@ -274,6 +333,8 @@ func (st *Stream) Resume() error {
 	st.buf = perClip
 	st.paused = false
 	s.streams[st.id] = st
+	st.active = true
+	s.regAdd(st)
 	return nil
 }
 
@@ -295,7 +356,7 @@ func (st *Stream) Err() error { return st.termErr }
 // ErrNoData when the pipeline has not delivered the next block yet and
 // io.EOF once the whole clip has been read.
 func (st *Stream) Read(p []byte) (int, error) {
-	if len(st.readable) == 0 {
+	if st.readOff >= len(st.readable) {
 		if st.done {
 			if st.termErr != nil {
 				return 0, st.termErr
@@ -307,8 +368,14 @@ func (st *Stream) Read(p []byte) (int, error) {
 		}
 		return 0, ErrNoData
 	}
-	n := copy(p, st.readable)
-	st.readable = st.readable[n:]
+	n := copy(p, st.readable[st.readOff:])
+	st.readOff += n
+	if st.readOff == len(st.readable) {
+		// Fully drained: rewind so the buffer's whole capacity is reused
+		// by the next round's delivery instead of reallocating.
+		st.readable = st.readable[:0]
+		st.readOff = 0
+	}
 	return n, nil
 }
 
@@ -332,24 +399,14 @@ func (s *Server) Tick() error {
 	if s.groupFetch {
 		perRound = int64(s.cfg.P - 1)
 	}
-	// Deterministic iteration: stream IDs ascending. Map iteration hands
-	// the IDs over in random order, so this must be a real sort — the
-	// insertion sort that used to live here went quadratic on every
-	// tick (~n²/4 swaps; dominant above a few thousand streams).
-	ids := make([]int, 0, len(s.streams))
-	for id := range s.streams {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-
-	for _, id := range ids {
-		st, ok := s.streams[id]
-		if !ok || st.done {
-			continue // terminated earlier this round (failure cascade)
-		}
-		if err := s.tickStream(st, perRound); err != nil {
-			return err
-		}
+	// Deterministic iteration: the service registry holds every active
+	// stream in ascending-id order, maintained incrementally — no
+	// per-tick collect-and-sort of the streams map (first an O(n²)
+	// insertion sort, then slices.Sort, both with a fresh slice every
+	// round).
+	s.compactReg()
+	if err := s.serviceStreams(perRound); err != nil {
+		return err
 	}
 	before := s.rebuildReads
 	s.rebuildStep()
@@ -358,8 +415,31 @@ func (s *Server) Tick() error {
 	return nil
 }
 
+// serviceStreams runs the round's fetch/delivery phase for every active
+// stream, sharding across the worker pool when the round qualifies
+// (see parallelOK) and falling back to the plain sequential loop
+// otherwise.
+func (s *Server) serviceStreams(perRound int64) error {
+	if s.parallelOK() {
+		return s.tickParallel(perRound)
+	}
+	for _, st := range s.reg {
+		if !st.active || st.done {
+			continue // released or terminated earlier this round
+		}
+		if err := s.tickStream(st, perRound, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // tickStream runs one stream's fetch and delivery phases for the round.
-func (s *Server) tickStream(st *Stream, perRound int64) error {
+// With a non-nil shard, every shared-state side effect (round-ledger
+// charges, hiccup counting, completion and termination bookkeeping)
+// goes to the shard's accumulators instead, to be merged at the round
+// barrier.
+func (s *Server) tickStream(st *Stream, perRound int64, sh *tickShard) error {
 	// Fetch phase: keep the pipeline prefetchDepth blocks ahead of
 	// delivery (whole groups at once for streaming RAID).
 	target := st.nextDeliver + s.prefetchDepth
@@ -368,9 +448,9 @@ func (s *Server) tickStream(st *Stream, perRound int64) error {
 	}
 	fetchBudget := perRound
 	for st.nextFetch < target && fetchBudget > 0 {
-		if err := s.fetchInto(st, st.nextFetch); err != nil {
+		if err := s.fetchInto(st, st.nextFetch, sh); err != nil {
 			if errors.Is(err, recovery.ErrUnrecoverable) {
-				s.terminate(st, fmt.Errorf("%w: %v", ErrStreamLost, err))
+				s.terminateTick(sh, st, fmt.Errorf("%w: %v", ErrStreamLost, err))
 				return nil
 			}
 			return err
@@ -386,9 +466,9 @@ func (s *Server) tickStream(st *Stream, perRound int64) error {
 	// Delivery phase: one block of playback per round once started.
 	if st.started {
 		for k := int64(0); k < perRound && st.nextDeliver < st.clip.blocks; k++ {
-			if err := s.deliver(st); err != nil {
+			if err := s.deliver(st, sh); err != nil {
 				if errors.Is(err, recovery.ErrUnrecoverable) {
-					s.terminate(st, fmt.Errorf("%w: %v", ErrStreamLost, err))
+					s.terminateTick(sh, st, fmt.Errorf("%w: %v", ErrStreamLost, err))
 					return nil
 				}
 				return err
@@ -397,8 +477,12 @@ func (s *Server) tickStream(st *Stream, perRound int64) error {
 	}
 	if st.nextDeliver >= st.clip.blocks {
 		st.done = true
-		s.served++
-		s.release(st)
+		if sh == nil {
+			s.served++
+			s.release(st)
+		} else {
+			sh.completed = append(sh.completed, st)
+		}
 	}
 	return nil
 }
@@ -410,11 +494,11 @@ func (s *Server) tickStream(st *Stream, perRound int64) error {
 // injected — the pre-fetching schemes fetch the group's parity block
 // instead (§6) and the others fetch the surviving members and
 // reconstruct (§4).
-func (s *Server) fetchInto(st *Stream, n int64) error {
+func (s *Server) fetchInto(st *Stream, n int64, sh *tickShard) error {
 	logical := st.clip.block(n)
 	addr := s.lay.Place(logical)
 	if !s.store.Array.Failed(addr.Disk) {
-		s.charge(addr.Disk)
+		s.chargeTick(sh, addr.Disk)
 		data, err := s.readMonitored(logical, addr)
 		if err == nil {
 			st.fetched[n] = data
@@ -434,7 +518,7 @@ func (s *Server) fetchInto(st *Stream, n int64) error {
 		if s.store.Array.Failed(g.Parity.Disk) {
 			return fmt.Errorf("%w: parity disk %d also failed", recovery.ErrUnrecoverable, g.Parity.Disk)
 		}
-		s.charge(g.Parity.Disk)
+		s.chargeTick(sh, g.Parity.Disk)
 		pbuf, err := s.readMember(g.Parity)
 		if err != nil {
 			return fmt.Errorf("%w: parity disk %d unavailable: %v", recovery.ErrUnrecoverable, g.Parity.Disk, err)
@@ -457,6 +541,12 @@ func (s *Server) fetchInto(st *Stream, n int64) error {
 // reconstruction. It runs before the group's first delivery, when §6.1
 // guarantees all surviving members are in the buffer.
 func (s *Server) reconstructPending(st *Stream, n int64) {
+	if len(st.parity) == 0 {
+		// Nothing pending — the common case, and the healthy path's only
+		// one. Returning before GroupOf keeps its two slice allocations
+		// out of every delivery.
+		return
+	}
 	logical := st.clip.block(n)
 	g := s.lay.GroupOf(logical)
 	for _, li := range g.Data {
@@ -493,7 +583,7 @@ func (s *Server) reconstructPending(st *Stream, n int64) {
 }
 
 // deliver moves clip block nextDeliver into the readable buffer.
-func (s *Server) deliver(st *Stream) error {
+func (s *Server) deliver(st *Stream, sh *tickShard) error {
 	n := st.nextDeliver
 	s.reconstructPending(st, n)
 	data, ok := st.fetched[n]
@@ -502,7 +592,7 @@ func (s *Server) deliver(st *Stream) error {
 			// A mid-group restart (pause/resume across a failure) dropped
 			// the buffered siblings the §6 invariant normally provides;
 			// fall back to reading them from disk for this one group.
-			rebuilt, err := s.reconstructFromDisk(st, n, pbuf)
+			rebuilt, err := s.reconstructFromDisk(st, n, pbuf, sh)
 			if err != nil {
 				return err
 			}
@@ -515,7 +605,11 @@ func (s *Server) deliver(st *Stream) error {
 	}
 	if !ok {
 		// The pipeline failed to produce the block in time.
-		s.hiccups++
+		if sh == nil {
+			s.hiccups++
+		} else {
+			sh.hiccups++
+		}
 		st.nextDeliver++
 		if pbuf, have := st.parity[n]; have {
 			delete(st.parity, n)
@@ -544,7 +638,7 @@ func (s *Server) deliver(st *Stream) error {
 // sibling reads, preferring buffered siblings and charging disk reads
 // for the rest. A sibling on another failed disk makes the group
 // unrecoverable.
-func (s *Server) reconstructFromDisk(st *Stream, n int64, pbuf []byte) ([]byte, error) {
+func (s *Server) reconstructFromDisk(st *Stream, n int64, pbuf []byte, sh *tickShard) ([]byte, error) {
 	logical := st.clip.block(n)
 	g := s.lay.GroupOf(logical)
 	out := s.getBlock()
@@ -561,7 +655,7 @@ func (s *Server) reconstructFromDisk(st *Stream, n int64, pbuf []byte) ([]byte, 
 			continue
 		}
 		addr := s.lay.Place(li)
-		s.charge(addr.Disk)
+		s.chargeTick(sh, addr.Disk)
 		if err := s.readMemberInto(addr, scratch); err != nil {
 			s.putBlock(out)
 			return nil, fmt.Errorf("%w: disk %d also unavailable: %v", recovery.ErrUnrecoverable, addr.Disk, err)

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"ftcms/internal/parallel"
+)
+
+// This file implements the sharded round tick: stream service fanned
+// out across the worker pool, with every shared-state side effect
+// accumulated per shard and merged at the round barrier so the result
+// is bit-identical to the sequential loop.
+//
+// Why this is sound: sharding engages only on rounds that parallelOK
+// proves quiescent — every disk Healthy, no rebuild in flight or
+// queued, and the fault injector (if any) inert for the round. On such
+// a round every physical read succeeds deterministically (no failed
+// disks, no injected verdicts, no RNG draws, every clip block written),
+// so stream service decomposes into per-stream work that touches only
+// the stream's own state plus four shared effects:
+//
+//   - round-ledger charges: accumulated per shard per disk and merged
+//     with sched.Engine.ChargeN, whose ledger and overflow accounting
+//     depend only on per-disk totals — order-free;
+//   - detector observations: storage.Array reads are lock-atomic and
+//     health.Detector.Observe of a clean read is idempotent (it resets
+//     an already-clean strike counter), so observation order is
+//     immaterial;
+//   - hiccup counting: a per-shard int64, summed at the barrier;
+//   - stream completion/termination: deferred to the barrier and
+//     applied in shard order — shards are contiguous ascending-id
+//     chunks of the registry, so barrier order IS sequential order.
+//
+// Degraded, rebuilding and fault-active rounds take the sequential path
+// unchanged: their reconstruction reads consult mid-round engine loads
+// (pqBalance, rebuild idle-capacity checks), which genuinely depend on
+// service order.
+
+// parallelMinStreams is the population below which sharding cannot pay
+// for its barrier and goroutine handoff.
+const parallelMinStreams = 256
+
+// tickShard accumulates one worker's share of the round's shared-state
+// side effects. Reset and reused every parallel round.
+type tickShard struct {
+	// reads counts this shard's block charges per disk.
+	reads []int
+	// hiccups counts this shard's missed deliveries.
+	hiccups int64
+	// completed lists streams that finished playback this round, in
+	// service order; their served-counter bump and resource release run
+	// at the barrier.
+	completed []*Stream
+	// terminated lists streams ended with an explicit reason this
+	// round, in service order; their counter bump and release run at
+	// the barrier. (Unreachable on a quiescent round — kept so a gate
+	// bug degrades to a correctness-preserving path, not a data race.)
+	terminated []*Stream
+}
+
+func (sh *tickShard) reset(d int) {
+	if len(sh.reads) != d {
+		sh.reads = make([]int, d)
+	} else {
+		clear(sh.reads)
+	}
+	sh.hiccups = 0
+	clear(sh.completed)
+	sh.completed = sh.completed[:0]
+	clear(sh.terminated)
+	sh.terminated = sh.terminated[:0]
+}
+
+// chargeTick records one block charge: straight to the engine in
+// sequential mode, to the shard's ledger otherwise.
+func (s *Server) chargeTick(sh *tickShard, disk int) {
+	if sh == nil {
+		s.engine.Charge(disk)
+		return
+	}
+	sh.reads[disk]++
+}
+
+// terminateTick routes a mid-service termination: sequential mode
+// applies it immediately; a shard marks the stream done (the stream is
+// shard-owned) and defers the shared bookkeeping to the barrier.
+func (s *Server) terminateTick(sh *tickShard, st *Stream, reason error) {
+	if sh == nil {
+		s.terminate(st, reason)
+		return
+	}
+	if st.done {
+		return
+	}
+	st.termErr = reason
+	st.done = true
+	sh.terminated = append(sh.terminated, st)
+}
+
+// parallelOK decides whether this round's stream service may shard.
+// Every condition is a determinism requirement, not a tuning knob; see
+// the file comment.
+func (s *Server) parallelOK() bool {
+	if s.tickWorkers <= 1 || len(s.reg) < parallelMinStreams {
+		return false
+	}
+	if len(s.rebuilds) > 0 || len(s.rebuildQueue) > 0 {
+		return false
+	}
+	if !s.store.Array.AllHealthy() {
+		return false
+	}
+	return s.injector == nil || s.injector.QuiescentAt(s.engine.Round())
+}
+
+// tickParallel shards the registry into contiguous chunks, services
+// each on the worker pool, and merges the shard accumulators in shard
+// order at the barrier.
+func (s *Server) tickParallel(perRound int64) error {
+	s.parallelRounds++
+	w := s.tickWorkers
+	n := len(s.reg)
+	if w > n {
+		w = n
+	}
+	if len(s.shards) < w {
+		s.shards = make([]tickShard, w)
+	}
+	shards := s.shards[:w]
+	for k := range shards {
+		shards[k].reset(s.cfg.D)
+	}
+	err := parallel.ForEach(w, w, func(k int) error {
+		lo, hi := k*n/w, (k+1)*n/w
+		sh := &shards[k]
+		for _, st := range s.reg[lo:hi] {
+			if !st.active || st.done {
+				continue
+			}
+			if terr := s.tickStream(st, perRound, sh); terr != nil {
+				return terr
+			}
+		}
+		return nil
+	})
+	// Merge even on error so the engine still reflects reads that
+	// actually happened before the abort.
+	for k := range shards {
+		sh := &shards[k]
+		for disk, c := range sh.reads {
+			s.engine.ChargeN(disk, c)
+		}
+		s.hiccups += sh.hiccups
+		for _, st := range sh.completed {
+			s.served++
+			s.release(st)
+		}
+		for _, st := range sh.terminated {
+			s.terminated++
+			s.release(st)
+		}
+	}
+	return err
+}

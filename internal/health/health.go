@@ -402,6 +402,55 @@ func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 	return st
 }
 
+// BlockReader is the read surface ReadInto monitors: one timed physical
+// read into a caller-owned buffer. *storage.Array satisfies it
+// directly, which is the point — the streaming hot path can do a
+// monitored read without building a per-call closure.
+type BlockReader interface {
+	ReadTimedInto(disk int, block int64, dst []byte) (float64, error)
+}
+
+// ReadInto is Read with the attempt inlined: a monitored read of
+// (disk, block) from r into dst under exactly Read's retry, backoff and
+// scoring rules, but with zero per-call allocations. On success dst
+// holds the block; on error dst's contents are unspecified.
+func (dt *Detector) ReadInto(r BlockReader, disk int, block int64, dst []byte) error {
+	dt.mu.Lock()
+	cfg := dt.cfg
+	dt.mu.Unlock()
+	if dt.stopped() {
+		return ErrStopped
+	}
+	var lastErr error
+	for try := 0; try <= cfg.Retries; try++ {
+		if try > 0 {
+			switch {
+			case cfg.BackoffBase > 0:
+				if !dt.sleep(backoffDelay(cfg.BackoffBase, try)) {
+					// Stopped mid-backoff: surface the last attempt's
+					// error as-is; no further attempts, no extra strikes.
+					return lastErr
+				}
+			case cfg.Backoff != nil:
+				cfg.Backoff(try)
+			}
+		}
+		slowdown, err := r.ReadTimedInto(disk, block, dst)
+		dt.Observe(disk, slowdown, err)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, storage.ErrNotWritten) {
+			return err
+		}
+		if (errors.Is(err, storage.ErrBadBlock) || errors.Is(err, storage.ErrCorruptBlock)) && try >= 1 {
+			return err
+		}
+	}
+	return lastErr
+}
+
 // Read performs one monitored block read with bounded retry and backoff:
 // attempt() is tried up to Retries+1 times; every outcome is Observed.
 // Hard errors and timeouts retry; a bad block or corrupt block retries

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrMismatch is returned by Verify when a block's contents no longer
@@ -43,10 +44,12 @@ type Map struct {
 	mu   sync.RWMutex
 	sums map[key]uint32
 
-	// counters for Stats
-	recorded   int64
-	verified   int64
-	mismatches int64
+	// counters for Stats; atomic so Verify — on the hot read path,
+	// possibly from several tick shards at once — never takes the write
+	// lock.
+	recorded   atomic.Int64
+	verified   atomic.Int64
+	mismatches atomic.Int64
 }
 
 // Stats is a snapshot of a Map's counters.
@@ -71,8 +74,8 @@ func (m *Map) Record(disk int, block int64, data []byte) {
 	sum := Sum(data)
 	m.mu.Lock()
 	m.sums[key{disk, block}] = sum
-	m.recorded++
 	m.mu.Unlock()
+	m.recorded.Add(1)
 }
 
 // Has reports whether a checksum is recorded for (disk, block).
@@ -95,14 +98,11 @@ func (m *Map) Verify(disk int, block int64, data []byte) error {
 		return nil
 	}
 	got := Sum(data)
-	m.mu.Lock()
 	if got == want {
-		m.verified++
-		m.mu.Unlock()
+		m.verified.Add(1)
 		return nil
 	}
-	m.mismatches++
-	m.mu.Unlock()
+	m.mismatches.Add(1)
 	return fmt.Errorf("integrity: disk %d block %d: sum %08x, want %08x: %w",
 		disk, block, got, want, ErrMismatch)
 }
@@ -137,7 +137,9 @@ func (m *Map) Len() int {
 
 // Stats returns a counter snapshot.
 func (m *Map) Stats() Stats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return Stats{Recorded: m.recorded, Verified: m.verified, Mismatches: m.mismatches}
+	return Stats{
+		Recorded:   m.recorded.Load(),
+		Verified:   m.verified.Load(),
+		Mismatches: m.mismatches.Load(),
+	}
 }

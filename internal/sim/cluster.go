@@ -15,6 +15,7 @@ import (
 
 	"ftcms/internal/admission"
 	"ftcms/internal/analytic"
+	"ftcms/internal/parallel"
 	"ftcms/internal/units"
 	"ftcms/internal/workload"
 )
@@ -38,6 +39,12 @@ type ClusterConfig struct {
 	// rejoins empty from the next round; Rebuild=false keeps it down for
 	// the rest of the run.
 	NodeTrace []FailureEvent
+	// Workers sizes the pool for the per-node completion phase of each
+	// round (0 = one per CPU, 1 = sequential). Nodes complete their own
+	// streams against their own controller and buffer pool, and per-node
+	// tallies are merged in node order, so the result is identical at any
+	// worker count.
+	Workers int
 }
 
 // NodeResult is one node's share of a cluster run.
@@ -227,6 +234,8 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	var responseSum units.Duration
 	var responses []units.Duration
 	nextArrival, nextEvent := 0, 0
+	workers := parallel.Workers(cfg.Workers)
+	completions := make([]int, cfg.Nodes)
 
 	for now := int64(0); now < totalRounds; now++ {
 		tEnd := units.Duration(now+1) * roundDur
@@ -240,19 +249,27 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			res.MaxQueue = queue.Len()
 		}
 
-		// 2. Complete streams whose playback ends this round.
-		for i, e := range engines {
+		// 2. Complete streams whose playback ends this round. Each node
+		// releases only its own tickets and buffers, so the nodes run on
+		// the worker pool; per-node tallies merge in node order below.
+		clear(completions)
+		_ = parallel.ForEach(cfg.Nodes, workers, func(i int) error {
+			e := engines[i]
 			if !alive[i] {
-				continue
+				return nil
 			}
 			for _, c := range e.active[now] {
 				e.ctrl.release(c.ticket)
 				e.pool.Release(c.bufSize)
 				e.nactive--
-				res.Completed++
-				res.PerNode[i].Completed++
+				completions[i]++
 			}
 			delete(e.active, now)
+			return nil
+		})
+		for i, n := range completions {
+			res.Completed += n
+			res.PerNode[i].Completed += n
 		}
 
 		// 3. Admit from the cluster queue: least-loaded live replica

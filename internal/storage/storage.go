@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ftcms/internal/integrity"
 )
@@ -211,9 +212,7 @@ func (a *Array) ReadInto(disk int, block int64, dst []byte) error {
 func (a *Array) ReadZeroInto(disk int, block int64, dst []byte) error {
 	err := a.ReadInto(disk, block, dst)
 	if errors.Is(err, ErrNotWritten) && a.State(disk) == Healthy {
-		a.mu.Lock()
-		a.reads[disk]++
-		a.mu.Unlock()
+		atomic.AddInt64(&a.reads[disk], 1)
 		clear(dst)
 		return nil
 	}
@@ -237,20 +236,22 @@ func (a *Array) ReadTimedInto(disk int, block int64, dst []byte) (float64, error
 
 // readTimed serves a physical read, copying the block into dst when
 // non-nil (dst must then be blockSize bytes) and into a fresh buffer
-// otherwise.
+// otherwise. The whole read runs under one read-lock — per-disk read
+// counts are atomic — so concurrent ticks sharded across cores never
+// serialize on the array. Holding the lock across the hook call is safe
+// (hooks must not call back into the Array) and makes the read atomic
+// with respect to a concurrent Fail.
 func (a *Array) readTimed(disk int, block int64, dst []byte) ([]byte, float64, error) {
 	if err := a.checkAddr(disk, block); err != nil {
 		return nil, 1, err
 	}
 	a.mu.RLock()
-	h := a.hook
-	failed := a.state[disk] == Failed
-	a.mu.RUnlock()
-	if failed {
+	defer a.mu.RUnlock()
+	if a.state[disk] == Failed {
 		return nil, 1, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrFailed)
 	}
 	slow := 1.0
-	if h != nil {
+	if h := a.hook; h != nil {
 		var err error
 		slow, err = h(disk, block)
 		if slow < 1 {
@@ -259,11 +260,6 @@ func (a *Array) readTimed(disk int, block int64, dst []byte) ([]byte, float64, e
 		if err != nil {
 			return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, err)
 		}
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.state[disk] == Failed { // re-check: may have failed while hook ran
-		return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w", disk, block, ErrFailed)
 	}
 	buf, ok := a.disks[disk][block]
 	if !ok {
@@ -276,7 +272,7 @@ func (a *Array) readTimed(disk int, block int64, dst []byte) ([]byte, float64, e
 		// into a reconstruction. The read is not counted as served.
 		return nil, slow, fmt.Errorf("storage: read disk %d block %d: %w: %v", disk, block, ErrCorruptBlock, verr)
 	}
-	a.reads[disk]++
+	atomic.AddInt64(&a.reads[disk], 1)
 	if dst != nil {
 		if len(dst) != a.blockSize {
 			return nil, slow, fmt.Errorf("storage: read into %d bytes, want block size %d", len(dst), a.blockSize)
@@ -297,12 +293,24 @@ func (a *Array) readTimed(disk int, block int64, dst []byte) ([]byte, float64, e
 func (a *Array) ReadZero(disk int, block int64) ([]byte, error) {
 	out, err := a.Read(disk, block)
 	if errors.Is(err, ErrNotWritten) && a.State(disk) == Healthy {
-		a.mu.Lock()
-		a.reads[disk]++
-		a.mu.Unlock()
+		atomic.AddInt64(&a.reads[disk], 1)
 		return make([]byte, a.blockSize), nil
 	}
 	return out, err
+}
+
+// AllHealthy reports whether every disk is in the Healthy state — the
+// cheap gate the parallel tick uses to prove no read can take a
+// degraded-mode path this round.
+func (a *Array) AllHealthy() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, st := range a.state {
+		if st != Healthy {
+			return false
+		}
+	}
+	return true
 }
 
 // Written reports whether (disk, block) currently holds a written block.
@@ -421,20 +429,16 @@ func (a *Array) FailedDisks() []int {
 // ReadCount returns the number of successful reads served by the disk
 // since creation, for load-balance assertions in tests.
 func (a *Array) ReadCount(disk int) int64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
 	if disk < 0 || disk >= a.d {
 		return 0
 	}
-	return a.reads[disk]
+	return atomic.LoadInt64(&a.reads[disk])
 }
 
 // ResetReadCounts zeroes all per-disk read counters.
 func (a *Array) ResetReadCounts() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	for i := range a.reads {
-		a.reads[i] = 0
+		atomic.StoreInt64(&a.reads[i], 0)
 	}
 }
 
