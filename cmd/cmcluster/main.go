@@ -24,6 +24,11 @@
 // Usage:
 //
 //	cmcluster -addr :9100 -nodes 3 -rep 2 -scheme declustered -d 7 -p 3
+//
+// Observability: -pprof serves net/http/pprof on a side address, and
+// -cpuprofile/-memprofile write whole-run profiles, matching cmsim.
+// The cluster STATS line ends with tick_hist, a histogram of recent
+// cluster-round Tick latencies (bucket upper bounds in µs).
 package main
 
 import (
@@ -34,8 +39,12 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,6 +67,10 @@ type server struct {
 	// CORRUPT can script silent corruption inside a node. Distinct from
 	// the cluster-level injector, which scripts whole-node faults.
 	inj []*faultinject.Injector
+
+	// tickHist tracks recent cluster-round Tick latencies (guarded by
+	// mu, like the Tick it times); STATS reports it as tick_hist.
+	tickHist cliutil.LatencyHist
 
 	writeTimeout time.Duration
 	closing      chan struct{}
@@ -88,6 +101,9 @@ func main() {
 	speed := flag.Float64("speed", 100, "time acceleration factor")
 	scrub := flag.Int("scrub", -1, "per-node patrol scrub rate in verify reads per disk per round (0: off, -1: idle-bounded)")
 	wtimeout := flag.Duration("wtimeout", 10*time.Second, "per-client write deadline")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	scheme, err := cliutil.ResolveCoreScheme(*schemeFlag)
@@ -97,6 +113,37 @@ func main() {
 	geo, err := cliutil.ParseGeometry(*d, *p)
 	if err != nil {
 		log.Fatalf("cmcluster: %v", err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("cmcluster: pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cmcluster: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cmcluster: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("cmcluster: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("cmcluster: %v", err)
+			}
+		}()
 	}
 
 	cfg := cluster.Config{
@@ -143,9 +190,11 @@ func main() {
 		defer pacer.Stop()
 		for range pacer.C {
 			s.mu.Lock()
+			start := time.Now()
 			if err := s.cl.Tick(); err != nil {
 				log.Printf("cmcluster: tick: %v", err)
 			}
+			s.tickHist.Observe(time.Since(start))
 			s.mu.Unlock()
 		}
 	}()
@@ -272,10 +321,11 @@ func (s *server) handle(conn net.Conn) {
 	case "STATS":
 		s.mu.Lock()
 		st := s.cl.Stats()
+		ticks := s.tickHist.String()
 		s.mu.Unlock()
-		if s.printf(conn, "round=%d nodes=%d alive=%d failed=%v active=%d awaiting_failover=%d served=%d failed_over=%d terminated=%d rejected=%d\n",
+		if s.printf(conn, "round=%d nodes=%d alive=%d failed=%v active=%d awaiting_failover=%d served=%d failed_over=%d terminated=%d rejected=%d tick_hist=%s\n",
 			st.Round, st.Nodes, st.Alive, st.FailedNodes, st.Active, st.AwaitingFailover,
-			st.Served, st.FailedOver, st.Terminated, st.Rejected) != nil {
+			st.Served, st.FailedOver, st.Terminated, st.Rejected, ticks) != nil {
 			return
 		}
 		for i, ns := range st.Node {

@@ -25,6 +25,11 @@
 //	cmserve -addr :9000 -scheme declustered -d 7 -p 3 -clips 4 -speed 100
 //
 // speed scales time: 100 means rounds run 100x faster than real playback.
+//
+// Observability: -pprof serves net/http/pprof on a side address, and
+// -cpuprofile/-memprofile write whole-run profiles, matching cmsim.
+// STATS ends with tick_hist, a histogram of recent per-round Tick
+// latencies (bucket upper bounds in µs).
 package main
 
 import (
@@ -35,8 +40,12 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -55,6 +64,10 @@ type server struct {
 	srv      *core.Server
 	injector *faultinject.Injector
 	d        int
+
+	// tickHist tracks recent per-round Tick latencies (guarded by mu,
+	// like the Tick it times); STATS reports it as tick_hist.
+	tickHist cliutil.LatencyHist
 
 	// writeTimeout bounds every client write.
 	writeTimeout time.Duration
@@ -86,6 +99,9 @@ func main() {
 	spares := flag.Int("spares", 1, "hot spares for automatic online rebuild")
 	scrub := flag.Int("scrub", -1, "patrol scrub rate in verify reads per round (0: off, -1: idle-bounded)")
 	wtimeout := flag.Duration("wtimeout", 10*time.Second, "per-client write deadline")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	scheme, err := cliutil.ResolveCoreScheme(*schemeFlag)
@@ -95,6 +111,37 @@ func main() {
 	geo, err := cliutil.ParseGeometry(*d, *p)
 	if err != nil {
 		log.Fatalf("cmserve: %v", err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("cmserve: pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cmserve: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cmserve: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("cmserve: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("cmserve: %v", err)
+			}
+		}()
 	}
 
 	cs, err := core.New(core.Config{
@@ -134,9 +181,11 @@ func main() {
 		defer pacer.Stop()
 		for range pacer.C {
 			s.mu.Lock()
+			start := time.Now()
 			if err := s.srv.Tick(); err != nil {
 				log.Printf("cmserve: tick: %v", err)
 			}
+			s.tickHist.Observe(time.Since(start))
 			s.mu.Unlock()
 		}
 	}()
@@ -264,13 +313,14 @@ func (s *server) handle(conn net.Conn) {
 	case "STATS":
 		s.mu.Lock()
 		st := s.srv.Stats()
+		ticks := s.tickHist.String()
 		s.mu.Unlock()
-		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d rebuild_pending=%d rebuild_total=%d rebuilds_done=%d terminated=%d scrub_scanned=%d scrub_total=%d scrub_cycles=%d corruptions=%d corruption_repairs=%d detect_hist=%s rebuild_hist=%s\n",
+		s.printf(conn, "rounds=%d active=%d served=%d hiccups=%d overflows=%d failed=%v mode=%s spares=%d rebuilding=%d rebuild_pending=%d rebuild_total=%d rebuilds_done=%d terminated=%d scrub_scanned=%d scrub_total=%d scrub_cycles=%d corruptions=%d corruption_repairs=%d detect_hist=%s rebuild_hist=%s tick_hist=%s\n",
 			st.Rounds, st.Active, st.Served, st.Hiccups, st.Overflows, st.FailedDisks,
 			st.Mode, st.SparesLeft, st.Rebuilding, st.RebuildPending, st.RebuildTotal,
 			st.RebuildsDone, st.Terminated, st.ScrubScanned, st.ScrubTotal, st.ScrubCycles,
 			st.CorruptionsDetected, st.CorruptionRepairs,
-			cliutil.Histogram(st.DetectLatencies), cliutil.Histogram(st.RebuildLatencies))
+			cliutil.Histogram(st.DetectLatencies), cliutil.Histogram(st.RebuildLatencies), ticks)
 	case "FAIL":
 		// Demo alias for the fault injector: schedule a fail-stop on the
 		// disk starting next round. The health detector notices from the

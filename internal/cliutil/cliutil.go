@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 	"strings"
+	"time"
 
 	"ftcms/internal/units"
 )
@@ -68,4 +69,52 @@ func Histogram(samples []int64) string {
 	}
 	b.WriteByte(']')
 	return b.String()
+}
+
+// latencyWindow is how many recent observations a LatencyHist keeps:
+// enough to characterize steady-state cost without letting a long-lived
+// daemon grow its stats without bound.
+const latencyWindow = 512
+
+// LatencyHist tracks recent operation latencies — per-round tick
+// durations in the daemons — as a sliding window of bucketed samples.
+// Raw durations are too jittery for Histogram's exact multiset, so each
+// is rounded up to a 1-2-5 series of microseconds first; the window
+// then renders through Histogram as value:count pairs whose values are
+// bucket upper bounds in µs. The zero value is ready to use. Not safe
+// for concurrent use; callers serialize with the lock that guards the
+// operation being timed.
+type LatencyHist struct {
+	ring [latencyWindow]int64
+	n    int
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	h.ring[h.n%latencyWindow] = bucketUS(d)
+	h.n++
+}
+
+// String renders the live window via Histogram: "[200:480 500:32]"
+// reads as 480 recent ticks within 200µs and 32 more within 500µs.
+func (h *LatencyHist) String() string {
+	live := min(h.n, latencyWindow)
+	return Histogram(h.ring[:live])
+}
+
+// bucketUS rounds a duration up to the next 1-2-5 series value in
+// microseconds, with a floor of 1µs.
+func bucketUS(d time.Duration) int64 {
+	us := d.Microseconds()
+	if us < 1 {
+		return 1
+	}
+	for b := int64(1); b <= math.MaxInt64/10; b *= 10 {
+		for _, m := range [...]int64{1, 2, 5} {
+			if us <= m*b {
+				return m * b
+			}
+		}
+	}
+	return us // beyond the series (>2.5e5 seconds); keep it exact
 }

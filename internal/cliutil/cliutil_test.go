@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"testing"
+	"time"
 
 	"ftcms/internal/units"
 )
@@ -51,5 +52,50 @@ func TestHistogram(t *testing.T) {
 		if got := Histogram(c.samples); got != c.want {
 			t.Errorf("Histogram(%v) = %q, want %q", c.samples, got, c.want)
 		}
+	}
+}
+
+func TestBucketUS(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{0, 1},
+		{700 * time.Nanosecond, 1},
+		{time.Microsecond, 1},
+		{3 * time.Microsecond, 5},
+		{10 * time.Microsecond, 10},
+		{11 * time.Microsecond, 20},
+		{99 * time.Microsecond, 100},
+		{130 * time.Microsecond, 200},
+		{450 * time.Microsecond, 500},
+		{3 * time.Millisecond, 5000},
+		{time.Second, 1_000_000},
+	}
+	for _, c := range cases {
+		if got := bucketUS(c.d); got != c.want {
+			t.Errorf("bucketUS(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestLatencyHist(t *testing.T) {
+	var h LatencyHist
+	if got := h.String(); got != "[]" {
+		t.Errorf("empty LatencyHist = %q, want []", got)
+	}
+	h.Observe(40 * time.Microsecond)
+	h.Observe(45 * time.Microsecond)
+	h.Observe(130 * time.Microsecond)
+	if got := h.String(); got != "[50:2 200:1]" {
+		t.Errorf("LatencyHist = %q, want [50:2 200:1]", got)
+	}
+	// Past the window, old samples fall off: fill with one bucket and
+	// the early observations must disappear.
+	for i := 0; i < latencyWindow; i++ {
+		h.Observe(8 * time.Microsecond)
+	}
+	if got := h.String(); got != "[10:512]" {
+		t.Errorf("LatencyHist after wrap = %q, want [10:512]", got)
 	}
 }
