@@ -75,10 +75,19 @@ var seedBaseline = map[string]float64{
 }
 
 // streamsBaseline records ns/op for the -streams suite measured at the
-// commit immediately before the round-tick overhaul, on the same
-// reference machine, so the report documents the scheduling win the
-// same way seedBaseline documents the XOR and admission wins.
-var streamsBaseline = map[string]float64{}
+// commit immediately before the round-tick overhaul (5s benchtime), on
+// the same reference machine, so the report documents the scheduling
+// win the same way seedBaseline documents the XOR and admission wins.
+// ClusterTick100k has no entry: the pre-overhaul tick path could not
+// complete that point on the reference machine (the run was OOM-killed
+// building the population).
+var streamsBaseline = map[string]float64{
+	"Tick1kSteady":     159008833,
+	"Tick1kDegraded":   690099803,
+	"Tick1kRebuilding": 856310977,
+	"Tick10k":          1344970394,
+	"ClusterTick10k":   2141250579,
+}
 
 type benchResult struct {
 	Name        string  `json:"name"`
