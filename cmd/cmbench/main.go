@@ -22,8 +22,16 @@
 // (BENCH_4.json by default): the per-round Tick cost at 1k/10k/100k
 // concurrent streams in healthy, degraded, and rebuilding modes, on a
 // fast-disk geometry where the scheduling overhead (not the simulated
-// disk) dominates. -allocgate makes the run fail if the steady-state
-// tick allocates more than the given budget per op.
+// disk) dominates. -allocgate makes the run fail if the suite's gate
+// benchmark (the steady-state tick) allocates more than the given
+// budget per op.
+//
+// The -reconfig flag swaps in the elastic-reconfiguration suite
+// (BENCH_5.json by default): view-log mutation cost, the steady-state
+// cluster tick after a join/drain/retire history (the suite's
+// -allocgate target — the quiescent reconfiguration step must stay off
+// the allocator), and the end-to-end cost of a graceful drain, a join
+// rebalance, and a single-node disk-addition re-layout.
 //
 // Usage:
 //
@@ -31,6 +39,7 @@
 //	cmbench -cluster   # cluster routing/admission suite -> BENCH_2.json
 //	cmbench -pq        # P+Q encode/reconstruct suite -> BENCH_3.json
 //	cmbench -streams   # high-stream-count tick suite -> BENCH_4.json
+//	cmbench -reconfig  # elastic-reconfiguration suite -> BENCH_5.json
 //	cmbench -o out.json
 //	cmbench -quick     # skip the slow simulation benchmarks
 package main
@@ -55,6 +64,7 @@ import (
 	"ftcms/internal/experiments"
 	"ftcms/internal/layout"
 	"ftcms/internal/pgt"
+	"ftcms/internal/reconfig"
 	"ftcms/internal/recovery"
 	"ftcms/internal/sim"
 	"ftcms/internal/units"
@@ -140,12 +150,13 @@ type bench struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq, BENCH_4.json with -streams)")
+	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq, BENCH_4.json with -streams, BENCH_5.json with -reconfig)")
 	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim, ClusterTick100k)")
 	clusterSuite := flag.Bool("cluster", false, "run the cluster routing/admission suite instead")
 	pqSuite := flag.Bool("pq", false, "run the P+Q double-parity suite instead")
 	streamsSuite := flag.Bool("streams", false, "run the high-stream-count tick suite instead")
-	allocGate := flag.Int("allocgate", -1, "with -streams: exit non-zero if the steady-state tick exceeds this many allocs/op (-1 disables)")
+	reconfigSuite := flag.Bool("reconfig", false, "run the elastic-reconfiguration suite instead")
+	allocGate := flag.Int("allocgate", -1, "with -streams or -reconfig: exit non-zero if the suite's steady-state tick exceeds this many allocs/op (-1 disables)")
 	benchtime := flag.String("benchtime", "", "per-benchmark measuring time (e.g. 5s or 100x), as in go test; empty keeps the 1s default")
 	flag.Parse()
 	if *benchtime != "" {
@@ -165,6 +176,8 @@ func main() {
 			*out = "BENCH_3.json"
 		case *streamsSuite:
 			*out = "BENCH_4.json"
+		case *reconfigSuite:
+			*out = "BENCH_5.json"
 		default:
 			*out = "BENCH_1.json"
 		}
@@ -260,6 +273,9 @@ func main() {
 	}
 	baseline := seedBaseline
 	baselineDesc := "seed commit, 1-CPU Intel Xeon 2.70 GHz (ns/op)"
+	// gateBench is the benchmark -allocgate applies to; only suites with
+	// a designated steady-state tick have one.
+	gateBench := ""
 	if *clusterSuite {
 		benches = clusterBenches(*quick)
 	}
@@ -270,6 +286,16 @@ func main() {
 		benches = streamsBenches(*quick)
 		baseline = streamsBaseline
 		baselineDesc = "pre-overhaul tick path, 1-CPU Intel Xeon 2.70 GHz (ns/op)"
+		gateBench = steadyBenchName
+	}
+	if *reconfigSuite {
+		benches = reconfigBenches()
+		baseline = nil
+		baselineDesc = "none (suite introduced together with the reconfiguration subsystem)"
+		gateBench = reconfigGateBenchName
+	}
+	if *allocGate >= 0 && gateBench == "" {
+		fatal(errors.New("-allocgate needs a suite with a gate benchmark (-streams or -reconfig)"))
 	}
 
 	rep := report{
@@ -325,7 +351,7 @@ func main() {
 	// a failing run still leaves the numbers behind for inspection.
 	if *allocGate >= 0 {
 		for _, r := range rep.Results {
-			if r.Name == steadyBenchName && r.AllocsPerOp > int64(*allocGate) {
+			if r.Name == gateBench && r.AllocsPerOp > int64(*allocGate) {
 				fatal(fmt.Errorf("allocation gate: %s at %d allocs/op exceeds budget %d",
 					r.Name, r.AllocsPerOp, *allocGate))
 			}
@@ -702,8 +728,8 @@ func streamsServerConfig(d, q, spares int) core.Config {
 		Scheme: core.Declustered,
 		Disk:   fastStreamsDisk(),
 		D:      d, P: 4,
-		Block:  streamsBlock,
-		Q:      q, F: 16,
+		Block: streamsBlock,
+		Q:     q, F: 16,
 		Buffer: 2 * units.GB,
 		Spares: spares,
 	}
@@ -885,29 +911,34 @@ func newClusterTickBench(b *testing.B, nodes, clipsPerNode, want int) *tickBench
 	return tb
 }
 
-// streamsBenches is the -streams suite. Each benchmark caches its server
-// in the closure so testing.Benchmark's calibration re-invocations reuse
-// the built population instead of re-admitting it. The measured loop is
-// one Tick plus one Read per stream per iteration; perIter (if set) runs
-// before each tick for mode upkeep such as re-failing a rebuilt disk.
-func streamsBenches(quick bool) []bench {
-	lazy := func(build func(b *testing.B) *tickBench, perIter func(b *testing.B, tb *tickBench)) func(b *testing.B) {
-		var tb *tickBench
-		return func(b *testing.B) {
-			if tb == nil {
-				tb = build(b)
+// lazyTick wraps a tick-loop benchmark so its server population is
+// built once and cached in the closure: testing.Benchmark's calibration
+// re-invocations reuse the built population instead of re-admitting it.
+// The measured loop is one Tick plus one Read per stream per iteration;
+// perIter (if set) runs before each tick for mode upkeep such as
+// re-failing a rebuilt disk.
+func lazyTick(build func(b *testing.B) *tickBench, perIter func(b *testing.B, tb *tickBench)) func(b *testing.B) {
+	var tb *tickBench
+	return func(b *testing.B) {
+		if tb == nil {
+			tb = build(b)
+		}
+		b.ReportMetric(float64(tb.n()), "streams")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if perIter != nil {
+				perIter(b, tb)
 			}
-			b.ReportMetric(float64(tb.n()), "streams")
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if perIter != nil {
-					perIter(b, tb)
-				}
-				tb.tick(b)
-			}
+			tb.tick(b)
 		}
 	}
+}
+
+// streamsBenches is the -streams suite. Each benchmark caches its server
+// in the closure via lazyTick.
+func streamsBenches(quick bool) []bench {
+	lazy := lazyTick
 	benches := []bench{
 		// The allocation-gate target: healthy steady state, 1k streams on
 		// 32 disks at q=128.
@@ -958,6 +989,226 @@ func streamsBenches(quick bool) []bench {
 		}, nil)})
 	}
 	return benches
+}
+
+// ---------------------------------------------------------------------
+// -reconfig: elastic-reconfiguration suite.
+//
+// Measures the versioned-view machinery end to end: the view-log
+// mutations themselves, the steady-state cluster tick *after* a
+// join/drain/retire history (the quiescent reconfiguration step rides
+// every round forever, so it must stay off the allocator — that bench
+// is the suite's -allocgate target), and the wall-clock shape of the
+// three reconfiguration operations (graceful drain, join-then-drain
+// hardware swap, single-node disk-addition re-layout).
+// ---------------------------------------------------------------------
+
+// reconfigGateBenchName is the -reconfig allocation-gate target: the
+// post-reconfiguration steady-state cluster tick.
+const reconfigGateBenchName = "ReconfigQuiescentTick"
+
+// reconfigNodeConfig is a 6-disk declustered node: (7, 3) has a BIBD
+// construction, so AddDisk can grow it, unlike the 7-disk default.
+func reconfigNodeConfig() core.Config {
+	return core.Config{
+		Scheme: core.Declustered,
+		Disk:   diskmodel.Default(),
+		D:      6, P: 3,
+		Block: 64 * units.KB,
+		Q:     8, F: 2,
+		Buffer: 256 * units.MB,
+	}
+}
+
+// benchReconfigCluster builds a cluster of growable 6-disk nodes with
+// nclips replicated clips of clipBytes bytes each.
+func benchReconfigCluster(b *testing.B, nodes, rep, nclips, clipBytes int) *cluster.Cluster {
+	b.Helper()
+	cfg := cluster.Config{Replication: rep}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, reconfigNodeConfig())
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, clipBytes)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	for i := 0; i < nclips; i++ {
+		if err := cl.AddClip(fmt.Sprintf("clip-%d", i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl
+}
+
+// tickUntil ticks cl until done() reports true, failing the benchmark
+// if convergence takes more than limit rounds.
+func tickUntil(b *testing.B, cl *cluster.Cluster, limit int, done func() bool) {
+	b.Helper()
+	for r := 0; r < limit; r++ {
+		if done() {
+			return
+		}
+		if err := cl.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Fatalf("reconfiguration did not converge within %d rounds", limit)
+}
+
+// retired reports whether exactly n nodes of cl have retired.
+func retired(cl *cluster.Cluster, n int) func() bool {
+	return func() bool {
+		v := cl.View()
+		count := 0
+		for id := 0; ; id++ {
+			m, ok := v.Member(id)
+			if !ok {
+				break
+			}
+			if m.State == reconfig.Retired {
+				count++
+			}
+		}
+		return count == n
+	}
+}
+
+func reconfigBenches() []bench {
+	var gate *cluster.Cluster
+	return []bench{
+		// The raw view-log mutation cycle: join, drain, retire, remove,
+		// plus a defensive read of the resulting view.
+		{"ViewLog", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lg := reconfig.NewLog([]int{6, 6, 6})
+				id, _ := lg.Join(6)
+				if _, err := lg.Drain(0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := lg.Retire(0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := lg.Remove(id); err != nil {
+					b.Fatal(err)
+				}
+				if v := lg.View(); len(v.Serving()) != 2 {
+					b.Fatalf("serving %v after retire+remove", v.Serving())
+				}
+			}
+		}},
+		// The allocation-gate target: a cluster that has lived through a
+		// join and a full drain/retire ticks in steady state with admitted
+		// streams. The quiescent per-round reconfiguration step is on this
+		// path every round, so it must not allocate.
+		{reconfigGateBenchName, func(b *testing.B) {
+			if gate == nil {
+				cl := benchReconfigCluster(b, 3, 2, 8, 4_000_000)
+				if _, err := cl.JoinNode(reconfigNodeConfig()); err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.DrainNode(0); err != nil {
+					b.Fatal(err)
+				}
+				tickUntil(b, cl, 100000, retired(cl, 1))
+				// Admit a stream population; the streams are never read, so
+				// after Q rounds every buffer is full and each further tick
+				// is the pure steady-state scheduling pass.
+				for j := 0; j < 64; j++ {
+					if _, err := cl.OpenStream(fmt.Sprintf("clip-%d", j%8)); err != nil {
+						break
+					}
+				}
+				for j := 0; j < 10; j++ {
+					if err := cl.Tick(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				runtime.GC()
+				gate = cl
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := gate.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// A full graceful drain: re-replicate the victim's clips onto the
+		// survivors on idle capacity, move its streams, retire it.
+		{"DrainRetire", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl := benchReconfigCluster(b, 3, 2, 8, 256_000)
+				for j := 0; j < 8; j++ {
+					if _, err := cl.OpenStream(fmt.Sprintf("clip-%d", j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if err := cl.DrainNode(1); err != nil {
+					b.Fatal(err)
+				}
+				tickUntil(b, cl, 100000, retired(cl, 1))
+			}
+		}},
+		// The planned hardware-swap shape: join a replacement first, then
+		// drain — the copies land on the joined node.
+		{"JoinDrainSwap", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl := benchReconfigCluster(b, 3, 2, 8, 256_000)
+				b.StartTimer()
+				if _, err := cl.JoinNode(reconfigNodeConfig()); err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.DrainNode(0); err != nil {
+					b.Fatal(err)
+				}
+				tickUntil(b, cl, 100000, retired(cl, 1))
+			}
+		}},
+		// Growing one array by a disk: copy every block onto the wider
+		// (d+1)-disk PGT layout on idle capacity, then flip atomically.
+		{"AddDiskRelayout", func(b *testing.B) {
+			data := make([]byte, 256_000)
+			for k := range data {
+				data[k] = byte(k * 131)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv, err := core.New(reconfigNodeConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < 4; k++ {
+					if err := srv.AddClip(fmt.Sprintf("clip-%d", k), data); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if err := srv.AddDisk(); err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; srv.Relayouting(); r++ {
+					if r > 100000 {
+						b.Fatal("re-layout did not finish")
+					}
+					if err := srv.Tick(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
 }
 
 func fatal(err error) {

@@ -20,6 +20,19 @@
 //	                      rots blocks of one disk inside one node; only
 //	                      that node's checksums (patrol scrub or read
 //	                      path) can notice and repair it
+//	JOIN                  join a fresh node (same geometry as the bootset)
+//	                      into the cluster; replicas re-spread onto it on
+//	                      idle round capacity
+//	DRAIN <node>          gracefully drain a node: no new placements, its
+//	                      clips re-replicate and its streams move without
+//	                      a glitch, then it retires from the view
+//	REMOVE <node>         remove a node immediately (admin fail-stop):
+//	                      parked streams fail over exactly like a crash
+//	ADDDISK <node>        grow one node by a disk; the node re-lays every
+//	                      clip onto the wider stripe on idle capacity and
+//	                      flips atomically (d+1 must have a BIBD
+//	                      construction — the default d=7, p=3 does not;
+//	                      start with -d 6 to demo growth)
 //
 // Usage:
 //
@@ -27,8 +40,12 @@
 //
 // Observability: -pprof serves net/http/pprof on a side address, and
 // -cpuprofile/-memprofile write whole-run profiles, matching cmsim.
-// The cluster STATS line ends with tick_hist, a histogram of recent
-// cluster-round Tick latencies (bucket upper bounds in µs).
+// The cluster STATS line carries the reconfiguration view (view=,
+// draining=, retired=, migrate_progress=) and ends with tick_hist, a
+// histogram of recent cluster-round Tick latencies (bucket upper bounds
+// in µs), plus migrate_hist — the same latency restricted to rounds
+// that actually carried migration traffic, so the cost of background
+// re-replication on the tick is directly visible.
 package main
 
 import (
@@ -72,14 +89,26 @@ type server struct {
 	// mu, like the Tick it times); STATS reports it as tick_hist.
 	tickHist cliutil.LatencyHist
 
+	// migrateHist is tickHist restricted to rounds that copied at least
+	// one migration block, so STATS can show what background
+	// re-replication costs the tick. lastMigrated is the cumulative
+	// block count at the previous round (both guarded by mu).
+	migrateHist  cliutil.LatencyHist
+	lastMigrated int64
+
+	// nodeCfg is the boot-time per-node template; JOIN builds identical
+	// nodes from it so a joined node is interchangeable with the bootset.
+	nodeCfg core.Config
+
 	writeTimeout time.Duration
 	closing      chan struct{}
 	conns        sync.WaitGroup
 }
 
-func newServer(cl *cluster.Cluster, writeTimeout time.Duration) *server {
+func newServer(cl *cluster.Cluster, nodeCfg core.Config, writeTimeout time.Duration) *server {
 	s := &server{
 		cl:           cl,
+		nodeCfg:      nodeCfg,
 		writeTimeout: writeTimeout,
 		closing:      make(chan struct{}),
 	}
@@ -152,18 +181,19 @@ func main() {
 		// for the detector to discover.
 		Faults: &faultinject.Plan{Seed: 1},
 	}
+	nodeCfg := core.Config{
+		Scheme:    scheme,
+		Disk:      diskmodel.Default(),
+		D:         geo.D,
+		P:         geo.P,
+		Block:     64 * units.KB,
+		Q:         8,
+		F:         2,
+		Buffer:    256 * units.MB,
+		ScrubRate: *scrub,
+	}
 	for i := 0; i < *nodes; i++ {
-		cfg.Nodes = append(cfg.Nodes, core.Config{
-			Scheme:    scheme,
-			Disk:      diskmodel.Default(),
-			D:         geo.D,
-			P:         geo.P,
-			Block:     64 * units.KB,
-			Q:         8,
-			F:         2,
-			Buffer:    256 * units.MB,
-			ScrubRate: *scrub,
-		})
+		cfg.Nodes = append(cfg.Nodes, nodeCfg)
 	}
 	cl, err := cluster.New(cfg)
 	if err != nil {
@@ -177,7 +207,7 @@ func main() {
 			log.Fatalf("cmcluster: %v", err)
 		}
 	}
-	s := newServer(cl, *wtimeout)
+	s := newServer(cl, nodeCfg, *wtimeout)
 
 	// Round pacer: every node's round duration is identical (same config),
 	// so one clock drives the whole cluster.
@@ -194,7 +224,12 @@ func main() {
 			if err := s.cl.Tick(); err != nil {
 				log.Printf("cmcluster: tick: %v", err)
 			}
-			s.tickHist.Observe(time.Since(start))
+			elapsed := time.Since(start)
+			s.tickHist.Observe(elapsed)
+			if mb := s.cl.MigratedBlocks(); mb > s.lastMigrated {
+				s.migrateHist.Observe(elapsed)
+				s.lastMigrated = mb
+			}
 			s.mu.Unlock()
 		}
 	}()
@@ -288,6 +323,29 @@ func (s *server) printf(conn net.Conn, format string, args ...any) error {
 	return s.write(conn, []byte(fmt.Sprintf(format, args...)))
 }
 
+// parseNode parses the single <node> argument of a reconfiguration
+// command and range-checks it, reporting usage or range errors to the
+// client itself. ok is false when the command line was already answered.
+func (s *server) parseNode(conn net.Conn, fields []string, usage string) (int, bool) {
+	if len(fields) < 2 {
+		s.printf(conn, "ERR usage: %s\n", usage)
+		return 0, false
+	}
+	node, err := strconv.Atoi(fields[1])
+	if err != nil {
+		s.printf(conn, "ERR usage: %s\n", usage)
+		return 0, false
+	}
+	s.mu.Lock()
+	n := s.cl.NodeCount()
+	s.mu.Unlock()
+	if node < 0 || node >= n {
+		s.printf(conn, "ERR node %d out of range [0, %d)\n", node, n)
+		return 0, false
+	}
+	return node, true
+}
+
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
 	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
@@ -322,10 +380,13 @@ func (s *server) handle(conn net.Conn) {
 		s.mu.Lock()
 		st := s.cl.Stats()
 		ticks := s.tickHist.String()
+		migs := s.migrateHist.String()
 		s.mu.Unlock()
-		if s.printf(conn, "round=%d nodes=%d alive=%d failed=%v active=%d awaiting_failover=%d served=%d failed_over=%d terminated=%d rejected=%d tick_hist=%s\n",
+		if s.printf(conn, "round=%d nodes=%d alive=%d failed=%v active=%d awaiting_failover=%d served=%d failed_over=%d terminated=%d rejected=%d view=%d draining=%v retired=%v migrate_progress=%d/%d migrated_blocks=%d migrated_streams=%d tick_hist=%s migrate_hist=%s\n",
 			st.Round, st.Nodes, st.Alive, st.FailedNodes, st.Active, st.AwaitingFailover,
-			st.Served, st.FailedOver, st.Terminated, st.Rejected, ticks) != nil {
+			st.Served, st.FailedOver, st.Terminated, st.Rejected,
+			st.ViewVersion, st.Draining, st.Retired, st.MigrateDone, st.MigrateTotal,
+			st.MigratedBlocks, st.MigratedStreams, ticks, migs) != nil {
 			return
 		}
 		for i, ns := range st.Node {
@@ -393,6 +454,66 @@ func (s *server) handle(conn net.Conn) {
 		})
 		s.mu.Unlock()
 		s.printf(conn, "OK node %d disk %d corrupted\n", node, disk)
+	case "JOIN":
+		// Join a fresh node built from the boot-time template. The
+		// migration planner re-spreads replicas onto it on idle round
+		// capacity; nothing else changes until clips land there.
+		s.mu.Lock()
+		id, err := s.cl.JoinNode(s.nodeCfg)
+		if err != nil {
+			s.mu.Unlock()
+			s.printf(conn, "ERR %v\n", err)
+			return
+		}
+		// Arm the joined node's corruption injector like the bootset's so
+		// CORRUPT works against it too.
+		s.inj = append(s.inj, s.cl.NodeServer(id).InjectFaults(faultinject.Plan{Seed: int64(id) + 1}))
+		view := s.cl.View().Version
+		s.mu.Unlock()
+		s.printf(conn, "OK node %d joined view=%d\n", id, view)
+	case "DRAIN":
+		node, ok := s.parseNode(conn, fields, "DRAIN <node>")
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		err := s.cl.DrainNode(node)
+		view := s.cl.View().Version
+		s.mu.Unlock()
+		if err != nil {
+			s.printf(conn, "ERR %v\n", err)
+			return
+		}
+		s.printf(conn, "OK node %d draining view=%d\n", node, view)
+	case "REMOVE":
+		node, ok := s.parseNode(conn, fields, "REMOVE <node>")
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		err := s.cl.RemoveNode(node)
+		view := s.cl.View().Version
+		s.mu.Unlock()
+		if err != nil {
+			s.printf(conn, "ERR %v\n", err)
+			return
+		}
+		s.printf(conn, "OK node %d removed view=%d\n", node, view)
+	case "ADDDISK":
+		node, ok := s.parseNode(conn, fields, "ADDDISK <node>")
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		err := s.cl.AddDisk(node)
+		s.mu.Unlock()
+		if err != nil {
+			// Most commonly: no BIBD construction for (d+1, p). The view
+			// only bumps once the re-layout flips.
+			s.printf(conn, "ERR %v\n", err)
+			return
+		}
+		s.printf(conn, "OK node %d re-layout started\n", node)
 	case "PLAY":
 		if len(fields) < 2 {
 			s.printf(conn, "ERR usage: PLAY <clip>\n")

@@ -26,20 +26,21 @@ func testCluster(t *testing.T) (addr string, clips map[string][]byte, s *server,
 		Replication: 2,
 		Faults:      &faultinject.Plan{Seed: 1},
 	}
+	nodeCfg := core.Config{
+		Scheme: core.Declustered,
+		Disk: diskmodel.Parameters{
+			TransferRate: 45 * units.Mbps,
+			Settle:       0.05 * units.Millisecond,
+			Seek:         0.1 * units.Millisecond,
+			Rotation:     0.1 * units.Millisecond,
+			Capacity:     2 * units.GB,
+			PlaybackRate: 1.5 * units.Mbps,
+		},
+		D: 7, P: 3, Block: 8 * units.KB, Q: 8, F: 2, Buffer: 16 * units.MB,
+		ScrubRate: -1,
+	}
 	for i := 0; i < 3; i++ {
-		cfg.Nodes = append(cfg.Nodes, core.Config{
-			Scheme: core.Declustered,
-			Disk: diskmodel.Parameters{
-				TransferRate: 45 * units.Mbps,
-				Settle:       0.05 * units.Millisecond,
-				Seek:         0.1 * units.Millisecond,
-				Rotation:     0.1 * units.Millisecond,
-				Capacity:     2 * units.GB,
-				PlaybackRate: 1.5 * units.Mbps,
-			},
-			D: 7, P: 3, Block: 8 * units.KB, Q: 8, F: 2, Buffer: 16 * units.MB,
-			ScrubRate: -1,
-		})
+		cfg.Nodes = append(cfg.Nodes, nodeCfg)
 	}
 	cl, err := cluster.New(cfg)
 	if err != nil {
@@ -56,7 +57,7 @@ func testCluster(t *testing.T) (addr string, clips map[string][]byte, s *server,
 			t.Fatal(err)
 		}
 	}
-	s = newServer(cl, 10*time.Second)
+	s = newServer(cl, nodeCfg, 10*time.Second)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -215,11 +216,67 @@ func TestHandleErrors(t *testing.T) {
 		"CORRUPT x 1":  "ERR usage",
 		"CORRUPT 99 0": "ERR node 99 out of range",
 		"CORRUPT 0 99": "ERR disk 99 out of range",
-		"BOGUS":        "ERR unknown command",
-		"   ":          "ERR empty command",
+		"DRAIN":        "ERR usage",
+		"DRAIN 99":     "ERR node 99 out of range",
+		"REMOVE x":     "ERR usage",
+		"REMOVE 99":    "ERR node 99 out of range",
+		"ADDDISK":      "ERR usage",
+		"ADDDISK 99":   "ERR node 99 out of range",
+		// The test geometry is d=7, p=3; there is no BIBD layout for
+		// v=8, k=3, so disk growth is refused before anything moves.
+		"ADDDISK 0": "ERR",
+		"BOGUS":     "ERR unknown command",
+		"   ":       "ERR empty command",
 	} {
 		if out := string(send(t, addr, cmd)); !strings.Contains(out, want) {
 			t.Errorf("%q -> %q, want %q", cmd, strings.TrimSpace(out), want)
+		}
+	}
+}
+
+// TestHandleJoinDrainRetire drives the elastic-reconfiguration protocol
+// end to end over the wire: JOIN adds node 3 and bumps the view, DRAIN 0
+// marks node 0 draining (visible in STATS), migration re-replicates its
+// clips on idle capacity until it retires, and both clips still stream
+// byte-exact from the reshaped cluster.
+func TestHandleJoinDrainRetire(t *testing.T) {
+	addr, clips, _, _ := testCluster(t)
+	if out := string(send(t, addr, "JOIN")); !strings.Contains(out, "OK node 3 joined view=1") {
+		t.Fatalf("JOIN output: %s", out)
+	}
+	if out := string(send(t, addr, "DRAIN 0")); !strings.Contains(out, "OK node 0 draining view=2") {
+		t.Fatalf("DRAIN output: %s", out)
+	}
+	// At millisecond ticks the idle cluster can finish the whole drain
+	// before the next STATS round-trip, so accept either phase here.
+	if out := string(send(t, addr, "STATS")); !strings.Contains(out, "draining=[0]") &&
+		!strings.Contains(out, "retired=[0]") {
+		t.Fatalf("STATS during drain: %s", out)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out := string(send(t, addr, "STATS"))
+		if strings.Contains(out, "retired=[0]") {
+			if !strings.Contains(out, "view=3") {
+				t.Fatalf("retirement did not bump the view: %s", out)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0 never retired: %s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for name, want := range clips {
+		if got := send(t, addr, "PLAY "+name); !bytes.Equal(got, want) {
+			t.Fatalf("PLAY %s after drain returned %d bytes, want %d (exact)", name, len(got), len(want))
+		}
+	}
+	// The retired node must be gone from every replica set.
+	out := string(send(t, addr, "LIST"))
+	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.Contains(l, "nodes=[0") || strings.Contains(l, " 0]") || strings.Contains(l, " 0 ") {
+			t.Fatalf("retired node 0 still holds a replica: %s", l)
 		}
 	}
 }

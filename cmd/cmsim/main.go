@@ -14,6 +14,7 @@
 //	cmsim -mixed                         # E16 mixed-rate workload
 //	cmsim -integrity                     # E17 patrol-scrub vs. corruption sweep
 //	cmsim -doublefault                   # E18 double-failure sweep (single parity vs P+Q)
+//	cmsim -reconfig                      # E19 drain-under-prime-time reconfiguration sweep
 //	cmsim -corrupt 5@100:40 -scrub -1    # rot 40 blocks of disk 5 at t=100s
 //	cmsim -dynamic                       # §5 dynamic reservation controller
 //	cmsim -csv                           # CSV output (-grid, -continuity, -integrity)
@@ -56,6 +57,7 @@ func main() {
 	mixed := flag.Bool("mixed", false, "run the E16 mixed-rate workload (audio + MPEG-1 + MPEG-2, declustered)")
 	integrity := flag.Bool("integrity", false, "run the E17 patrol-scrub vs. silent-corruption sweep")
 	doublefault := flag.Bool("doublefault", false, "run the E18 double-failure sweep (single parity vs P+Q)")
+	reconfig := flag.Bool("reconfig", false, "run the E19 drain-under-prime-time reconfiguration sweep")
 	scrub := flag.Int("scrub", 0, "patrol scrub rate in verify reads per disk per round (0: off, -1: idle-bounded)")
 	corrupt := flag.String("corrupt", "", "silent-corruption script: disk@sec:blocks[,disk@sec:blocks...]")
 	workers := flag.Int("workers", 0, "parallel sweep workers for -grid (0: one per CPU, 1: sequential)")
@@ -161,6 +163,20 @@ func main() {
 			return
 		}
 		if err := experiments.WriteDoubleFaultSweep(os.Stdout, *seed); err != nil {
+			fatal(err)
+		}
+	case *reconfig:
+		if *csvOut {
+			pts, err := experiments.ReconfigSweep(experiments.ReconfigSweepConfig{Buffer: buffer, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteViewCSV(os.Stdout, pts); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := experiments.WriteReconfigSweep(os.Stdout, experiments.ReconfigSweepConfig{Buffer: buffer, Seed: *seed}); err != nil {
 			fatal(err)
 		}
 	case *continuity:

@@ -33,6 +33,7 @@ import (
 	"ftcms/internal/faultinject"
 	"ftcms/internal/health"
 	"ftcms/internal/parallel"
+	"ftcms/internal/reconfig"
 )
 
 // ErrNoReplica is returned by OpenStream when no live node holds the
@@ -70,12 +71,36 @@ type Config struct {
 	TickWorkers int
 }
 
-// node is one member array and its cluster-level liveness.
+// nodeState is a node's cluster-level lifecycle stage. It refines the
+// old alive flag for online reconfiguration: draining nodes still serve
+// but take no new placements, retired nodes are gone for good.
+type nodeState int
+
+const (
+	// nodeActive: serving, placeable, probe-monitored.
+	nodeActive nodeState = iota
+	// nodeDraining: serving its current streams while they migrate off;
+	// no new placements. Retires once empty and re-replicated.
+	nodeDraining
+	// nodeFailed: down; may rejoin (a restart over persistent disks).
+	nodeFailed
+	// nodeRetired: left the cluster permanently; never probed, never
+	// rejoins.
+	nodeRetired
+)
+
+// node is one member array and its cluster-level lifecycle state.
 type node struct {
 	id    int
 	srv   *core.Server
-	alive bool
+	state nodeState
 }
+
+// serving reports whether the node currently carries streams.
+func (n *node) serving() bool { return n.state == nodeActive || n.state == nodeDraining }
+
+// placeable reports whether new clip placements may target the node.
+func (n *node) placeable() bool { return n.state == nodeActive }
 
 // Cluster is a set of fault-tolerant arrays behind one admission and
 // placement layer.
@@ -107,6 +132,28 @@ type Cluster struct {
 	failedOver int
 	terminated int
 	rejected   int
+
+	// Online reconfiguration (reconfig.go in this package).
+	// views is the versioned membership log; every transition bumps it
+	// and re-audits admission on every serving node.
+	views *reconfig.Log
+	// desired records each clip's requested replica count, so repairs
+	// know what drain/remove must restore.
+	desired map[string]int
+	// jobs is the FIFO of in-flight clip re-replications; jobClips
+	// dedups (at most one job per clip).
+	jobs     []*migrateJob
+	jobClips map[string]bool
+	// planDirty marks that membership or placement changed and
+	// planRepairs must re-derive the job set.
+	planDirty bool
+	// geom caches each node's last observed disk count so the per-round
+	// geometry poll is allocation-free when nothing changed.
+	geom []int
+	// Cumulative migration counters.
+	jobsPlanned, jobsDone int
+	migratedBlocks        int64
+	migratedStreams       int
 }
 
 // Stats reports cluster-level counters plus every node's own Stats.
@@ -132,6 +179,18 @@ type Stats struct {
 	// Rejected counts cluster-wide admission rejects (every live
 	// replica's controller refused).
 	Rejected int
+	// ViewVersion is the current reconfiguration view version.
+	ViewVersion int64
+	// Draining and Retired list node ids in those lifecycle states.
+	Draining, Retired []int
+	// MigrateJobs counts in-flight clip re-replications; MigrateDone and
+	// MigrateTotal are the cumulative completed/planned job counts.
+	MigrateJobs, MigrateDone, MigrateTotal int
+	// MigratedBlocks counts clip blocks copied between nodes by the
+	// migration engine; MigratedStreams counts streams moved gracefully
+	// off draining nodes.
+	MigratedBlocks  int64
+	MigratedStreams int
 	// Node holds each node's core.Stats, index-aligned with node ids.
 	// Down nodes report their last state.
 	Node []core.Stats
@@ -154,14 +213,18 @@ func New(cfg Config) (*Cluster, error) {
 		placement: make(map[string][]int),
 		sizes:     make(map[string]int64),
 		streams:   make(map[int]*Stream),
+		desired:   make(map[string]int),
+		jobClips:  make(map[string]bool),
 	}
 	for i, nc := range cfg.Nodes {
 		srv, err := core.New(nc)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
-		c.nodes = append(c.nodes, &node{id: i, srv: srv, alive: true})
+		c.nodes = append(c.nodes, &node{id: i, srv: srv, state: nodeActive})
+		c.geom = append(c.geom, srv.Disks())
 	}
+	c.views = reconfig.NewLog(c.geom)
 	c.tickWorkers = parallel.Workers(cfg.TickWorkers)
 	c.detector = health.NewDetector(len(cfg.Nodes), cfg.Health)
 	c.detector.SetOnFail(c.nodeDeclared)
@@ -178,8 +241,14 @@ func (c *Cluster) NodeCount() int { return len(c.nodes) }
 // node's admission invariant through it).
 func (c *Cluster) NodeServer(i int) *core.Server { return c.nodes[i].srv }
 
-// NodeAlive reports whether the node is currently live.
-func (c *Cluster) NodeAlive(i int) bool { return c.nodes[i].alive }
+// NodeAlive reports whether the node is currently serving streams
+// (active or draining).
+func (c *Cluster) NodeAlive(i int) bool { return c.nodes[i].serving() }
+
+// MigratedBlocks returns the cumulative count of clip blocks copied
+// between nodes by the migration engine — cheap enough for a per-tick
+// poll (Stats allocates; this does not).
+func (c *Cluster) MigratedBlocks() int64 { return c.migratedBlocks }
 
 // Detector exposes the node-failure detector for inspection.
 func (c *Cluster) Detector() *health.Detector { return c.detector }
@@ -216,10 +285,11 @@ func (c *Cluster) AddClipReplicated(name string, data []byte, replicas int) erro
 	if replicas < 1 || replicas > len(c.nodes) {
 		return fmt.Errorf("cluster: replication %d out of range [1, %d]", replicas, len(c.nodes))
 	}
-	// Candidates: live nodes, most free bytes first.
+	// Candidates: active nodes only (draining nodes take no new
+	// placements — they are on their way out), most free bytes first.
 	cands := make([]*node, 0, len(c.nodes))
 	for _, n := range c.nodes {
-		if n.alive {
+		if n.placeable() {
 			cands = append(cands, n)
 		}
 	}
@@ -254,6 +324,7 @@ func (c *Cluster) AddClipReplicated(name string, data []byte, replicas int) erro
 	}
 	c.placement[name] = placed
 	c.sizes[name] = int64(len(data))
+	c.desired[name] = replicas
 	return nil
 }
 
@@ -276,21 +347,32 @@ func (c *Cluster) ClipSize(name string) int64 {
 	return sz
 }
 
-// candidates returns the clip's live replica nodes ordered by current
-// stream load ascending (ties to the lower node id), optionally skipping
-// one node id.
+// candidates returns the clip's serving replica nodes, active replicas
+// first (each tier ordered by current stream load ascending, ties to
+// the lower node id), optionally skipping one node id. Draining
+// replicas trail as a last resort: a stream never dies while any
+// serving replica exists, but new routes prefer nodes that are staying.
 func (c *Cluster) candidates(name string, skip int) []*node {
-	var out []*node
+	var active, draining []*node
 	for _, id := range c.placement[name] {
 		n := c.nodes[id]
-		if n.alive && n.id != skip {
-			out = append(out, n)
+		if !n.serving() || n.id == skip {
+			continue
+		}
+		if n.state == nodeDraining {
+			draining = append(draining, n)
+		} else {
+			active = append(active, n)
 		}
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		return out[a].srv.Stats().Active < out[b].srv.Stats().Active
-	})
-	return out
+	byLoad := func(out []*node) {
+		sort.SliceStable(out, func(a, b int) bool {
+			return out[a].srv.Stats().Active < out[b].srv.Stats().Active
+		})
+	}
+	byLoad(active)
+	byLoad(draining)
+	return append(active, draining...)
 }
 
 // OpenStream routes a PLAY to a replica whose own admission control
@@ -335,11 +417,13 @@ func (c *Cluster) Tick() error {
 	c.round++
 	if c.injector != nil {
 		c.injector.SetRound(c.round)
-		// Probe each live node once per round: a scripted node fault is
-		// discovered here by detection, mirroring how a disk fault inside
-		// an array is discovered by its own reads.
+		// Probe each serving node once per round: a scripted node fault
+		// is discovered here by detection, mirroring how a disk fault
+		// inside an array is discovered by its own reads. Retired nodes
+		// are deregistered from the detector, so even a stale scripted
+		// fault against one can never fire a spurious failover.
 		for _, n := range c.nodes {
-			if !n.alive {
+			if !n.serving() {
 				continue
 			}
 			slow, err := c.injector.Hook(n.id, 0)
@@ -351,7 +435,7 @@ func (c *Cluster) Tick() error {
 	// sequential loop's first-error-wins.
 	c.live = c.live[:0]
 	for _, n := range c.nodes {
-		if n.alive {
+		if n.serving() {
 			c.live = append(c.live, n)
 		}
 	}
@@ -366,7 +450,7 @@ func (c *Cluster) Tick() error {
 		return err
 	}
 	c.retryFailovers()
-	return nil
+	return c.reconfigStep()
 }
 
 // Round returns the number of completed cluster rounds.
@@ -378,7 +462,7 @@ func (c *Cluster) FailNode(i int) error {
 	if i < 0 || i >= len(c.nodes) {
 		return fmt.Errorf("cluster: node %d out of range [0, %d)", i, len(c.nodes))
 	}
-	if !c.nodes[i].alive {
+	if !c.nodes[i].serving() {
 		return nil
 	}
 	c.nodeFailed(i)
@@ -390,13 +474,16 @@ func (c *Cluster) nodeDeclared(i int) { c.nodeFailed(i) }
 
 // nodeFailed marks the node down and disposes of its in-flight streams:
 // replicated clips fail over (or park for retry), unreplicated ones
-// terminate with ErrStreamLost.
+// terminate with ErrStreamLost. A node that dies mid-drain takes this
+// path too — its drain intent survives in the view, and the repair
+// planner re-replicates around the loss.
 func (c *Cluster) nodeFailed(i int) {
 	n := c.nodes[i]
-	if !n.alive {
+	if !n.serving() {
 		return
 	}
-	n.alive = false
+	n.state = nodeFailed
+	c.planDirty = true
 	ids := make([]int, 0, len(c.streams))
 	for id, st := range c.streams {
 		if st.node == i && st.st != nil {
@@ -417,15 +504,25 @@ func (c *Cluster) nodeFailed(i int) {
 // RejoinNode brings a failed node back with its stored clips intact (a
 // process restart over persistent disks). Detection state and any
 // scripted faults against the node are cleared; new placements and
-// routes include it again. Streams do not fail back.
+// routes include it again. Streams do not fail back. A node that was
+// draining when it died resumes draining — the drain intent is recorded
+// in the view and survives the failure. Retired nodes never rejoin.
 func (c *Cluster) RejoinNode(i int) error {
 	if i < 0 || i >= len(c.nodes) {
 		return fmt.Errorf("cluster: node %d out of range [0, %d)", i, len(c.nodes))
 	}
-	if c.nodes[i].alive {
+	n := c.nodes[i]
+	switch n.state {
+	case nodeActive, nodeDraining:
 		return nil
+	case nodeRetired:
+		return fmt.Errorf("cluster: node %d is retired and cannot rejoin", i)
 	}
-	c.nodes[i].alive = true
+	n.state = nodeActive
+	if m, ok := c.views.View().Member(i); ok && m.State == reconfig.Draining {
+		n.state = nodeDraining
+	}
+	c.planDirty = true
 	c.detector.Reset(i)
 	if c.injector != nil {
 		c.injector.ClearDisk(i)
@@ -529,19 +626,31 @@ func (c *Cluster) finish(st *Stream) {
 // Stats returns the cluster's counters and every node's Stats.
 func (c *Cluster) Stats() Stats {
 	st := Stats{
-		Round:      c.round,
-		Nodes:      len(c.nodes),
-		Active:     len(c.streams),
-		Served:     c.served,
-		FailedOver: c.failedOver,
-		Terminated: c.terminated,
-		Rejected:   c.rejected,
+		Round:           c.round,
+		Nodes:           len(c.nodes),
+		Active:          len(c.streams),
+		Served:          c.served,
+		FailedOver:      c.failedOver,
+		Terminated:      c.terminated,
+		Rejected:        c.rejected,
+		ViewVersion:     c.views.Version(),
+		MigrateJobs:     len(c.jobs),
+		MigrateDone:     c.jobsDone,
+		MigrateTotal:    c.jobsPlanned,
+		MigratedBlocks:  c.migratedBlocks,
+		MigratedStreams: c.migratedStreams,
 	}
 	for _, n := range c.nodes {
-		if n.alive {
+		switch n.state {
+		case nodeActive:
 			st.Alive++
-		} else {
+		case nodeDraining:
+			st.Alive++
+			st.Draining = append(st.Draining, n.id)
+		case nodeFailed:
 			st.FailedNodes = append(st.FailedNodes, n.id)
+		case nodeRetired:
+			st.Retired = append(st.Retired, n.id)
 		}
 		st.Node = append(st.Node, n.srv.Stats())
 	}

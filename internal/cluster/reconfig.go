@@ -1,0 +1,555 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+
+	"ftcms/internal/core"
+	"ftcms/internal/reconfig"
+)
+
+// This file is the cluster's online-reconfiguration engine: versioned
+// view transitions (join, drain, remove, per-node disk addition) and
+// the background migration that makes them safe. All repair traffic —
+// clip re-replication off draining or failed nodes — moves block by
+// block over the nodes' idle-capacity import/export surface
+// (core.ReadClipBlockIdleInto / ImportClipBlockIdle), so it is charged
+// against the same per-disk round budgets as streams, rebuild and
+// scrub, audited by the same Overflows counter, and paused whenever
+// any serving array is rebuilding or degraded (contingency bandwidth
+// outranks elasticity). Admission is re-audited on every serving node
+// at every view bump: a stream admitted under view v is never
+// hiccuped by the transition to v+1.
+
+// migrateJob is one in-flight clip re-replication: copy every payload
+// block of clip from node src to node dst, then publish the new
+// replica. At most one job per clip exists at a time (jobClips).
+type migrateJob struct {
+	clip     string
+	src, dst int
+	// next is the block cursor; total the payload block count (set when
+	// the import begins). buf holds one block read off src and not yet
+	// accepted by dst — bufValid marks the holdover so a destination
+	// stall never re-reads (and re-charges) the source.
+	next, total int64
+	buf         []byte
+	bufValid    bool
+	begun       bool
+}
+
+// View returns the current membership view. Its version bumps by
+// exactly one on every observable transition.
+func (c *Cluster) View() reconfig.View { return c.views.View() }
+
+// JoinNode adds a freshly built node to the cluster. The node starts
+// empty, active and placeable; the repair planner does not move
+// existing clips onto it (placement rebalancing is the operator's
+// AddClipReplicated call), but drain/remove repairs and new clips use
+// it immediately.
+func (c *Cluster) JoinNode(nc core.Config) (int, error) {
+	srv, err := core.New(nc)
+	if err != nil {
+		return -1, fmt.Errorf("cluster: join: %w", err)
+	}
+	id := len(c.nodes)
+	vid, _ := c.views.Join(srv.Disks())
+	if vid != id {
+		// Node slots are never deleted, so the view's max-id+1 always
+		// matches len(c.nodes); a mismatch is a programming bug.
+		return -1, fmt.Errorf("cluster: join id mismatch: view assigned %d, have %d nodes", vid, id)
+	}
+	c.nodes = append(c.nodes, &node{id: id, srv: srv, state: nodeActive})
+	c.geom = append(c.geom, srv.Disks())
+	c.detector.Grow(1)
+	c.planDirty = true
+	return id, c.auditAdmission()
+}
+
+// DrainNode starts a graceful leave: the node keeps serving its
+// current streams but takes no new placements; the migration engine
+// re-replicates every clip whose active replica count would drop and
+// moves the node's streams to active replicas as admission allows.
+// The node retires automatically once it is empty and every clip is
+// safe. Idempotent on an already-draining node.
+func (c *Cluster) DrainNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range [0, %d)", i, len(c.nodes))
+	}
+	n := c.nodes[i]
+	switch n.state {
+	case nodeDraining:
+		return nil // idempotent; no view bump either (reconfig.Log agrees)
+	case nodeFailed:
+		return fmt.Errorf("cluster: node %d is down; RejoinNode it first or RemoveNode it", i)
+	case nodeRetired:
+		return fmt.Errorf("cluster: node %d already retired", i)
+	}
+	if _, err := c.views.Drain(i); err != nil {
+		return err
+	}
+	n.state = nodeDraining
+	c.planDirty = true
+	return c.auditAdmission()
+}
+
+// RemoveNode takes a node out immediately — the abrupt counterpart of
+// DrainNode, reusing the failover path: streams of replicated clips
+// move to surviving replicas (or park for admission retry), streams
+// of unreplicated clips terminate with ErrStreamLost. The node is
+// deregistered from failure detection and never probed, rejoined or
+// re-declared failed.
+func (c *Cluster) RemoveNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range [0, %d)", i, len(c.nodes))
+	}
+	n := c.nodes[i]
+	if n.state == nodeRetired {
+		return fmt.Errorf("cluster: node %d already retired", i)
+	}
+	if _, err := c.views.Remove(i); err != nil {
+		return err
+	}
+	wasServing := n.serving()
+	n.state = nodeRetired
+	c.detector.Deregister(i)
+	if wasServing {
+		ids := make([]int, 0, len(c.streams))
+		for id, st := range c.streams {
+			if st.node == i && st.st != nil {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			st := c.streams[id]
+			st.st.Close()
+			st.st = nil
+			c.failover(st)
+		}
+	}
+	// Jobs reading from or importing into the node are dead; abort them
+	// and let the planner route around the loss.
+	keep := c.jobs[:0]
+	for _, j := range c.jobs {
+		if j.src == i || j.dst == i {
+			c.abortJob(j)
+			continue
+		}
+		keep = append(keep, j)
+	}
+	c.jobs = keep
+	c.scrubPlacement(i)
+	c.planDirty = true
+	return c.auditAdmission()
+}
+
+// AddDisk starts growing node i's array by one disk (see
+// core.Server.AddDisk: shadow array, idle-capacity copy, transactional
+// flip). The view's geometry entry bumps when the node's re-layout
+// flips, observed by the per-round geometry poll.
+func (c *Cluster) AddDisk(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range [0, %d)", i, len(c.nodes))
+	}
+	n := c.nodes[i]
+	if n.state != nodeActive {
+		return fmt.Errorf("cluster: node %d not active; disks grow only on active nodes", i)
+	}
+	return n.srv.AddDisk()
+}
+
+// reconfigStep runs at the end of every Tick: poll node geometries
+// into the view, then — only when reconfiguration is actually in
+// flight — plan repairs, advance migration jobs, move streams off
+// draining nodes and retire completed drains. The quiescent path
+// (nothing draining, no jobs, plan clean) is allocation-free so the
+// steady-state cluster tick stays flat.
+func (c *Cluster) reconfigStep() error {
+	if err := c.pollGeometry(); err != nil {
+		return err
+	}
+	if c.quiescent() {
+		return nil
+	}
+	if c.planDirty {
+		c.planRepairs()
+	}
+	if !c.migrationPaused() {
+		c.stepJobs()
+	}
+	c.moveDrainingStreams()
+	return c.checkRetirements()
+}
+
+// quiescent reports that no reconfiguration work is pending.
+func (c *Cluster) quiescent() bool {
+	if len(c.jobs) > 0 || c.planDirty {
+		return false
+	}
+	for _, n := range c.nodes {
+		if n.state == nodeDraining {
+			return false
+		}
+	}
+	return true
+}
+
+// pollGeometry records AddDisk flips in the view. A node's Disks()
+// changes exactly when its re-layout flips; the view bumps then, and
+// admission is re-audited under the new geometry.
+func (c *Cluster) pollGeometry() error {
+	for _, n := range c.nodes {
+		if !n.serving() {
+			continue
+		}
+		d := n.srv.Disks()
+		if d == c.geom[n.id] {
+			continue
+		}
+		c.geom[n.id] = d
+		if _, err := c.views.SetDisks(n.id, d); err != nil {
+			return err
+		}
+		if err := c.auditAdmission(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrationPaused reports whether repair traffic must hold: any
+// serving array that is rebuilding or degraded owns the cluster's
+// spare bandwidth, exactly as rebuild outranks scrub inside one array.
+func (c *Cluster) migrationPaused() bool {
+	for _, n := range c.nodes {
+		if n.serving() && n.srv.Mode() != core.ModeHealthy {
+			return true
+		}
+	}
+	return false
+}
+
+// planRepairs derives the migration job set from the current
+// membership: every clip whose replica count on *active* nodes fell
+// below its desired count (capped by the active node count) gets one
+// re-replication job — source preferring an active replica over a
+// draining one, destination the active node with the most free bytes
+// that doesn't already hold the clip. Deterministic: clips in sorted
+// order, ties to the lower node id.
+func (c *Cluster) planRepairs() {
+	c.planDirty = false
+	activeNodes := 0
+	for _, n := range c.nodes {
+		if n.state == nodeActive {
+			activeNodes++
+		}
+	}
+	if activeNodes == 0 {
+		return
+	}
+	names := make([]string, 0, len(c.placement))
+	for name := range c.placement {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if c.jobClips[name] {
+			continue
+		}
+		want := c.desired[name]
+		if want > activeNodes {
+			want = activeNodes
+		}
+		active := 0
+		for _, id := range c.placement[name] {
+			if c.nodes[id].state == nodeActive {
+				active++
+			}
+		}
+		if active >= want {
+			continue
+		}
+		var src *node
+		for _, id := range c.placement[name] {
+			if c.nodes[id].state == nodeActive {
+				src = c.nodes[id]
+				break
+			}
+		}
+		if src == nil {
+			for _, id := range c.placement[name] {
+				if c.nodes[id].state == nodeDraining {
+					src = c.nodes[id]
+					break
+				}
+			}
+		}
+		if src == nil {
+			continue // no readable replica right now; replan on rejoin
+		}
+		var dst *node
+		var dstFree int64
+		for _, n := range c.nodes {
+			if n.state != nodeActive || n.srv.Relayouting() {
+				continue
+			}
+			if n.srv.BlockSize() != src.srv.BlockSize() {
+				continue // block-granular copy needs matching geometry
+			}
+			if slices.Contains(c.placement[name], n.id) {
+				continue
+			}
+			free := n.srv.FreeBlocks() * n.srv.BlockSize().Bytes()
+			if dst == nil || free > dstFree {
+				dst, dstFree = n, free
+			}
+		}
+		if dst == nil {
+			continue // nowhere to put a new replica; replan on membership change
+		}
+		c.jobs = append(c.jobs, &migrateJob{clip: name, src: src.id, dst: dst.id})
+		c.jobClips[name] = true
+		c.jobsPlanned++
+	}
+}
+
+// stepJobs advances every job as far as this round's idle capacity
+// allows. Finished and aborted jobs drop out of the list.
+func (c *Cluster) stepJobs() {
+	if len(c.jobs) == 0 {
+		return
+	}
+	keep := c.jobs[:0]
+	for _, j := range c.jobs {
+		if !c.stepJob(j) {
+			keep = append(keep, j)
+		}
+	}
+	c.jobs = keep
+}
+
+// stepJob advances one job; true means the job is finished or aborted
+// and leaves the list. A false return with no progress is a stall —
+// some disk's idle slots for this round ran out — retried next round.
+func (c *Cluster) stepJob(j *migrateJob) bool {
+	src, dst := c.nodes[j.src], c.nodes[j.dst]
+	if !src.serving() || dst.state != nodeActive {
+		// An endpoint died (or got drained/removed) mid-copy; the planner
+		// re-derives a route from whatever replicas survive.
+		c.abortJob(j)
+		return true
+	}
+	if !j.begun {
+		if dst.srv.Relayouting() {
+			return false // imports are refused during a re-layout; wait it out
+		}
+		if err := dst.srv.BeginClipImport(j.clip, c.sizes[j.clip]); err != nil {
+			c.abortJob(j)
+			return true
+		}
+		j.total = src.srv.ClipDataBlocks(j.clip)
+		j.buf = make([]byte, int(dst.srv.BlockSize().Bytes()))
+		j.begun = true
+	}
+	for j.next < j.total {
+		if !j.bufValid {
+			ok, err := src.srv.ReadClipBlockIdleInto(j.clip, j.next, j.buf)
+			if err != nil {
+				c.abortJob(j)
+				return true
+			}
+			if !ok {
+				return false // source out of idle capacity this round
+			}
+			j.bufValid = true
+		}
+		ok, err := dst.srv.ImportClipBlockIdle(j.clip, j.next, j.buf)
+		if err != nil {
+			c.abortJob(j)
+			return true
+		}
+		if !ok {
+			return false // destination stalled; buf held over, no re-read
+		}
+		j.bufValid = false
+		j.next++
+		c.migratedBlocks++
+	}
+	done, err := dst.srv.CommitClipImport(j.clip)
+	if err != nil {
+		c.abortJob(j)
+		return true
+	}
+	if !done {
+		return false // padding sweep ran out of idle slots; commit retries
+	}
+	c.placement[j.clip] = append(c.placement[j.clip], j.dst)
+	c.jobsDone++
+	delete(c.jobClips, j.clip)
+	c.planDirty = true
+	return true
+}
+
+// abortJob abandons a job, reclaiming the destination's partial import
+// when the destination still serves, and marks the plan dirty so the
+// planner routes around whatever broke.
+func (c *Cluster) abortJob(j *migrateJob) {
+	if j.begun && c.nodes[j.dst].serving() {
+		_ = c.nodes[j.dst].srv.AbortClipImport(j.clip)
+	}
+	delete(c.jobClips, j.clip)
+	c.planDirty = true
+}
+
+// moveDrainingStreams gracefully moves streams off draining nodes:
+// open on an active replica first, reposition to the exact delivered
+// byte, only then close the old stream — the stream is never parked.
+// When no active replica has admission capacity the stream simply
+// stays on the drainer (it keeps serving) and the move retries next
+// round.
+func (c *Cluster) moveDrainingStreams() {
+	anyDraining := false
+	for _, n := range c.nodes {
+		if n.state == nodeDraining {
+			anyDraining = true
+			break
+		}
+	}
+	if !anyDraining {
+		return
+	}
+	ids := make([]int, 0, len(c.streams))
+	for id, st := range c.streams {
+		if st.st != nil && c.nodes[st.node].state == nodeDraining {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := c.streams[id]
+		if st.offset >= st.size {
+			continue // fully delivered to the reader; it finishes in place
+		}
+		for _, n := range c.candidates(st.clip, st.node) {
+			if n.state != nodeActive {
+				continue
+			}
+			cs, err := c.reopenAt(n, st.clip, st.offset)
+			if err != nil {
+				if errors.Is(err, core.ErrAdmission) {
+					continue // this replica is full; try the next
+				}
+				continue // replica unusable right now; keep serving off the drainer
+			}
+			old := st.st
+			st.node = n.id
+			st.st = cs
+			st.skip = st.offset - cs.Pos()
+			old.Close()
+			c.migratedStreams++
+			break
+		}
+	}
+}
+
+// checkRetirements retires every draining node whose drain is
+// complete: no streams, no migration jobs touching it, and every clip
+// it holds safely replicated on active nodes. Retirement bumps the
+// view, deregisters the node from failure detection (it can never be
+// re-declared failed) and drops it from all placements.
+func (c *Cluster) checkRetirements() error {
+	for _, n := range c.nodes {
+		if n.state != nodeDraining || !c.drainComplete(n.id) {
+			continue
+		}
+		if _, err := c.views.Retire(n.id); err != nil {
+			return err
+		}
+		n.state = nodeRetired
+		c.detector.Deregister(n.id)
+		c.scrubPlacement(n.id)
+		c.planDirty = true
+		if err := c.auditAdmission(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainComplete reports whether node i may retire.
+func (c *Cluster) drainComplete(i int) bool {
+	for _, st := range c.streams {
+		if st.node == i && st.st != nil {
+			return false
+		}
+	}
+	for _, j := range c.jobs {
+		if j.src == i || j.dst == i {
+			return false
+		}
+	}
+	activeNodes := 0
+	for _, n := range c.nodes {
+		if n.state == nodeActive {
+			activeNodes++
+		}
+	}
+	for name, reps := range c.placement {
+		holds := false
+		active := 0
+		for _, id := range reps {
+			if id == i {
+				holds = true
+			}
+			if c.nodes[id].state == nodeActive {
+				active++
+			}
+		}
+		if !holds {
+			continue
+		}
+		want := c.desired[name]
+		if want > activeNodes {
+			want = activeNodes
+		}
+		if want < 1 {
+			// Never retire the last readable copy, even when no active
+			// node can take a replica right now.
+			want = 1
+		}
+		if active < want {
+			return false
+		}
+	}
+	return true
+}
+
+// scrubPlacement removes node i from every clip's replica list.
+func (c *Cluster) scrubPlacement(i int) {
+	for name, reps := range c.placement {
+		out := reps[:0]
+		for _, id := range reps {
+			if id != i {
+				out = append(out, id)
+			}
+		}
+		c.placement[name] = out
+	}
+}
+
+// auditAdmission re-checks every serving node's admission invariant —
+// called at every view transition so no membership or geometry change
+// can leave a stream without the bandwidth it was promised.
+func (c *Cluster) auditAdmission() error {
+	for _, n := range c.nodes {
+		if !n.serving() {
+			continue
+		}
+		if err := n.srv.CheckAdmission(); err != nil {
+			return fmt.Errorf("cluster: view %d: node %d admission audit: %w", c.views.Version(), n.id, err)
+		}
+	}
+	return nil
+}

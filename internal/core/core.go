@@ -176,6 +176,16 @@ type Stats struct {
 	ScrubScanned, ScrubTotal int
 	// ScrubCycles counts completed full-array scrub sweeps.
 	ScrubCycles int64
+	// MigrateReads counts physical reads charged on behalf of
+	// reconfiguration traffic (clip migration and AddDisk re-layout)
+	// since start; MigrateReadsLastRound is the previous round's share —
+	// the measured migration rate.
+	MigrateReads, MigrateReadsLastRound int64
+	// RelayoutPending and RelayoutTotal report AddDisk re-layout
+	// progress in queue entries (both zero when no re-layout is active).
+	RelayoutPending, RelayoutTotal int
+	// RelayoutsDone counts completed AddDisk re-layouts.
+	RelayoutsDone int
 	// DetectLatencies holds, per declared disk in declaration order, the
 	// rounds from the health detector's first suspicious observation to
 	// its failure declaration — the MTTDL model's detection-time input.
@@ -257,6 +267,23 @@ type Server struct {
 	corruptionsDetected int64
 	corruptionRepairs   int64
 
+	// Online reconfiguration (import.go, relayout.go).
+	imports map[string]*importState
+	// relayout, when non-nil, is the in-flight AddDisk re-layout onto a
+	// shadow array one disk wider.
+	relayout *relayoutState
+	// relayoutsDone counts completed AddDisk re-layouts.
+	relayoutsDone int
+	// migrateReads counts physical reads charged on behalf of
+	// reconfiguration traffic — clip-migration exports/imports plus
+	// AddDisk re-layout copies — the migration side of the Luby-style
+	// repair-rate ledger. migrateReadsLast is the previous round's
+	// share; migrateReadsMark is the ledger value at the top of the
+	// current round.
+	migrateReads     int64
+	migrateReadsLast int64
+	migrateReadsMark int64
+
 	// prefetchDepth is how many blocks ahead of delivery fetching runs
 	// (p−1 for the pre-fetching schemes, 1 otherwise).
 	prefetchDepth int64
@@ -333,6 +360,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:           cfg,
 		clips:         make(map[string]clipInfo),
+		imports:       make(map[string]*importState),
 		streams:       make(map[int]*Stream),
 		failRound:     make(map[int]int64),
 		prefetchDepth: 1,
@@ -453,24 +481,26 @@ func (s *Server) RoundDuration() units.Duration {
 	return d
 }
 
-// AddClip stores a clip's bytes, striping blocks round-robin and
-// maintaining parity. Clips are padded to whole blocks (the paper pads
-// with advertisements; we pad with zeroes).
-func (s *Server) AddClip(name string, data []byte) error {
-	if _, dup := s.clips[name]; dup {
-		return fmt.Errorf("core: clip %q already stored", name)
-	}
-	if len(data) == 0 {
-		return errors.New("core: empty clip")
-	}
-	bs := int(s.cfg.Block.Bytes())
-	blocks := int64((len(data) + bs - 1) / bs)
+// clipBlocks returns how many store blocks a payload of size bytes
+// occupies, including the pre-fetching schemes' whole-parity-group
+// padding.
+func (s *Server) clipBlocks(size int64) int64 {
+	bs := int64(s.cfg.Block.Bytes())
+	blocks := (size + bs - 1) / bs
 	// Pre-fetching schemes need whole parity groups per clip for the
 	// read-ahead invariant; pad to a multiple of p−1 blocks.
 	if s.prefetchDepth > 1 {
 		g := int64(s.cfg.P - 1)
 		blocks = (blocks + g - 1) / g * g
 	}
+	return blocks
+}
+
+// allocClip reserves store blocks for a clip of the given payload size,
+// returning its clipInfo. Shared by the bulk AddClip loader and the
+// incremental migration import path.
+func (s *Server) allocClip(size int64) (clipInfo, error) {
+	blocks := s.clipBlocks(size)
 	var start, stride int64
 	if s.cfg.Scheme == DeclusteredDynamic {
 		// §5.1: each clip lives wholly inside one super-clip; assign
@@ -480,19 +510,45 @@ func (s *Server) AddClip(name string, data []byte) error {
 		row := s.clipCount % il.Rows()
 		base := s.nextFreeRow[row]
 		if (base+blocks)*r > s.cfg.Capacity {
-			return fmt.Errorf("core: super-clip %d full: clip needs %d blocks", row, blocks)
+			return clipInfo{}, fmt.Errorf("core: super-clip %d full: clip needs %d blocks", row, blocks)
 		}
 		start, stride = int64(row)+base*r, r
 		s.nextFreeRow[row] = base + blocks
 		s.clipCount++
 	} else {
 		if s.nextFree+blocks > s.cfg.Capacity {
-			return fmt.Errorf("core: store full: %d blocks free, clip needs %d", s.cfg.Capacity-s.nextFree, blocks)
+			return clipInfo{}, fmt.Errorf("core: store full: %d blocks free, clip needs %d", s.cfg.Capacity-s.nextFree, blocks)
 		}
 		start, stride = s.nextFree, 1
 		s.nextFree += blocks
 	}
-	ci := clipInfo{start: start, blocks: blocks, size: int64(len(data)), stride: stride}
+	return clipInfo{start: start, blocks: blocks, size: size, stride: stride}, nil
+}
+
+// AddClip stores a clip's bytes, striping blocks round-robin and
+// maintaining parity. Clips are padded to whole blocks (the paper pads
+// with advertisements; we pad with zeroes).
+func (s *Server) AddClip(name string, data []byte) error {
+	if _, dup := s.clips[name]; dup {
+		return fmt.Errorf("core: clip %q already stored", name)
+	}
+	if _, dup := s.imports[name]; dup {
+		return fmt.Errorf("core: clip %q import in flight", name)
+	}
+	if len(data) == 0 {
+		return errors.New("core: empty clip")
+	}
+	if s.relayout != nil {
+		// The re-layout queue was snapshotted; a clip written now would
+		// never be copied to the wider array.
+		return errors.New("core: re-layout in progress; retry after it completes")
+	}
+	bs := int(s.cfg.Block.Bytes())
+	ci, err := s.allocClip(int64(len(data)))
+	if err != nil {
+		return err
+	}
+	blocks := ci.blocks
 	buf := make([]byte, bs)
 	for n := int64(0); n < blocks; n++ {
 		lo := int(n) * bs
@@ -621,6 +677,13 @@ func (s *Server) Stats() Stats {
 	}
 	st.RebuildReads = s.rebuildReads
 	st.RebuildReadsLastRound = s.rebuildReadsLast
+	st.MigrateReads = s.migrateReads
+	st.MigrateReadsLastRound = s.migrateReadsLast
+	st.RelayoutsDone = s.relayoutsDone
+	if s.relayout != nil {
+		st.RelayoutTotal = len(s.relayout.queue)
+		st.RelayoutPending = len(s.relayout.queue) - s.relayout.next
+	}
 	if s.scrub != nil {
 		st.ScrubScanned = s.scrub.next
 		st.ScrubTotal = len(s.scrub.queue)

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"ftcms/internal/admission"
+	"ftcms/internal/layout"
+	"ftcms/internal/recovery"
+	"ftcms/internal/storage"
+)
+
+// This file implements per-array disk addition with online PGT
+// re-layout. AddDisk builds a shadow array one disk wider with its own
+// precomputed parity-group table, then relayoutStep copies every stored
+// clip block across on idle round capacity — read monitored from the
+// old array (charged against the round ledger, counted on the migration
+// ledger), written through the shadow store's parity maintenance, which
+// recomputes parity and re-records the block's checksum: relocated
+// blocks are copied AND re-checksummed before anything flips. The old
+// layout stays authoritative for every stream until finishRelayout
+// atomically swaps layout, store, engine width, admission controller
+// and detector — and only after every active stream has been re-
+// admitted under the new geometry, so a stream admitted under the old
+// view is never hiccuped by the transition. Like rebuild and scrub, the
+// copy pauses whenever the array is not fully healthy.
+
+// relayoutState tracks one in-flight AddDisk re-layout.
+type relayoutState struct {
+	lay   layout.Layout
+	store *recovery.Store
+	// queue lists, ascending, the logical indices of every stored clip
+	// block to copy onto the shadow array.
+	queue []int64
+	next  int
+	// newCap is the data capacity the wider array advertises at flip.
+	newCap int64
+}
+
+// Relayouting reports whether an AddDisk re-layout is in flight.
+func (s *Server) Relayouting() bool { return s.relayout != nil }
+
+// AddDisk starts growing the array by one disk. Supported for the
+// declustered schemes (single parity and P+Q), whose layouts are pure
+// functions of (d, p); the dynamic and pre-fetching schemes tie
+// admission classes to the clip address space and are out of scope.
+// The re-layout runs in the background on idle capacity; the wider
+// geometry (and the extra capacity) becomes visible only at the flip.
+func (s *Server) AddDisk() error {
+	switch s.cfg.Scheme {
+	case Declustered, DeclusteredPQ:
+	default:
+		return fmt.Errorf("core: AddDisk unsupported for scheme %q", s.cfg.Scheme)
+	}
+	if s.relayout != nil {
+		return errors.New("core: re-layout already in progress")
+	}
+	if len(s.imports) > 0 {
+		return errors.New("core: clip imports in flight; retry after they commit")
+	}
+	if s.Mode() != ModeHealthy {
+		return errors.New("core: array not healthy; repair before growing")
+	}
+	d2 := s.cfg.D + 1
+	var lay2 layout.Layout
+	var err error
+	switch s.cfg.Scheme {
+	case Declustered:
+		lay2, err = layout.NewDeclustered(d2, s.cfg.P)
+	case DeclusteredPQ:
+		lay2, err = layout.NewDeclusteredPQ(d2, s.cfg.P)
+	}
+	if err != nil {
+		return err
+	}
+	arr2, err := storage.NewArray(d2, int(s.cfg.Block.Bytes()))
+	if err != nil {
+		return err
+	}
+	store2, err := recovery.NewStore(lay2, arr2)
+	if err != nil {
+		return err
+	}
+	var queue []int64
+	for _, name := range s.Clips() {
+		ci := s.clips[name]
+		for n := int64(0); n < ci.blocks; n++ {
+			queue = append(queue, ci.block(n))
+		}
+	}
+	slices.Sort(queue)
+	s.relayout = &relayoutState{
+		lay:    lay2,
+		store:  store2,
+		queue:  queue,
+		newCap: s.cfg.Capacity / int64(s.cfg.D) * int64(d2),
+	}
+	return nil
+}
+
+// relayoutStep advances the shadow copy with this round's idle
+// capacity. It runs after rebuildStep and scrubStep in Tick, so its
+// priority is strictly below streams, rebuild and scrub; it pauses
+// entirely while the array is rebuilding or degraded. Copy reads gate
+// on the whole source parity group (a corrupt block found by the read
+// is repaired in place on contingency slots, which the gate reserves);
+// shadow-side writes are uncharged — the shadow array serves no streams
+// until the flip, so it has no round budget to protect.
+func (s *Server) relayoutStep() {
+	rl := s.relayout
+	if rl == nil {
+		return
+	}
+	if s.Mode() != ModeHealthy {
+		return
+	}
+	q := s.cfg.Q
+	for rl.next < len(rl.queue) {
+		i := rl.queue[rl.next]
+		addr := s.lay.Place(i)
+		g := s.lay.GroupOf(i)
+		if s.engine.Load(addr.Disk) >= q {
+			return // out of idle capacity; resume next round
+		}
+		idle := true
+		for _, a := range g.DataAddr {
+			if s.engine.Load(a.Disk) >= q {
+				idle = false
+				break
+			}
+		}
+		if !idle || s.engine.Load(g.Parity.Disk) >= q || (g.HasQ && s.engine.Load(g.Q.Disk) >= q) {
+			return
+		}
+		s.charge(addr.Disk)
+		s.migrateReads++
+		data, err := s.readMonitored(i, addr)
+		if err != nil {
+			// The read escalated (disk declared failed mid-copy): the
+			// mode check pauses the re-layout from the next step on; the
+			// copied prefix stays valid because clip bytes never change
+			// after AddClip.
+			return
+		}
+		werr := rl.store.WriteBlock(i, data)
+		s.putBlock(data)
+		if werr != nil {
+			return
+		}
+		rl.next++
+	}
+	s.finishRelayout()
+}
+
+// finishRelayout flips the server to the wider geometry, but only if
+// every active stream re-admits under it. Admission under the new
+// layout has different coordinates (more disks, different parity-group
+// classes), so each stream is admitted afresh at its current position
+// against a new controller; if any admission is refused the whole flip
+// is deferred to a later round with the old view fully intact — the
+// transition is transactional and can never strand a stream.
+func (s *Server) finishRelayout() {
+	rl := s.relayout
+	d2 := s.cfg.D + 1
+	var rows int
+	switch l := rl.lay.(type) {
+	case *layout.Declustered:
+		rows = l.Rows()
+	case *layout.DeclusteredPQ:
+		rows = l.Rows()
+	}
+	f := s.cfg.F
+	if f < 1 {
+		f = 1
+	}
+	newAdmit, err := admission.NewStatic(d2, rows, s.cfg.Q, f)
+	if err != nil {
+		// Geometry the admission layer cannot express (cannot happen for
+		// the supported schemes); abandon rather than wedge the server.
+		s.relayout = nil
+		return
+	}
+	now := s.engine.Round()
+	reissued := make([]admission.Ticket, 0, len(s.reg))
+	streams := make([]*Stream, 0, len(s.reg))
+	for _, st := range s.reg {
+		if !st.active || st.done {
+			continue
+		}
+		pos := st.clip.block(min(st.nextFetch, st.clip.blocks-1))
+		var tk admission.Ticket
+		var ok bool
+		switch l := rl.lay.(type) {
+		case *layout.Declustered:
+			tk, ok = newAdmit.Admit(now, l.Place(pos).Disk, l.RowOf(pos))
+		case *layout.DeclusteredPQ:
+			tk, ok = newAdmit.Admit(now, l.Place(pos).Disk, l.RowOf(pos))
+		}
+		if !ok {
+			return // defer the flip; retry next round with the old view intact
+		}
+		reissued = append(reissued, tk)
+		streams = append(streams, st)
+	}
+	// Point of no return: install the new tickets and swap the world.
+	// Old tickets die with the old controller; paused streams hold no
+	// ticket and re-admit on the new controller at Resume.
+	for k, st := range streams {
+		st.ticket = ticketRef{kind: ticketStatic, t: reissued[k]}
+	}
+	s.admitStatic = newAdmit
+	s.lay = rl.lay
+	s.store = rl.store
+	s.cfg.D = d2
+	s.cfg.Capacity = rl.newCap
+	s.engine.AddDisk()
+	s.detector.Grow(1)
+	if s.injector != nil {
+		// The injector hooks the array's read path; the shadow array was
+		// built bare, so re-arm it or fault injection dies at the flip.
+		s.store.Array.SetReadHook(s.injector.Hook)
+	}
+	// Scrub sweeps hold physical addresses of the old layout.
+	s.scrub = nil
+	s.relayout = nil
+	s.relayoutsDone++
+}

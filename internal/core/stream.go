@@ -388,6 +388,12 @@ func (st *Stream) Read(p []byte) (int, error) {
 // online rebuild first and then the integrity scrubber. Tick itself
 // errors only on programming bugs.
 func (s *Server) Tick() error {
+	// Close the previous round's migration ledger before anything else:
+	// migration charges land both inside Tick (the AddDisk re-layout
+	// step) and between ticks (the cluster tier's clip-migration calls),
+	// so the per-round share is everything since the last round began.
+	s.migrateReadsLast = s.migrateReads - s.migrateReadsMark
+	s.migrateReadsMark = s.migrateReads
 	s.engine.BeginRound()
 	if s.injector != nil {
 		s.injector.SetRound(s.engine.Round())
@@ -411,6 +417,7 @@ func (s *Server) Tick() error {
 	before := s.rebuildReads
 	s.rebuildStep()
 	s.scrubStep()
+	s.relayoutStep()
 	s.rebuildReadsLast = s.rebuildReads - before
 	return nil
 }

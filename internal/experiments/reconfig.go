@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/parallel"
+	"ftcms/internal/sim"
+	"ftcms/internal/units"
+)
+
+// ReconfigPoint is one arrival-rate cell of the E19 elastic-
+// reconfiguration sweep: drain a node mid-run (prime time, streams in
+// flight) and measure what the graceful leave costs — with and without
+// a replacement node joined first.
+type ReconfigPoint struct {
+	// ArrivalRate is the cell's Poisson arrival rate.
+	ArrivalRate float64
+	// Baseline is the throughput with no reconfiguration.
+	Baseline int
+	// Serviced, MigratedStreams, LostStreams and DrainRounds describe
+	// the drain-only run: node 1 drains at half time. DrainRounds is the
+	// drain-start→retirement gap in rounds (-1: never completed).
+	Serviced        int
+	MigratedStreams int
+	LostStreams     int
+	DrainRounds     int64
+	// JoinServiced and JoinDrainRounds repeat the drain with a
+	// replacement node joined a quarter of the way in — the planned
+	// hardware-swap shape (join, re-replicate, then drain).
+	JoinServiced    int
+	JoinDrainRounds int64
+	// ViewVersion is the drain-only run's final view version.
+	ViewVersion int64
+}
+
+// ReconfigSweepConfig parameterizes E19. Zero values select defaults.
+type ReconfigSweepConfig struct {
+	// Buffer is each node's RAM buffer (default 128 MB).
+	Buffer units.Bits
+	// Nodes and Replication size the cluster (default 3, 2).
+	Nodes, Replication int
+	// ArrivalRates are the load levels to sweep (default 2, 5, 10, 20 —
+	// quiet night through saturated prime time).
+	ArrivalRates []float64
+	// Duration is the simulated horizon (default 120 s). The join fires
+	// at Duration/4 and the drain at Duration/2.
+	Duration units.Duration
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+func (c ReconfigSweepConfig) withDefaults() ReconfigSweepConfig {
+	if c.Buffer <= 0 {
+		c.Buffer = 128 * units.MB
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if len(c.ArrivalRates) == 0 {
+		c.ArrivalRates = []float64{2, 5, 10, 20}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 120 * units.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// drainRounds extracts the drain-start→retirement gap for node.
+func drainRounds(res sim.ClusterResult, node int) int64 {
+	pn := res.PerNode[node]
+	if pn.DrainRound < 0 || pn.RetiredRound < 0 {
+		return -1
+	}
+	return pn.RetiredRound - pn.DrainRound
+}
+
+// ReconfigSweep runs E19: sim.RunCluster over the arrival-rate axis,
+// three runs per cell — baseline, drain-under-load, and join-then-
+// drain — on the paper's catalog with 16-disk declustered nodes.
+// Cells run in parallel.
+func ReconfigSweep(cfg ReconfigSweepConfig) ([]ReconfigPoint, error) {
+	cfg = cfg.withDefaults()
+	catalog := PaperCatalog()
+	return parallel.Map(len(cfg.ArrivalRates), 0, func(k int) (ReconfigPoint, error) {
+		rate := cfg.ArrivalRates[k]
+		base := sim.ClusterConfig{
+			Node: sim.Config{
+				Scheme:      analytic.Declustered,
+				Disk:        diskmodel.Default(),
+				D:           16,
+				P:           4,
+				Buffer:      cfg.Buffer,
+				Catalog:     catalog,
+				ArrivalRate: rate,
+				Duration:    cfg.Duration,
+				Seed:        cfg.Seed,
+			},
+			Nodes:       cfg.Nodes,
+			Replication: cfg.Replication,
+		}
+		healthy, err := sim.RunCluster(base)
+		if err != nil {
+			return ReconfigPoint{}, fmt.Errorf("reconfig sweep λ=%g: %w", rate, err)
+		}
+		drained := base
+		drained.ViewTrace = []sim.ViewEvent{{Kind: "drain", Node: 1, At: cfg.Duration / 2}}
+		dres, err := sim.RunCluster(drained)
+		if err != nil {
+			return ReconfigPoint{}, fmt.Errorf("reconfig sweep λ=%g (drain): %w", rate, err)
+		}
+		swapped := base
+		swapped.ViewTrace = []sim.ViewEvent{
+			{Kind: "join", At: cfg.Duration / 4},
+			{Kind: "drain", Node: 1, At: cfg.Duration / 2},
+		}
+		sres, err := sim.RunCluster(swapped)
+		if err != nil {
+			return ReconfigPoint{}, fmt.Errorf("reconfig sweep λ=%g (join+drain): %w", rate, err)
+		}
+		return ReconfigPoint{
+			ArrivalRate:     rate,
+			Baseline:        healthy.Serviced,
+			Serviced:        dres.Serviced,
+			MigratedStreams: dres.MigratedStreams,
+			LostStreams:     dres.LostStreams,
+			DrainRounds:     drainRounds(dres, 1),
+			JoinServiced:    sres.Serviced,
+			JoinDrainRounds: drainRounds(sres, 1),
+			ViewVersion:     dres.ViewVersion,
+		}, nil
+	})
+}
+
+// WriteReconfigSweep renders E19 as a table.
+func WriteReconfigSweep(w io.Writer, cfg ReconfigSweepConfig) error {
+	pts, err := ReconfigSweep(cfg)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "E19 — drain under prime time (%d nodes rep %d, B=%v per node, %v; join at %v, drain node 1 at %v)\n",
+		cfg.Nodes, cfg.Replication, cfg.Buffer, cfg.Duration, cfg.Duration/4, cfg.Duration/2)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "λ/s\tbaseline\tdrained\tmigrated\tlost\tdrain rounds\t+join drained\t+join drain rounds")
+	for _, pt := range pts {
+		dr := fmt.Sprint(pt.DrainRounds)
+		if pt.DrainRounds < 0 {
+			dr = "unfinished"
+		}
+		jdr := fmt.Sprint(pt.JoinDrainRounds)
+		if pt.JoinDrainRounds < 0 {
+			jdr = "unfinished"
+		}
+		fmt.Fprintf(tw, "%g\t%d\t%d\t%d\t%d\t%s\t%d\t%s\n",
+			pt.ArrivalRate, pt.Baseline, pt.Serviced, pt.MigratedStreams,
+			pt.LostStreams, dr, pt.JoinServiced, jdr)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftcms/internal/units"
+)
+
+func TestReconfigSweep(t *testing.T) {
+	cfg := ReconfigSweepConfig{
+		ArrivalRates: []float64{2, 10},
+		Duration:     60 * units.Second,
+	}
+	pts, err := ReconfigSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Baseline == 0 || pt.Serviced == 0 {
+			t.Fatalf("λ=%g serviced nothing: %+v", pt.ArrivalRate, pt)
+		}
+		// The whole point of the graceful drain: zero stream loss.
+		if pt.LostStreams != 0 {
+			t.Fatalf("λ=%g drain lost %d streams", pt.ArrivalRate, pt.LostStreams)
+		}
+		if pt.MigratedStreams == 0 {
+			t.Fatalf("λ=%g drain under load migrated nothing: %+v", pt.ArrivalRate, pt)
+		}
+		// Drain + retirement both bump the view when the drain finishes.
+		if pt.DrainRounds >= 0 && pt.ViewVersion < 2 {
+			t.Fatalf("λ=%g completed drain with ViewVersion %d", pt.ArrivalRate, pt.ViewVersion)
+		}
+	}
+	// At the quiet end the drain completes inside the window.
+	if pts[0].DrainRounds < 0 {
+		t.Fatalf("λ=%g drain never completed: %+v", pts[0].ArrivalRate, pts[0])
+	}
+}
+
+func TestWriteReconfigSweep(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := ReconfigSweepConfig{
+		ArrivalRates: []float64{5},
+		Duration:     30 * units.Second,
+	}
+	if err := WriteReconfigSweep(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E19") || !strings.Contains(out, "drain rounds") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("want banner + header + 1 row:\n%s", out)
+	}
+}

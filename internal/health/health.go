@@ -145,6 +145,10 @@ type Detector struct {
 	// CorruptionThreshold escalation. Cleared only by Reset.
 	corrupt []int
 	state   []State
+	// retired marks deregistered targets: their slots stay allocated
+	// (indices are stable) but Observe no-ops on them, so a node that
+	// left the cluster can never be re-declared failed by a stale probe.
+	retired []bool
 	onFail  func(disk int)
 	// clock, when set, timestamps detection: suspectAt[d] records the
 	// clock reading of the first strike (or corruption) in the disk's
@@ -188,6 +192,7 @@ func NewDetector(d int, cfg Config) *Detector {
 		consec:  make([]int, d),
 		corrupt: make([]int, d),
 		state:   make([]State, d),
+		retired: make([]bool, d),
 		stop:    make(chan struct{}),
 	}
 	dt.suspectAt = make([]int64, d)
@@ -328,6 +333,49 @@ func (dt *Detector) Reset(disk int) {
 	dt.suspectAt[disk] = -1
 }
 
+// Deregister retires a target that has left the cluster: its slot
+// becomes inert — Observe no-ops, strikes and corruption counts are
+// cleared, and OnFail can never fire for it again. Indices of other
+// targets are unaffected. Deregistration is permanent (retired nodes
+// never rejoin); Reset does not resurrect a deregistered slot.
+func (dt *Detector) Deregister(disk int) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if disk < 0 || disk >= len(dt.state) {
+		return
+	}
+	dt.retired[disk] = true
+	dt.consec[disk] = 0
+	dt.corrupt[disk] = 0
+	dt.state[disk] = OK
+	dt.suspectAt[disk] = -1
+}
+
+// Registered reports whether the target is still being scored. Out-of-
+// range targets report false.
+func (dt *Detector) Registered(disk int) bool {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return disk >= 0 && disk < len(dt.state) && !dt.retired[disk]
+}
+
+// Grow appends n fresh targets (state OK, no strikes) and returns the
+// new target count. Existing indices are stable; the new slots take the
+// next indices in order. Used when a node joins the cluster or an array
+// adds a disk.
+func (dt *Detector) Grow(n int) int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	for i := 0; i < n; i++ {
+		dt.consec = append(dt.consec, 0)
+		dt.corrupt = append(dt.corrupt, 0)
+		dt.state = append(dt.state, OK)
+		dt.retired = append(dt.retired, false)
+		dt.suspectAt = append(dt.suspectAt, -1)
+	}
+	return len(dt.state)
+}
+
 // Observe records one read outcome for a disk and returns the disk's
 // state afterwards. err == nil with a modest slowdown is a success and
 // clears strikes; a slowdown ≥ SlowFactor is a timeout strike even if
@@ -335,7 +383,7 @@ func (dt *Detector) Reset(disk int) {
 // are not.
 func (dt *Detector) Observe(disk int, slowdown float64, err error) State {
 	dt.mu.Lock()
-	if disk < 0 || disk >= len(dt.state) {
+	if disk < 0 || disk >= len(dt.state) || dt.retired[disk] {
 		dt.mu.Unlock()
 		return OK
 	}

@@ -344,3 +344,75 @@ func TestDetectLatencyCorruptionClock(t *testing.T) {
 		t.Fatalf("DetectLatencies = %v, want [7]", got)
 	}
 }
+
+// Regression: a deregistered target must be inert — before this fix the
+// detector kept scoring probe results for nodes that had left the
+// cluster, so a retired node could be re-declared failed and trigger a
+// spurious failover.
+func TestDeregisteredTargetNeverDeclares(t *testing.T) {
+	dt := NewDetector(3, Config{FailThreshold: 3})
+	var failed []int
+	dt.SetOnFail(func(d int) { failed = append(failed, d) })
+
+	dt.Observe(1, 1, storage.ErrFailed) // one strike before leaving
+	dt.Deregister(1)
+	if dt.Registered(1) {
+		t.Fatal("Registered(1) = true after Deregister")
+	}
+	if got := dt.ConsecutiveErrors(1); got != 0 {
+		t.Fatalf("strikes survive deregistration: %d", got)
+	}
+	// A storm of hard errors and corruptions well past every threshold.
+	for i := 0; i < 50; i++ {
+		if st := dt.Observe(1, 1, storage.ErrFailed); st != OK {
+			t.Fatalf("observe %d on deregistered target: %v, want OK", i, st)
+		}
+		dt.Observe(1, 1, storage.ErrCorruptBlock)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("OnFail fired for deregistered target: %v", failed)
+	}
+	if st := dt.State(1); st != OK {
+		t.Fatalf("deregistered state = %v, want OK", st)
+	}
+	// Reset must not resurrect the slot.
+	dt.Reset(1)
+	for i := 0; i < 5; i++ {
+		dt.Observe(1, 1, storage.ErrFailed)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("OnFail fired after Reset of deregistered target: %v", failed)
+	}
+	// Neighbors keep normal scoring.
+	for i := 0; i < 3; i++ {
+		dt.Observe(2, 1, storage.ErrFailed)
+	}
+	if len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("live neighbor declarations = %v, want [2]", failed)
+	}
+}
+
+// Grow appends fresh targets with stable existing indices; new slots
+// score normally and deregistered ones stay inert.
+func TestDetectorGrow(t *testing.T) {
+	dt := NewDetector(2, Config{FailThreshold: 2})
+	var failed []int
+	dt.SetOnFail(func(d int) { failed = append(failed, d) })
+	dt.Deregister(0)
+	if n := dt.Grow(2); n != 4 {
+		t.Fatalf("Grow(2) = %d targets, want 4", n)
+	}
+	if !dt.Registered(3) {
+		t.Fatal("grown slot 3 not registered")
+	}
+	if dt.Registered(0) {
+		t.Fatal("deregistered slot 0 resurrected by Grow")
+	}
+	dt.Observe(3, 1, storage.ErrFailed)
+	if st := dt.Observe(3, 1, storage.ErrFailed); st != Down {
+		t.Fatalf("grown slot after threshold strikes: %v, want Down", st)
+	}
+	if len(failed) != 1 || failed[0] != 3 {
+		t.Fatalf("declarations = %v, want [3]", failed)
+	}
+}

@@ -104,6 +104,18 @@ func (e *Engine) ChargeN(disk, n int) {
 	}
 }
 
+// AddDisk widens the engine by one disk with a zero ledger for the
+// current round, preserving the round clock and overflow count. The
+// re-layout path calls it at the instant the wider layout table flips
+// in, so budget auditing is continuous across the geometry change.
+func (e *Engine) AddDisk() {
+	e.d++
+	e.reads = append(e.reads, 0)
+}
+
+// Disks returns the number of disks the engine budgets for.
+func (e *Engine) Disks() int { return e.d }
+
 // Load returns the blocks charged to a disk this round.
 func (e *Engine) Load(disk int) int { return e.reads[disk] }
 

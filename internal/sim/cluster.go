@@ -39,12 +39,33 @@ type ClusterConfig struct {
 	// rejoins empty from the next round; Rebuild=false keeps it down for
 	// the rest of the run.
 	NodeTrace []FailureEvent
+	// ViewTrace scripts elastic reconfiguration events (join, drain,
+	// adddisk), mirroring NodeTrace. Joined nodes take the next node id
+	// and, once live, absorb admissions for any clip (modeling the
+	// cluster's background re-replication onto them). Draining nodes
+	// take no new streams; their in-flight streams move to active
+	// replicas as admission allows, and the node retires once empty.
+	// AddDisk grants the node one disk's worth of extra admission slots
+	// after a re-layout delay of one clip's playback time — a coarse
+	// stand-in for the online PGT re-layout the real cluster runs.
+	ViewTrace []ViewEvent
 	// Workers sizes the pool for the per-node completion phase of each
 	// round (0 = one per CPU, 1 = sequential). Nodes complete their own
 	// streams against their own controller and buffer pool, and per-node
 	// tallies are merged in node order, so the result is identical at any
 	// worker count.
 	Workers int
+}
+
+// ViewEvent is one scripted reconfiguration action in a ViewTrace.
+type ViewEvent struct {
+	// Kind is "join", "drain" or "adddisk".
+	Kind string
+	// Node is the target node for drain and adddisk; ignored for join
+	// (the new node takes the next id).
+	Node int
+	// At is the simulated time the event fires.
+	At units.Duration
 }
 
 // NodeResult is one node's share of a cluster run.
@@ -59,6 +80,9 @@ type NodeResult struct {
 	// FailRound is the round the node failed (-1 if it never did; the
 	// last failure when it restarted and failed again).
 	FailRound int64
+	// DrainRound and RetiredRound bracket the node's graceful leave
+	// (-1 when it never drained / never finished draining).
+	DrainRound, RetiredRound int64
 }
 
 // ClusterResult carries a cluster run's metrics.
@@ -83,6 +107,16 @@ type ClusterResult struct {
 	// LostStreams counts in-flight streams that died with their node —
 	// unreplicated clips, or replicas with no admission room.
 	LostStreams int
+	// Joins, Drains and DiskAdds count applied ViewTrace events; Retired
+	// counts drains that completed (the node emptied) inside the window.
+	Joins, Drains, DiskAdds, Retired int
+	// MigratedStreams counts streams moved gracefully off draining
+	// nodes (never dropped: a stream that cannot move keeps playing on
+	// the drainer).
+	MigratedStreams int
+	// ViewVersion is the final membership view version: one bump per
+	// observable transition (join, drain, retirement, re-layout flip).
+	ViewVersion int64
 	// PerNode holds each node's share, index-aligned with node ids.
 	PerNode []NodeResult
 }
@@ -153,6 +187,25 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	}
 	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
 
+	// Validate and order the view trace.
+	views := make([]ViewEvent, len(cfg.ViewTrace))
+	copy(views, cfg.ViewTrace)
+	for _, ev := range views {
+		switch ev.Kind {
+		case "join":
+		case "drain", "adddisk":
+			if ev.Node < 0 {
+				return ClusterResult{}, fmt.Errorf("sim: view trace: negative node %d", ev.Node)
+			}
+		default:
+			return ClusterResult{}, fmt.Errorf("sim: view trace: unknown kind %q", ev.Kind)
+		}
+		if ev.At < 0 {
+			return ClusterResult{}, fmt.Errorf("sim: view trace: negative event time %v", ev.At)
+		}
+	}
+	sort.SliceStable(views, func(a, b int) bool { return views[a].At < views[b].At })
+
 	res := ClusterResult{
 		Block:   op.Block,
 		Q:       op.Q,
@@ -161,6 +214,8 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	}
 	for i := range res.PerNode {
 		res.PerNode[i].FailRound = -1
+		res.PerNode[i].DrainRound = -1
+		res.PerNode[i].RetiredRound = -1
 	}
 
 	arrivals := nc.Arrivals
@@ -185,11 +240,25 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		queue.Bypass = 0
 	}
 
+	const (
+		roleActive = iota
+		// roleDraining: serving but closed to new admissions; retires
+		// (alive=false) once its last stream moves or completes.
+		roleDraining
+		roleRetired
+	)
 	alive := make([]bool, cfg.Nodes)
 	for i := range alive {
 		alive[i] = true
 	}
+	role := make([]int, cfg.Nodes)
+	// bonusFree[i] is node i's post-AddDisk extra admission slots; a
+	// stream admitted on one (clip.bonus) returns the slot at release.
+	bonusFree := make([]int, cfg.Nodes)
 	// replicasOf returns the clip's replica nodes in placement order.
+	// Joined nodes (id >= cfg.Nodes) never appear here: the round-robin
+	// placement is fixed at the original membership, and joins
+	// contribute as spillover candidates instead.
 	replicasOf := func(clipID int) []int {
 		out := make([]int, 0, rep)
 		for k := 0; k < rep; k++ {
@@ -197,35 +266,71 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		}
 		return out
 	}
-	// candidates orders the clip's live replicas by active-stream load.
+	// candidates orders the clip's serving replicas by active-stream
+	// load: active replicas (and joined spillover nodes) first, draining
+	// replicas as a last resort — mirroring internal/cluster's routing.
 	candidates := func(clipID int) []int {
-		var out []int
+		var act, drn []int
 		for _, id := range replicasOf(clipID) {
-			if alive[id] {
-				out = append(out, id)
+			if !alive[id] {
+				continue
+			}
+			if role[id] == roleDraining {
+				drn = append(drn, id)
+			} else {
+				act = append(act, id)
 			}
 		}
-		sort.SliceStable(out, func(a, b int) bool {
-			return engines[out[a]].nactive < engines[out[b]].nactive
-		})
-		return out
+		for id := cfg.Nodes; id < len(engines); id++ {
+			// Joined nodes hold spill replicas of everything (the cluster
+			// re-replicates onto them in the background), so they take
+			// admissions for any clip.
+			if alive[id] && role[id] == roleActive {
+				act = append(act, id)
+			}
+		}
+		byLoad := func(out []int) {
+			sort.SliceStable(out, func(a, b int) bool {
+				return engines[out[a]].nactive < engines[out[b]].nactive
+			})
+		}
+		byLoad(act)
+		byLoad(drn)
+		return append(act, drn...)
 	}
 	// admitOn books one stream of clipID on node id for rounds rounds,
-	// honoring the node's own buffer pool and admission controller.
+	// honoring the node's own buffer pool and admission controller, with
+	// spillover onto the node's AddDisk bonus slots when the controller
+	// is full.
 	admitOn := func(id, clipID int, now, rounds int64) bool {
 		e := engines[id]
 		if !e.pool.Reserve(e.perClip) {
 			return false
 		}
 		tk, ok := e.ctrl.admit(now, e.position[clipID])
-		if !ok {
+		if !ok && bonusFree[id] == 0 {
 			e.pool.Release(e.perClip)
 			return false
 		}
 		c := &clip{clipID: clipID, doneRound: now + rounds, ticket: tk, bufSize: e.perClip}
+		if !ok {
+			bonusFree[id]--
+			c.bonus = true
+		}
 		e.active[c.doneRound] = append(e.active[c.doneRound], c)
 		e.nactive++
 		return true
+	}
+	// releaseOn returns a finished or displaced stream's resources.
+	releaseOn := func(id int, c *clip) {
+		e := engines[id]
+		if c.bonus {
+			bonusFree[id]++
+		} else {
+			e.ctrl.release(c.ticket)
+		}
+		e.pool.Release(c.bufSize)
+		e.nactive--
 	}
 
 	roundDur := engines[0].roundDur
@@ -233,9 +338,13 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	totalRounds := int64(float64(nc.Duration)/float64(roundDur)) + 1
 	var responseSum units.Duration
 	var responses []units.Duration
-	nextArrival, nextEvent := 0, 0
+	nextArrival, nextEvent, nextView := 0, 0, 0
 	workers := parallel.Workers(cfg.Workers)
 	completions := make([]int, cfg.Nodes)
+	// relayoutAt maps a node mid-AddDisk to the round its wider array
+	// goes live; viewVersion bumps on every observable transition.
+	relayoutAt := map[int]int64{}
+	var viewVersion int64
 
 	for now := int64(0); now < totalRounds; now++ {
 		tEnd := units.Duration(now+1) * roundDur
@@ -253,15 +362,13 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		// releases only its own tickets and buffers, so the nodes run on
 		// the worker pool; per-node tallies merge in node order below.
 		clear(completions)
-		_ = parallel.ForEach(cfg.Nodes, workers, func(i int) error {
+		_ = parallel.ForEach(len(engines), workers, func(i int) error {
 			e := engines[i]
 			if !alive[i] {
 				return nil
 			}
 			for _, c := range e.active[now] {
-				e.ctrl.release(c.ticket)
-				e.pool.Release(c.bufSize)
-				e.nactive--
+				releaseOn(i, c)
 				completions[i]++
 			}
 			delete(e.active, now)
@@ -322,9 +429,7 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 				for _, c := range e.active[r] {
 					// Release against the dead node: a no-op for a node
 					// that stays down, a clean slate for one restarting.
-					e.ctrl.release(c.ticket)
-					e.pool.Release(c.bufSize)
-					e.nactive--
+					releaseOn(ev.Disk, c)
 					remaining := c.doneRound - now
 					moved := false
 					for _, id := range candidates(c.clipID) {
@@ -346,8 +451,120 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 				alive[ev.Disk] = true
 			}
 		}
+
+		// 5. Elastic reconfiguration: apply due view events, flip
+		// finished re-layouts, migrate streams off draining nodes, and
+		// retire drainers that emptied.
+		for nextView < len(views) && views[nextView].At < tEnd {
+			ev := views[nextView]
+			nextView++
+			switch ev.Kind {
+			case "join":
+				id := len(engines)
+				jc := nc
+				jc.Seed = nc.Seed + int64(id)*7919
+				jc.Trace = nil
+				jc.FailDisk = -1
+				je, jerr := newEngine(jc, op)
+				if jerr != nil {
+					return ClusterResult{}, jerr
+				}
+				engines = append(engines, je)
+				alive = append(alive, true)
+				role = append(role, roleActive)
+				bonusFree = append(bonusFree, 0)
+				completions = append(completions, 0)
+				res.PerNode = append(res.PerNode, NodeResult{FailRound: -1, DrainRound: -1, RetiredRound: -1})
+				res.Joins++
+				viewVersion++
+			case "drain":
+				if ev.Node >= len(engines) || !alive[ev.Node] || role[ev.Node] != roleActive {
+					continue // down, already draining, or retired: no-op
+				}
+				role[ev.Node] = roleDraining
+				res.Drains++
+				res.PerNode[ev.Node].DrainRound = now
+				viewVersion++
+			case "adddisk":
+				if ev.Node >= len(engines) || !alive[ev.Node] || role[ev.Node] != roleActive {
+					continue
+				}
+				if _, pending := relayoutAt[ev.Node]; pending {
+					continue // one re-layout at a time per node
+				}
+				relayoutAt[ev.Node] = now + clipRounds
+				res.DiskAdds++
+			}
+		}
+		if len(relayoutAt) > 0 {
+			flips := make([]int, 0, len(relayoutAt))
+			for id := range relayoutAt {
+				flips = append(flips, id)
+			}
+			sort.Ints(flips)
+			for _, id := range flips {
+				if relayoutAt[id] > now {
+					continue
+				}
+				delete(relayoutAt, id)
+				if alive[id] && role[id] != roleRetired {
+					// The wider array is live: one disk's worth of extra
+					// admission slots, and the view's geometry bumps.
+					bonusFree[id] += op.Q
+					viewVersion++
+				}
+			}
+		}
+		for id := 0; id < len(engines); id++ {
+			if role[id] != roleDraining || !alive[id] {
+				continue
+			}
+			// Move the drainer's streams to active candidates with
+			// admission room, oldest completions first; a stream that
+			// cannot move keeps playing where it is (never dropped).
+			e := engines[id]
+			var rounds []int64
+			for r := range e.active {
+				rounds = append(rounds, r)
+			}
+			sort.Slice(rounds, func(a, b int) bool { return rounds[a] < rounds[b] })
+			for _, r := range rounds {
+				kept := e.active[r][:0]
+				for _, c := range e.active[r] {
+					moved := false
+					for _, dst := range candidates(c.clipID) {
+						if dst == id || role[dst] != roleActive {
+							continue
+						}
+						if admitOn(dst, c.clipID, now, c.doneRound-now) {
+							moved = true
+							break
+						}
+					}
+					if !moved {
+						kept = append(kept, c)
+						continue
+					}
+					releaseOn(id, c)
+					res.MigratedStreams++
+				}
+				if len(kept) == 0 {
+					delete(e.active, r)
+				} else {
+					e.active[r] = kept
+				}
+			}
+			if e.nactive == 0 {
+				role[id] = roleRetired
+				alive[id] = false
+				res.Retired++
+				res.PerNode[id].RetiredRound = now
+				viewVersion++
+			}
+		}
 	}
 
+	res.ViewVersion = viewVersion
 	res.Rounds = totalRounds
 	if res.Serviced > 0 {
 		res.MeanResponse = responseSum / units.Duration(res.Serviced)

@@ -199,3 +199,114 @@ func TestRunClusterRestartRejoins(t *testing.T) {
 		t.Fatal("failure round not recorded")
 	}
 }
+
+// A scripted drain moves streams to active replicas instead of losing
+// them, retires the node, and bumps the view on every transition.
+func TestRunClusterViewTraceDrain(t *testing.T) {
+	base := clusterBase(t)
+	base.Node.ArrivalRate = 5
+	base.ViewTrace = []ViewEvent{{Kind: "drain", Node: 1, At: 60 * units.Second}}
+
+	res, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drains != 1 {
+		t.Fatalf("Drains = %d, want 1", res.Drains)
+	}
+	if res.PerNode[1].DrainRound < 0 {
+		t.Fatal("drain round not recorded")
+	}
+	if res.Retired != 1 || res.PerNode[1].RetiredRound < res.PerNode[1].DrainRound {
+		t.Fatalf("node 1 never retired: %+v", res.PerNode[1])
+	}
+	if res.MigratedStreams == 0 {
+		t.Fatal("drain under load migrated no streams")
+	}
+	if res.LostStreams != 0 {
+		t.Fatalf("graceful drain lost %d streams", res.LostStreams)
+	}
+	// Drain + retirement: at least two view bumps.
+	if res.ViewVersion < 2 {
+		t.Fatalf("ViewVersion = %d, want >= 2", res.ViewVersion)
+	}
+}
+
+// A join adds admission capacity: under an overloaded arrival rate the
+// joined cluster services strictly more streams.
+func TestRunClusterViewTraceJoin(t *testing.T) {
+	base := clusterBase(t)
+	base.Node.ArrivalRate = 40 // saturating
+
+	plain, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := base
+	joined.ViewTrace = []ViewEvent{{Kind: "join", At: 10 * units.Second}}
+	jres, err := RunCluster(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jres.Joins != 1 {
+		t.Fatalf("Joins = %d, want 1", jres.Joins)
+	}
+	if len(jres.PerNode) != 4 {
+		t.Fatalf("PerNode = %d entries, want 4", len(jres.PerNode))
+	}
+	if jres.PerNode[3].Serviced == 0 {
+		t.Fatal("joined node serviced nothing under saturation")
+	}
+	if jres.Serviced <= plain.Serviced {
+		t.Fatalf("join added no capacity: %d vs %d serviced", jres.Serviced, plain.Serviced)
+	}
+}
+
+// AddDisk grows a node's admission capacity after its re-layout delay.
+func TestRunClusterViewTraceAddDisk(t *testing.T) {
+	base := clusterBase(t)
+	base.Node.ArrivalRate = 40 // saturating
+
+	plain, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := base
+	grown.ViewTrace = []ViewEvent{
+		{Kind: "adddisk", Node: 0, At: 5 * units.Second},
+		{Kind: "adddisk", Node: 1, At: 5 * units.Second},
+		{Kind: "adddisk", Node: 2, At: 5 * units.Second},
+	}
+	gres, err := RunCluster(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.DiskAdds != 3 {
+		t.Fatalf("DiskAdds = %d, want 3", gres.DiskAdds)
+	}
+	if gres.Serviced <= plain.Serviced {
+		t.Fatalf("adddisk added no capacity: %d vs %d serviced", gres.Serviced, plain.Serviced)
+	}
+	if gres.ViewVersion != 3 {
+		t.Fatalf("ViewVersion = %d, want 3 (one per flip)", gres.ViewVersion)
+	}
+}
+
+func TestRunClusterViewTraceValidation(t *testing.T) {
+	base := clusterBase(t)
+	bad := base
+	bad.ViewTrace = []ViewEvent{{Kind: "shrink", At: units.Second}}
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted unknown view event kind")
+	}
+	bad = base
+	bad.ViewTrace = []ViewEvent{{Kind: "drain", Node: -1, At: units.Second}}
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted negative node")
+	}
+	bad = base
+	bad.ViewTrace = []ViewEvent{{Kind: "drain", Node: 0, At: -units.Second}}
+	if _, err := RunCluster(bad); err == nil {
+		t.Error("accepted negative event time")
+	}
+}

@@ -191,6 +191,10 @@ type clip struct {
 	doneRound int64
 	ticket    admission.Ticket
 	bufSize   units.Bits
+	// bonus marks a cluster-sim stream admitted on post-AddDisk bonus
+	// capacity instead of a controller ticket (cluster.go); the
+	// single-array engine never sets it.
+	bonus bool
 }
 
 // Run executes the simulation.

@@ -110,6 +110,38 @@ func WriteClusterCSV(w io.Writer, points []experiments.ClusterPoint) error {
 	return cw.Error()
 }
 
+// WriteViewCSV emits
+// arrival_rate,baseline,drained,migrated,lost,drain_rounds,
+// join_drained,join_drain_rounds,view_version rows (E19 — elastic
+// reconfiguration under load). Unfinished drains report -1 rounds.
+func WriteViewCSV(w io.Writer, points []experiments.ReconfigPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"arrival_rate", "baseline", "drained", "migrated", "lost",
+		"drain_rounds", "join_drained", "join_drain_rounds", "view_version",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			fmt.Sprintf("%g", pt.ArrivalRate),
+			fmt.Sprint(pt.Baseline),
+			fmt.Sprint(pt.Serviced),
+			fmt.Sprint(pt.MigratedStreams),
+			fmt.Sprint(pt.LostStreams),
+			fmt.Sprint(pt.DrainRounds),
+			fmt.Sprint(pt.JoinServiced),
+			fmt.Sprint(pt.JoinDrainRounds),
+			fmt.Sprint(pt.ViewVersion),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteCorruptionCSV emits
 // scrub_rate,serviced,injected,detected,repaired,mean_detection_s,sweeps
 // rows (E17).
