@@ -33,6 +33,13 @@
 // the allocator), and the end-to-end cost of a graceful drain, a join
 // rebalance, and a single-node disk-addition re-layout.
 //
+// The -workload flag swaps in the arrival-generation suite (BENCH_6.json
+// by default): arrivals-per-second throughput and allocs/op for draining
+// million-request (and, without -quick, ten-million-request) streams
+// from the uniform and Zipf Poisson sources and the scenario engine's
+// diurnal+flash-crowd NHPP source (the suite's -allocgate target — a
+// full compressed day must stay O(active pauses) in memory).
+//
 // Usage:
 //
 //	cmbench            # full single-array suite -> BENCH_1.json
@@ -40,6 +47,7 @@
 //	cmbench -pq        # P+Q encode/reconstruct suite -> BENCH_3.json
 //	cmbench -streams   # high-stream-count tick suite -> BENCH_4.json
 //	cmbench -reconfig  # elastic-reconfiguration suite -> BENCH_5.json
+//	cmbench -workload  # arrival-generation suite -> BENCH_6.json
 //	cmbench -o out.json
 //	cmbench -quick     # skip the slow simulation benchmarks
 package main
@@ -150,13 +158,14 @@ type bench struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq, BENCH_4.json with -streams, BENCH_5.json with -reconfig)")
-	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim, ClusterTick100k)")
+	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq, BENCH_4.json with -streams, BENCH_5.json with -reconfig, BENCH_6.json with -workload)")
+	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim, ClusterTick100k, the 10M-request workload tier)")
 	clusterSuite := flag.Bool("cluster", false, "run the cluster routing/admission suite instead")
 	pqSuite := flag.Bool("pq", false, "run the P+Q double-parity suite instead")
 	streamsSuite := flag.Bool("streams", false, "run the high-stream-count tick suite instead")
 	reconfigSuite := flag.Bool("reconfig", false, "run the elastic-reconfiguration suite instead")
-	allocGate := flag.Int("allocgate", -1, "with -streams or -reconfig: exit non-zero if the suite's steady-state tick exceeds this many allocs/op (-1 disables)")
+	workloadSuite := flag.Bool("workload", false, "run the arrival-generation workload suite instead")
+	allocGate := flag.Int("allocgate", -1, "with -streams, -reconfig, or -workload: exit non-zero if the suite's gate benchmark exceeds this many allocs/op (-1 disables)")
 	benchtime := flag.String("benchtime", "", "per-benchmark measuring time (e.g. 5s or 100x), as in go test; empty keeps the 1s default")
 	flag.Parse()
 	if *benchtime != "" {
@@ -178,6 +187,8 @@ func main() {
 			*out = "BENCH_4.json"
 		case *reconfigSuite:
 			*out = "BENCH_5.json"
+		case *workloadSuite:
+			*out = "BENCH_6.json"
 		default:
 			*out = "BENCH_1.json"
 		}
@@ -294,8 +305,14 @@ func main() {
 		baselineDesc = "none (suite introduced together with the reconfiguration subsystem)"
 		gateBench = reconfigGateBenchName
 	}
+	if *workloadSuite {
+		benches = workloadBenches(*quick)
+		baseline = nil
+		baselineDesc = "none (suite introduced together with the scenario engine)"
+		gateBench = workloadGateBenchName
+	}
 	if *allocGate >= 0 && gateBench == "" {
-		fatal(errors.New("-allocgate needs a suite with a gate benchmark (-streams or -reconfig)"))
+		fatal(errors.New("-allocgate needs a suite with a gate benchmark (-streams, -reconfig, or -workload)"))
 	}
 
 	rep := report{

@@ -15,6 +15,10 @@
 //	cmsim -integrity                     # E17 patrol-scrub vs. corruption sweep
 //	cmsim -doublefault                   # E18 double-failure sweep (single parity vs P+Q)
 //	cmsim -reconfig                      # E19 drain-under-prime-time reconfiguration sweep
+//	cmsim -scenario primetime-flashcrowd-rebuild   # internet-scale scenario day
+//	cmsim -scenario day.json -timeline tl.csv      # custom profile, timeline to CSV
+//	cmsim -scenario list                 # list the builtin scenarios
+//	cmsim -scenariosweep                 # E20 flash-crowd-during-node-loss sweep
 //	cmsim -corrupt 5@100:40 -scrub -1    # rot 40 blocks of disk 5 at t=100s
 //	cmsim -dynamic                       # §5 dynamic reservation controller
 //	cmsim -csv                           # CSV output (-grid, -continuity, -integrity)
@@ -32,6 +36,7 @@ import (
 	"ftcms/internal/cliutil"
 	"ftcms/internal/diskmodel"
 	"ftcms/internal/experiments"
+	"ftcms/internal/scenario"
 	"ftcms/internal/sim"
 	"ftcms/internal/trace"
 	"ftcms/internal/units"
@@ -58,6 +63,13 @@ func main() {
 	integrity := flag.Bool("integrity", false, "run the E17 patrol-scrub vs. silent-corruption sweep")
 	doublefault := flag.Bool("doublefault", false, "run the E18 double-failure sweep (single parity vs P+Q)")
 	reconfig := flag.Bool("reconfig", false, "run the E19 drain-under-prime-time reconfiguration sweep")
+	scenarioFlag := flag.String("scenario", "", "run a scenario day: a builtin name, a profile JSON file, or 'list'")
+	scenarioSweep := flag.Bool("scenariosweep", false, "run the E20 flash-crowd-during-node-loss sweep")
+	timelineFlag := flag.String("timeline", "", "write the scenario timeline here (.json for JSON, else CSV; '-' for stdout)")
+	subscribers := flag.Int64("subscribers", 0, "override the scenario profile's subscriber count")
+	timescale := flag.Float64("timescale", 0, "override the scenario profile's time compression factor")
+	nodes := flag.Int("nodes", 0, "scenario cluster size (0: default 3; 1: single array)")
+	replication := flag.Int("rep", 0, "scenario replication factor (0: default 2)")
 	scrub := flag.Int("scrub", 0, "patrol scrub rate in verify reads per disk per round (0: off, -1: idle-bounded)")
 	corrupt := flag.String("corrupt", "", "silent-corruption script: disk@sec:blocks[,disk@sec:blocks...]")
 	workers := flag.Int("workers", 0, "parallel sweep workers for -grid (0: one per CPU, 1: sequential)")
@@ -96,6 +108,35 @@ func main() {
 	}
 
 	switch {
+	case *scenarioFlag != "":
+		if err := runScenario(*scenarioFlag, scenarioOpts{
+			timeline: *timelineFlag, csv: *csvOut, seed: *seed, workers: *workers,
+			subscribers: *subscribers, timescale: *timescale,
+			nodes: *nodes, replication: *replication,
+		}); err != nil {
+			fatal(err)
+		}
+	case *scenarioSweep:
+		cfg := experiments.ScenarioSweepConfig{Seed: *seed, Workers: *workers}
+		if *subscribers > 0 {
+			cfg.Subscribers = *subscribers
+		}
+		if *timescale > 0 {
+			cfg.TimeScale = *timescale
+		}
+		if *csvOut {
+			pts, err := experiments.ScenarioSweep(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteScenarioCSV(os.Stdout, pts); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := experiments.WriteScenarioSweep(os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
 	case *mixed:
 		res, err := sim.RunMixed(sim.MixedConfig{
 			Disk: diskmodel.Default(), D: 32, P: *p, F: 2, Buffer: buffer,
@@ -259,6 +300,118 @@ func main() {
 			}
 		}
 	}
+}
+
+// scenarioOpts carries the CLI knobs for one -scenario run.
+type scenarioOpts struct {
+	timeline           string
+	csv                bool
+	seed               int64
+	workers            int
+	subscribers        int64
+	timescale          float64
+	nodes, replication int
+}
+
+// loadProfile resolves a -scenario argument: a builtin name first, then
+// a profile JSON file on disk.
+func loadProfile(arg string) (scenario.Profile, error) {
+	if p, err := scenario.BuiltinProfile(arg); err == nil {
+		return p, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return scenario.Profile{}, fmt.Errorf("scenario %q is neither a builtin (%s) nor a readable file: %w",
+			arg, strings.Join(scenario.BuiltinNames(), ", "), err)
+	}
+	return scenario.Parse(data)
+}
+
+// runScenario executes one scenario day and prints a summary; the
+// per-bucket timeline goes wherever -timeline (or -csv) points.
+func runScenario(arg string, opts scenarioOpts) error {
+	if arg == "list" {
+		for _, name := range scenario.BuiltinNames() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	p, err := loadProfile(arg)
+	if err != nil {
+		return err
+	}
+	if opts.subscribers > 0 {
+		p.Subscribers = opts.subscribers
+	}
+	if opts.timescale > 0 {
+		p.TimeScale = opts.timescale
+	}
+	compiled, err := scenario.Compile(p)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.Run(scenario.RunConfig{
+		Scenario:    compiled,
+		Seed:        opts.seed,
+		Nodes:       opts.nodes,
+		Replication: opts.replication,
+		Workers:     opts.workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	engine := "cluster"
+	if !res.Cluster {
+		engine = "single array"
+	}
+	prof := compiled.Profile
+	fmt.Printf("scenario          %s (%s)\n", res.Name, engine)
+	fmt.Printf("population        %d subscribers, %g sessions/day, catalog %d (zipf %g)\n",
+		prof.Subscribers, prof.SessionsPerDay, prof.CatalogSize, prof.Zipf)
+	fmt.Printf("virtual day       %g h at %g× compression = %v simulated\n",
+		prof.DayHours, prof.TimeScale, res.Duration)
+	fmt.Printf("offered           %d\n", res.Offered)
+	fmt.Printf("serviced          %d\n", res.Serviced)
+	fmt.Printf("rejected          %d\n", res.Rejected)
+	fmt.Printf("completed         %d\n", res.Completed)
+	fmt.Printf("peak concurrent   %d\n", res.PeakActive)
+	fmt.Printf("mean response     %v\n", res.MeanResponse)
+	fmt.Printf("p95 response      %v\n", res.ResponseP95)
+	fmt.Printf("max queue         %d\n", res.MaxQueue)
+	if res.Cluster {
+		cr := res.ClusterRes
+		fmt.Printf("maintenance       %d failures, %d joins, %d drains, %d disk adds\n",
+			cr.NodeFailures, cr.Joins, cr.Drains, cr.DiskAdds)
+		fmt.Printf("stream movement   %d failed over, %d lost, %d migrated\n",
+			cr.FailedOver, cr.LostStreams, cr.MigratedStreams)
+		fmt.Printf("view version      %d\n", res.ViewVersion)
+	} else if res.Single.RebuildsDone > 0 {
+		fmt.Printf("rebuilds          %d (first finished in %v)\n",
+			res.Single.RebuildsDone, res.Single.RebuildTime)
+	}
+	fmt.Printf("timeline          %d buckets of %v\n", len(res.Timeline), compiled.Bucket())
+
+	dest := opts.timeline
+	if dest == "" && opts.csv {
+		dest = "-"
+	}
+	if dest == "" {
+		return nil
+	}
+	out := os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if strings.HasSuffix(dest, ".json") {
+		return trace.WriteTimelineJSON(out, res.Timeline)
+	}
+	return trace.WriteTimelineCSV(out, res.Timeline)
 }
 
 // parseCorruptions parses "disk@sec:blocks[,disk@sec:blocks...]" into a

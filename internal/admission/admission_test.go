@@ -409,6 +409,34 @@ func TestQueuePeekEmpty(t *testing.T) {
 	}
 }
 
+func TestQueueExpireHead(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 6; i++ {
+		q.Push(i)
+	}
+	// Items pushed in order: an age cutoff is a head prefix.
+	n := q.ExpireHead(func(x int) bool { return x < 3 })
+	if n != 3 {
+		t.Fatalf("expired %d, want 3", n)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if head, _ := q.Peek(); head != 3 {
+		t.Fatalf("head = %d, want 3", head)
+	}
+	// Survivors keep FIFO order.
+	var got []int
+	q.Drain(func(x int) bool { got = append(got, x); return true })
+	if len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("post-expiry order %v", got)
+	}
+	// Empty queue: no-op.
+	if n := q.ExpireHead(func(int) bool { return true }); n != 0 {
+		t.Fatalf("expired %d from empty queue", n)
+	}
+}
+
 // TestStaticFailureLoadBound proves the §4.2 failure-load theorem at the
 // controller level: for any admitted population and any failed disk, the
 // extra reconstruction reads a surviving disk receives are bounded by

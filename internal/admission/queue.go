@@ -47,6 +47,22 @@ func (q *Queue[T]) Drain(admit func(T) bool) int {
 	return admitted
 }
 
+// ExpireHead removes leading requests for which expired reports true,
+// stopping at the first keeper, and returns how many were removed.
+// Pushes arrive in nondecreasing arrival order and Drain preserves
+// relative order, so the head is always the oldest waiter — a head-only
+// scan suffices for an age cutoff and costs O(removed), not O(queue).
+func (q *Queue[T]) ExpireHead(expired func(T) bool) int {
+	n := 0
+	for n < len(q.items) && expired(q.items[n]) {
+		n++
+	}
+	if n > 0 {
+		q.items = q.items[:copy(q.items, q.items[n:])]
+	}
+	return n
+}
+
 // Peek returns the head without removing it; ok is false when empty.
 func (q *Queue[T]) Peek() (item T, ok bool) {
 	if len(q.items) == 0 {

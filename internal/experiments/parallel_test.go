@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -89,7 +90,7 @@ func TestRunManyMatchesRunLoop(t *testing.T) {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		for i := range want {
-			if got[i] != want[i] {
+			if !reflect.DeepEqual(got[i], want[i]) {
 				t.Fatalf("workers=%d: seed %d result %+v, want %+v", workers, seeds[i], got[i], want[i])
 			}
 		}

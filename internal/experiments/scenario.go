@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ftcms/internal/parallel"
+	"ftcms/internal/scenario"
+)
+
+// ScenarioPoint is one flash-crowd-multiplier cell of E20: the
+// prime-time day with a node lost just before the crowd arrives and a
+// replacement joining at the top of the hour, swept over how hard the
+// crowd hits.
+type ScenarioPoint struct {
+	// Multiplier is the flash crowd's rate multiplier (1 = no crowd).
+	Multiplier float64
+	// Offered counts requests the day offered the cluster.
+	Offered int
+	// Serviced and Rejected split the offered load's outcome (the
+	// remainder was still pending when the day ended).
+	Serviced int
+	Rejected int
+	// PeakActive is the peak concurrent stream count.
+	PeakActive int
+	// FailedOver and LostStreams describe the 19:45 node loss.
+	FailedOver  int
+	LostStreams int
+	// ViewVersion is the final membership view version.
+	ViewVersion int64
+}
+
+// ScenarioSweepConfig parameterizes E20. Zero values select defaults.
+type ScenarioSweepConfig struct {
+	// Subscribers is the population per cell (default 200000 — large
+	// enough to saturate prime time on a three-node cluster, small
+	// enough to sweep quickly).
+	Subscribers int64
+	// TimeScale is the day's compression factor (default 480: a 24-hour
+	// day in 180 simulated seconds).
+	TimeScale float64
+	// Multipliers is the flash-crowd axis (default 1, 2, 4, 8).
+	Multipliers []float64
+	// Nodes and Replication size the cluster (default 3, 2).
+	Nodes, Replication int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Workers bounds sweep parallelism (0 = one per CPU).
+	Workers int
+}
+
+func (c ScenarioSweepConfig) withDefaults() ScenarioSweepConfig {
+	if c.Subscribers <= 0 {
+		c.Subscribers = 200000
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 480
+	}
+	if len(c.Multipliers) == 0 {
+		c.Multipliers = []float64{1, 2, 4, 8}
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// scenarioProfile builds one E20 cell's profile: the flagship
+// prime-time day with the flash multiplier as the swept variable.
+func scenarioProfile(cfg ScenarioSweepConfig, mult float64) scenario.Profile {
+	return scenario.Profile{
+		Name:        fmt.Sprintf("e20-flash-x%g", mult),
+		TimeScale:   cfg.TimeScale,
+		Subscribers: cfg.Subscribers,
+		Zipf:        1.1,
+		PatienceMin: 8,
+		BucketMin:   60,
+		Mix:         scenario.SessionMix{VCRShare: 0.3, Pause: 0.25, EarlyStop: 0.35, ResumeMin: 20},
+		Phases: []scenario.Phase{
+			{Kind: scenario.KindDiurnal, StartHour: 0, EndHour: 24, PeakHour: 20.5, MinFrac: 0.1},
+			{Kind: scenario.KindFlashCrowd, StartHour: 20, EndHour: 21, Multiplier: mult, Clip: 0},
+			{Kind: scenario.KindMaintenance, Action: scenario.ActionFail, Node: 1, Hour: 19.75},
+			{Kind: scenario.KindMaintenance, Action: scenario.ActionJoin, Hour: 20},
+		},
+	}
+}
+
+// ScenarioSweep runs E20: the scenario engine's prime-time day with a
+// node failure at 19:45 and a join at 20:00, over the flash-crowd
+// multiplier axis. Cells run in parallel; each is independently seeded
+// and deterministic.
+func ScenarioSweep(cfg ScenarioSweepConfig) ([]ScenarioPoint, error) {
+	cfg = cfg.withDefaults()
+	return parallel.Map(len(cfg.Multipliers), cfg.Workers, func(k int) (ScenarioPoint, error) {
+		mult := cfg.Multipliers[k]
+		compiled, err := scenario.Compile(scenarioProfile(cfg, mult))
+		if err != nil {
+			return ScenarioPoint{}, fmt.Errorf("scenario sweep ×%g: %w", mult, err)
+		}
+		res, err := scenario.Run(scenario.RunConfig{
+			Scenario:    compiled,
+			Seed:        cfg.Seed,
+			Nodes:       cfg.Nodes,
+			Replication: cfg.Replication,
+			Workers:     1, // cells already fan out; keep each run sequential
+		})
+		if err != nil {
+			return ScenarioPoint{}, fmt.Errorf("scenario sweep ×%g: %w", mult, err)
+		}
+		return ScenarioPoint{
+			Multiplier:  mult,
+			Offered:     res.Offered,
+			Serviced:    res.Serviced,
+			Rejected:    res.Rejected,
+			PeakActive:  res.PeakActive,
+			FailedOver:  res.FailedOver,
+			LostStreams: res.LostStreams,
+			ViewVersion: res.ViewVersion,
+		}, nil
+	})
+}
+
+// WriteScenarioSweep renders E20 as a table.
+func WriteScenarioSweep(w io.Writer, cfg ScenarioSweepConfig) error {
+	pts, err := ScenarioSweep(cfg)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "E20 — flash crowd during node loss (%d subscribers, %g× compressed day, %d nodes rep %d; fail 19:45, join 20:00, crowd 20:00–21:00)\n",
+		cfg.Subscribers, cfg.TimeScale, cfg.Nodes, cfg.Replication)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "crowd ×\toffered\tserviced\trejected\tpeak active\tfailed over\tlost\tview")
+	for _, pt := range pts {
+		fmt.Fprintf(tw, "%g\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			pt.Multiplier, pt.Offered, pt.Serviced, pt.Rejected,
+			pt.PeakActive, pt.FailedOver, pt.LostStreams, pt.ViewVersion)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ftcms/internal/units"
+)
+
+func mustCompile(t *testing.T, src string) *Compiled {
+	t.Helper()
+	p, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCompileTimeMapping: TimeScale compresses the day and inflates the
+// rate so the expected session count is invariant.
+func TestCompileTimeMapping(t *testing.T) {
+	// 86400 subscribers at 1 session/day = 1 virtual arrival/second.
+	for _, ts := range []float64{1, 240} {
+		src := fmt.Sprintf(`{"name": "m", "subscribers": 86400, "sessions_per_day": 1, "time_scale": %g}`, ts)
+		c := mustCompile(t, src)
+		wantDur := units.Duration(86400 / ts)
+		if math.Abs(float64(c.Duration()-wantDur)) > 1e-9 {
+			t.Fatalf("time_scale %g: duration %v, want %v", ts, c.Duration(), wantDur)
+		}
+		// Expected count = rate × duration must hold at any compression.
+		if got := c.Rate(0) * float64(c.Duration()); math.Abs(got-86400) > 1e-6 {
+			t.Fatalf("time_scale %g: expected sessions %g, want 86400", ts, got)
+		}
+	}
+}
+
+// TestCompileRateCurve checks the composed curve: constant levels,
+// diurnal peak and trough, flash multiplication, schedule gaps.
+func TestCompileRateCurve(t *testing.T) {
+	c := mustCompile(t, `{
+		"name": "curve", "subscribers": 86400, "sessions_per_day": 1,
+		"phases": [
+			{"kind": "constant", "start_hour": 0, "end_hour": 6, "level": 0.25},
+			{"kind": "diurnal", "start_hour": 6, "end_hour": 22, "peak_hour": 20, "min_frac": 0.1},
+			{"kind": "flashcrowd", "start_hour": 20, "end_hour": 21, "multiplier": 4, "clip": 0}
+		]
+	}`)
+	hour := units.Duration(3600)
+	base := 1.0 // 86400 subs × 1 session / 86400 s
+
+	if got := c.Rate(3 * hour); math.Abs(got-0.25*base) > 1e-9 {
+		t.Errorf("constant window: rate %g, want %g", got, 0.25*base)
+	}
+	// The diurnal sinusoid hits 1.0 at the peak hour; 20:00 is inside the
+	// flash window, so the observed rate is 4× that.
+	if got := c.Rate(20 * hour); math.Abs(got-4*base) > 1e-9 {
+		t.Errorf("flash at diurnal peak: rate %g, want %g", got, 4*base)
+	}
+	// Just after the crowd disperses the diurnal curve is near its peak
+	// but no longer multiplied.
+	if got := c.Rate(21 * hour); got > base || got < 0.9*base {
+		t.Errorf("post-flash rate %g, want just under %g", got, base)
+	}
+	// 22:00–24:00 has no phase: a gap means zero offered load.
+	if got := c.Rate(23 * hour); got != 0 {
+		t.Errorf("schedule gap: rate %g, want 0", got)
+	}
+	// The trough sits at the antipode of the peak (8:00), at min_frac.
+	if got := c.Rate(8 * hour); math.Abs(got-0.1*base) > 1e-9 {
+		t.Errorf("diurnal trough: rate %g, want %g", got, 0.1*base)
+	}
+	// Peak bound dominates the curve everywhere.
+	for h := 0.0; h < 24; h += 0.25 {
+		if got := c.Rate(units.Duration(h) * hour); got > c.PeakRate()+1e-9 {
+			t.Fatalf("rate %g at hour %g exceeds peak bound %g", got, h, c.PeakRate())
+		}
+	}
+}
+
+// TestCompileMaintenance maps virtual hours onto the sim clock.
+func TestCompileMaintenance(t *testing.T) {
+	c := mustCompile(t, `{
+		"name": "maint", "subscribers": 100, "time_scale": 240,
+		"phases": [
+			{"kind": "maintenance", "action": "fail", "node": 1, "hour": 12},
+			{"kind": "maintenance", "action": "join", "hour": 18}
+		]
+	}`)
+	ev := c.Maintenance()
+	if len(ev) != 2 {
+		t.Fatalf("compiled %d maintenance events, want 2", len(ev))
+	}
+	// Hour 12 at 240× compression: 12×3600/240 = 180 sim seconds.
+	if ev[0].Action != ActionFail || ev[0].Node != 1 || math.Abs(float64(ev[0].At-180)) > 1e-9 {
+		t.Fatalf("event 0 = %+v, want fail node 1 at 180 s", ev[0])
+	}
+	if ev[1].Action != ActionJoin || math.Abs(float64(ev[1].At-270)) > 1e-9 {
+		t.Fatalf("event 1 = %+v, want join at 270 s", ev[1])
+	}
+}
+
+// TestCompileEmptySchedule: no rate phases means flat base load.
+func TestCompileEmptySchedule(t *testing.T) {
+	c := mustCompile(t, `{"name": "flat", "subscribers": 86400, "sessions_per_day": 1}`)
+	for _, h := range []float64{0, 6.5, 23.9} {
+		if got := c.Rate(units.Duration(h * 3600)); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("flat profile rate at hour %g = %g, want 1", h, got)
+		}
+	}
+}
+
+// TestCompileZeroLoad: an all-zero schedule cannot compile.
+func TestCompileZeroLoad(t *testing.T) {
+	p, err := Parse([]byte(`{"name": "z", "subscribers": 10,
+		"phases": [{"kind": "constant", "start_hour": 0, "end_hour": 24, "level": 0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(p); err == nil {
+		t.Fatal("compiled a profile with zero offered load")
+	}
+}

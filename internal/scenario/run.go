@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"fmt"
+
+	"ftcms/internal/analytic"
+	"ftcms/internal/diskmodel"
+	"ftcms/internal/sim"
+	"ftcms/internal/units"
+	"ftcms/internal/workload"
+)
+
+// RunConfig binds a compiled scenario to a server shape. The zero value
+// of every field selects a default, so {Scenario: c} is a runnable
+// three-node declustered cluster.
+type RunConfig struct {
+	// Scenario is the compiled profile to run.
+	Scenario *Compiled
+	// Seed drives all randomness: arrivals, clip choice, session
+	// behavior and placements.
+	Seed int64
+	// Nodes is the cluster size (default 3). 1 runs the single-array
+	// engine: fail/restart maintenance becomes a disk failure with an
+	// online rebuild, and drain/join/adddisk are rejected.
+	Nodes int
+	// Replication is the clip replication factor (default 2, clamped to
+	// Nodes).
+	Replication int
+	// D and P are the per-node disk count and parity group size
+	// (defaults 16 and 4).
+	D, P int
+	// Buffer is the per-node RAM buffer (default 128 MB).
+	Buffer units.Bits
+	// Scheme is the fault-tolerant scheme (default declustered parity).
+	Scheme analytic.Scheme
+	// Workers sizes the cluster engine's per-round completion pool
+	// (0 = one per CPU).
+	Workers int
+}
+
+// Result is a scenario run's outcome: the flat summary both engines
+// share, the per-bucket timeline, and the underlying engine result for
+// anything scenario-agnostic.
+type Result struct {
+	// Name echoes the profile name.
+	Name string
+	// Cluster reports which engine ran.
+	Cluster bool
+	// Duration is the compressed day's simulated length.
+	Duration units.Duration
+	// Offered counts requests the scenario offered (admitted + rejected +
+	// still pending at close).
+	Offered int
+	// Serviced, Completed, Rejected, Batched, PeakActive and MaxQueue
+	// summarize service (Rejected counts patience abandonments).
+	Serviced, Completed, Rejected, Batched int
+	PeakActive, MaxQueue                   int
+	// MeanResponse and ResponseP95 are arrival→admission delays.
+	MeanResponse, ResponseP95 units.Duration
+	// FailedOver, LostStreams and MigratedStreams count failure and
+	// drain stream movement (cluster runs only).
+	FailedOver, LostStreams, MigratedStreams int
+	// ViewVersion is the final membership view version (cluster runs).
+	ViewVersion int64
+	// Timeline is the per-bucket timeline.
+	Timeline []sim.TimelineBucket
+	// Single and ClusterRes expose the full engine result; exactly one
+	// is meaningful, per Cluster.
+	Single     sim.Result
+	ClusterRes sim.ClusterResult
+}
+
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.Nodes == 0 {
+		rc.Nodes = 3
+	}
+	if rc.Replication == 0 {
+		rc.Replication = 2
+	}
+	if rc.Replication > rc.Nodes {
+		rc.Replication = rc.Nodes
+	}
+	if rc.D == 0 {
+		rc.D = 16
+	}
+	if rc.P == 0 {
+		rc.P = 4
+	}
+	if rc.Buffer == 0 {
+		rc.Buffer = 128 * units.MB
+	}
+	// Scheme's zero value is already analytic.Declustered.
+	return rc
+}
+
+// Run executes a compiled scenario end to end: it builds the catalog and
+// streaming arrival source, maps the maintenance schedule onto the
+// engine's failure and view traces, and runs the cluster engine (or the
+// single-array engine for Nodes == 1) with a timeline collector sized by
+// the profile's bucket width.
+func Run(rc RunConfig) (Result, error) {
+	if rc.Scenario == nil {
+		return Result{}, fmt.Errorf("scenario: RunConfig needs a compiled scenario")
+	}
+	rc = rc.withDefaults()
+	c := rc.Scenario
+	p := c.Profile
+
+	// The paper's clip shape at the profile's catalog size: 50-second
+	// clips at MPEG-1 rate.
+	catalog, err := workload.UniformCatalog(p.CatalogSize, 50*units.Second, 1.5*units.Mbps)
+	if err != nil {
+		return Result{}, err
+	}
+	clipLen := catalog.Clip(0).Length
+	src, err := NewSource(c, clipLen, rc.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	node := sim.Config{
+		Scheme:   rc.Scheme,
+		Disk:     diskmodel.Default(),
+		D:        rc.D,
+		P:        rc.P,
+		Buffer:   rc.Buffer,
+		Catalog:  catalog,
+		Duration: c.Duration(),
+		Seed:     rc.Seed,
+		FailDisk: -1,
+		Source:   src,
+		Patience: c.Patience(),
+		Timeline: &sim.TimelineConfig{Bucket: c.Bucket()},
+	}
+
+	if rc.Nodes == 1 {
+		for _, ev := range c.Maintenance() {
+			switch ev.Action {
+			case ActionFail, ActionRestart:
+				if ev.Node >= rc.D {
+					return Result{}, fmt.Errorf("scenario: maintenance disk %d outside array of %d disks", ev.Node, rc.D)
+				}
+				// A single array repairs through the online rebuild path
+				// for both actions.
+				node.Trace = append(node.Trace, sim.FailureEvent{Disk: ev.Node, At: ev.At, Rebuild: true})
+			default:
+				return Result{}, fmt.Errorf("scenario: maintenance action %q needs a cluster (nodes > 1)", ev.Action)
+			}
+		}
+		res, err := sim.Run(node)
+		if err != nil {
+			return Result{}, err
+		}
+		out := Result{
+			Name: p.Name, Cluster: false, Duration: c.Duration(),
+			Serviced: res.Serviced, Completed: res.Completed,
+			Rejected: res.Rejected, Batched: res.Batched,
+			PeakActive: res.PeakActive, MaxQueue: res.MaxQueue,
+			MeanResponse: res.MeanResponse, ResponseP95: res.ResponseP95,
+			Timeline: res.Timeline, Single: res,
+		}
+		out.Offered = offered(res.Timeline)
+		return out, nil
+	}
+
+	ccfg := sim.ClusterConfig{
+		Node:        node,
+		Nodes:       rc.Nodes,
+		Replication: rc.Replication,
+		Workers:     rc.Workers,
+	}
+	for _, ev := range c.Maintenance() {
+		switch ev.Action {
+		case ActionFail:
+			ccfg.NodeTrace = append(ccfg.NodeTrace, sim.FailureEvent{Disk: ev.Node, At: ev.At})
+		case ActionRestart:
+			ccfg.NodeTrace = append(ccfg.NodeTrace, sim.FailureEvent{Disk: ev.Node, At: ev.At, Rebuild: true})
+		case ActionDrain:
+			ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "drain", Node: ev.Node, At: ev.At})
+		case ActionJoin:
+			ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "join", At: ev.At})
+		case ActionAddDisk:
+			ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "adddisk", Node: ev.Node, At: ev.At})
+		}
+	}
+	res, err := sim.RunCluster(ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Name: p.Name, Cluster: true, Duration: c.Duration(),
+		Serviced: res.Serviced, Completed: res.Completed,
+		Rejected:   res.Rejected,
+		PeakActive: res.PeakActive, MaxQueue: res.MaxQueue,
+		MeanResponse: res.MeanResponse, ResponseP95: res.ResponseP95,
+		FailedOver: res.FailedOver, LostStreams: res.LostStreams,
+		MigratedStreams: res.MigratedStreams, ViewVersion: res.ViewVersion,
+		Timeline: res.Timeline, ClusterRes: res,
+	}
+	out.Offered = offered(res.Timeline)
+	return out, nil
+}
+
+func offered(tl []sim.TimelineBucket) int {
+	n := 0
+	for _, b := range tl {
+		n += int(b.Offered)
+	}
+	return n
+}

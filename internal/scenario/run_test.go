@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"ftcms/internal/units"
+)
+
+const smallDay = `{
+	"name": "small-day", "subscribers": 40000, "time_scale": 480,
+	"zipf": 1.1, "patience_min": 8, "bucket_min": 60,
+	"mix": {"vcr_share": 0.3, "pause": 0.25, "early_stop": 0.35, "resume_min": 20},
+	"phases": [
+		{"kind": "diurnal", "start_hour": 0, "end_hour": 24, "peak_hour": 20.5, "min_frac": 0.1},
+		{"kind": "flashcrowd", "start_hour": 20, "end_hour": 21, "multiplier": 4, "clip": 0},
+		{"kind": "maintenance", "action": "fail", "node": 1, "hour": 19.75},
+		{"kind": "maintenance", "action": "join", "hour": 20},
+		{"kind": "maintenance", "action": "drain", "node": 2, "hour": 3}
+	]
+}`
+
+// TestRunClusterScenario drives the full pipeline on a small cluster
+// day: arrivals stream in, maintenance fires, and the timeline accounts
+// every offered request.
+func TestRunClusterScenario(t *testing.T) {
+	c := mustCompile(t, smallDay)
+	res, err := Run(RunConfig{Scenario: c, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cluster {
+		t.Fatal("default run should use the cluster engine")
+	}
+	if res.Name != "small-day" {
+		t.Fatalf("result name %q", res.Name)
+	}
+	if res.Serviced == 0 || res.Offered == 0 {
+		t.Fatalf("no traffic: offered %d serviced %d", res.Offered, res.Serviced)
+	}
+	// 24 one-hour buckets over the compressed day.
+	if len(res.Timeline) != 24 {
+		t.Fatalf("%d timeline buckets, want 24", len(res.Timeline))
+	}
+	var offered, admitted, batched, rejected int
+	for _, b := range res.Timeline {
+		offered += b.Offered
+		admitted += b.Admitted
+		batched += b.Batched
+		rejected += b.Rejected
+		if len(b.NodeActive) == 0 {
+			t.Fatal("cluster bucket missing per-node active counts")
+		}
+	}
+	if offered != res.Offered {
+		t.Fatalf("bucket offered %d != result offered %d", offered, res.Offered)
+	}
+	// Every offered request is admitted, rejected, or still pending at
+	// close (the pending tail is bounded by patience).
+	if admitted+rejected > offered {
+		t.Fatalf("admitted %d + rejected %d exceed offered %d", admitted, rejected, offered)
+	}
+	if admitted != res.Serviced || batched != 0 {
+		t.Fatalf("bucket admitted/batched %d/%d vs serviced %d", admitted, batched, res.Serviced)
+	}
+	if rejected != res.Rejected {
+		t.Fatalf("bucket rejected %d != result rejected %d", rejected, res.Rejected)
+	}
+	// The scripted maintenance all took effect: one node failure, one
+	// join, one drain, and a view version bump for each transition.
+	cr := res.ClusterRes
+	if cr.NodeFailures != 1 || cr.Joins != 1 || cr.Drains != 1 {
+		t.Fatalf("failures/joins/drains = %d/%d/%d, want 1/1/1",
+			cr.NodeFailures, cr.Joins, cr.Drains)
+	}
+	if res.ViewVersion < 2 {
+		t.Fatalf("view version %d after join+drain, want ≥ 2", res.ViewVersion)
+	}
+	// The view version lands in the timeline buckets too.
+	if last := res.Timeline[len(res.Timeline)-1]; last.ViewVersion != res.ViewVersion {
+		t.Fatalf("last bucket view %d, final view %d", last.ViewVersion, res.ViewVersion)
+	}
+}
+
+// TestRunSingleArrayScenario: Nodes == 1 selects the single-array engine
+// and maps fail maintenance onto a disk failure with online rebuild.
+func TestRunSingleArrayScenario(t *testing.T) {
+	// Light load and mild compression: rebuilding a 2 GB disk from idle
+	// capacity takes a few hundred rounds, so the compressed day must
+	// leave that many after the failure.
+	c := mustCompile(t, `{
+		"name": "one-array", "subscribers": 200, "time_scale": 60,
+		"zipf": 1.1, "patience_min": 8, "bucket_min": 120,
+		"phases": [{"kind": "maintenance", "action": "fail", "node": 3, "hour": 1}]
+	}`)
+	res, err := Run(RunConfig{Scenario: c, Seed: 2, Nodes: 1, D: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cluster {
+		t.Fatal("Nodes=1 should use the single-array engine")
+	}
+	if res.Serviced == 0 {
+		t.Fatal("no clips serviced")
+	}
+	if len(res.Timeline) != 12 {
+		t.Fatalf("%d buckets, want 12", len(res.Timeline))
+	}
+	if !res.Single.RebuildDone || res.Single.RebuildTime <= 0 {
+		t.Fatalf("fail maintenance did not rebuild: done=%v time=%v",
+			res.Single.RebuildDone, res.Single.RebuildTime)
+	}
+}
+
+// TestRunSingleArrayRejectsClusterMaintenance: drain/join/adddisk have
+// no single-array analogue.
+func TestRunSingleArrayRejectsClusterMaintenance(t *testing.T) {
+	c := mustCompile(t, `{
+		"name": "bad", "subscribers": 1000,
+		"phases": [{"kind": "maintenance", "action": "drain", "node": 0, "hour": 6}]
+	}`)
+	if _, err := Run(RunConfig{Scenario: c, Seed: 1, Nodes: 1}); err == nil {
+		t.Fatal("single array accepted a drain")
+	}
+}
+
+// TestRunDeterminism: the full pipeline — source, engines, timeline —
+// reproduces bit-identically from the same seed at any worker count.
+func TestRunDeterminism(t *testing.T) {
+	c1 := mustCompile(t, smallDay)
+	a, err := Run(RunConfig{Scenario: c1, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustCompile(t, smallDay)
+	b, err := Run(RunConfig{Scenario: c2, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged across worker counts:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunPatienceRejects: a profile whose demand far exceeds one small
+// node sheds load through abandonment instead of queueing forever.
+func TestRunPatienceRejects(t *testing.T) {
+	c := mustCompile(t, `{
+		"name": "overload", "subscribers": 150000, "time_scale": 480,
+		"patience_min": 30, "bucket_min": 120
+	}`)
+	res, err := Run(RunConfig{Scenario: c, Seed: 3, Nodes: 1, Buffer: 32 * units.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("overloaded array rejected nothing despite patience bound")
+	}
+	if res.MaxQueue > res.Offered {
+		t.Fatalf("queue %d exceeds offered %d", res.MaxQueue, res.Offered)
+	}
+}
+
+// TestFlagshipScenarioAtScale is the acceptance run: the builtin
+// primetime-flashcrowd-rebuild day at one million subscribers streams
+// through the cluster engine and reproduces its timeline exactly from
+// the same seed.
+func TestFlagshipScenarioAtScale(t *testing.T) {
+	run := func() Result {
+		t.Helper()
+		c, err := Builtin("primetime-flashcrowd-rebuild")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunConfig{Scenario: c, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.ClusterRes.Rounds == 0 {
+		t.Fatal("no rounds simulated")
+	}
+	// One million subscribers × 2 sessions/day through the diurnal curve
+	// offer ≈1.2M session starts plus pause resumes; the engines must see
+	// seven figures of offered demand.
+	if res.Offered < 1000000 {
+		t.Fatalf("offered %d requests, want ≥ 1e6 at a million subscribers", res.Offered)
+	}
+	if res.Serviced == 0 || res.Rejected == 0 {
+		t.Fatalf("flagship day: serviced %d rejected %d, want both > 0", res.Serviced, res.Rejected)
+	}
+	if res.ClusterRes.NodeFailures != 1 || res.ClusterRes.Joins != 1 || res.ClusterRes.Drains != 1 || res.ClusterRes.DiskAdds != 1 {
+		t.Fatalf("maintenance not applied: %+v", res.ClusterRes)
+	}
+	if len(res.Timeline) != 96 {
+		t.Fatalf("%d buckets, want 96 (15-minute buckets over 24 h)", len(res.Timeline))
+	}
+	// Same seed → identical timeline, the acceptance determinism bar.
+	again := run()
+	if !reflect.DeepEqual(res.Timeline, again.Timeline) {
+		t.Fatal("flagship timeline not reproducible from the same seed")
+	}
+	if res.Serviced != again.Serviced || res.Rejected != again.Rejected {
+		t.Fatalf("flagship totals diverged: %d/%d vs %d/%d",
+			res.Serviced, res.Rejected, again.Serviced, again.Rejected)
+	}
+}

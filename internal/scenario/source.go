@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftcms/internal/units"
+	"ftcms/internal/workload"
+)
+
+// Source streams a compiled scenario's arrivals in nondecreasing time
+// order. It implements workload.ArrivalSource, holds O(active pauses)
+// memory no matter how many subscribers the profile declares, and is
+// fully determined by (profile, seed): session starts come from a
+// non-homogeneous Poisson process sampled by thinning against the
+// profile's peak rate, clip choice from the Zipf selector (with flash
+// crowds concentrating their excess on the hot clip), and VCR behavior
+// (early stops, pause/resume) from the same seeded stream.
+type Source struct {
+	c   *Compiled
+	rng *rand.Rand
+	sel workload.Selector
+
+	clipSim   units.Duration // one clip's playback time, sim seconds
+	resumeSim units.Duration // mean pause gap, sim seconds
+
+	t        units.Duration // thinning clock
+	nhppDone bool
+	have     bool             // next is valid
+	next     workload.Request // lookahead session start
+	resumes  resumeHeap       // scheduled resume segments
+}
+
+// NewSource builds the arrival source for one run. clipLen is the
+// catalog's clip playback length in simulated seconds — pause points and
+// resume segments are scheduled against real playback time, which the
+// profile's virtual clock does not compress.
+func NewSource(c *Compiled, clipLen units.Duration, seed int64) (*Source, error) {
+	if clipLen <= 0 {
+		return nil, fmt.Errorf("scenario: clip length %v must be positive", clipLen)
+	}
+	p := c.Profile
+	var sel workload.Selector
+	if p.Zipf > 0 {
+		z, err := workload.NewZipfSelector(p.CatalogSize, p.Zipf)
+		if err != nil {
+			return nil, err
+		}
+		sel = z
+	} else {
+		sel = workload.UniformSelector{N: p.CatalogSize}
+	}
+	return &Source{
+		c:       c,
+		rng:     rand.New(rand.NewSource(seed)),
+		sel:     sel,
+		clipSim: clipLen,
+		// ResumeMin is virtual minutes; a virtual hour is 3600/TimeScale
+		// sim seconds.
+		resumeSim: units.Duration(p.Mix.ResumeMin*60) / units.Duration(p.TimeScale),
+	}, nil
+}
+
+// Next returns the next request in arrival order. Session starts and
+// scheduled resume segments interleave by timestamp; a resume re-enters
+// admission as a fresh request for the remaining fraction of the clip.
+func (s *Source) Next() (workload.Request, bool) {
+	if !s.have && !s.nhppDone {
+		s.advance()
+	}
+	// Emit whichever is earlier: the pending resume or the next start.
+	if len(s.resumes) > 0 && (!s.have || s.resumes[0].at <= s.next.Arrival) {
+		ev := s.resumes.pop()
+		return workload.Request{Arrival: ev.at, ClipID: ev.clip, Frac: ev.frac}, true
+	}
+	if !s.have {
+		return workload.Request{}, false
+	}
+	s.have = false
+	return s.next, true
+}
+
+// advance draws the next accepted NHPP session start, applies the
+// session mix, and parks it in s.next. Thinning: propose candidates at
+// the constant peak rate, accept each with prob rate(t)/peak.
+func (s *Source) advance() {
+	peak := s.c.PeakRate()
+	for {
+		s.t += units.Duration(s.rng.ExpFloat64() / peak)
+		if s.t >= s.c.Duration() {
+			s.nhppDone = true
+			return
+		}
+		if s.rng.Float64()*peak >= s.c.Rate(s.t) {
+			continue // thinned out
+		}
+		s.next = s.session(s.t)
+		s.have = true
+		return
+	}
+}
+
+// session turns an accepted start time into a request: clip choice, then
+// the lean-back / VCR split.
+func (s *Source) session(t units.Duration) workload.Request {
+	// Flash crowds concentrate their excess on the hot clip: of a rate
+	// multiplied by m, the fraction (m-1)/m is crowd surge, and the crowd
+	// is there for one title.
+	var clip int
+	if ph := s.c.activeFlash(t); ph != nil && s.rng.Float64() < (ph.mult-1)/ph.mult {
+		clip = ph.clip
+	} else {
+		clip = s.sel.Pick(s.rng)
+	}
+
+	req := workload.Request{Arrival: t, ClipID: clip}
+	mix := s.c.Profile.Mix
+	if mix.VCRShare <= 0 || s.rng.Float64() >= mix.VCRShare {
+		return req // lean-back: the whole clip
+	}
+	u := s.rng.Float64()
+	switch {
+	case u < mix.Pause:
+		// Watch 10–50% of the clip, pause, come back after an
+		// exponential gap for the rest — if the day isn't over by then.
+		watched := 0.1 + 0.4*s.rng.Float64()
+		gap := units.Duration(s.rng.ExpFloat64()) * s.resumeSim
+		resumeAt := t + units.Duration(watched)*s.clipSim + gap
+		if resumeAt < s.c.Duration() {
+			s.resumes.push(resumeEvent{at: resumeAt, clip: clip, frac: 1 - watched})
+		}
+		req.Frac = watched
+	case u < mix.Pause+mix.EarlyStop:
+		// Lose interest 10–90% of the way through; no resume.
+		req.Frac = 0.1 + 0.8*s.rng.Float64()
+	}
+	return req
+}
+
+// resumeEvent is a scheduled second half of a paused session.
+type resumeEvent struct {
+	at   units.Duration
+	clip int
+	frac float64
+}
+
+// resumeHeap is a min-heap on resume time. Hand-rolled (not
+// container/heap) to keep Next allocation-free on the steady path.
+type resumeHeap []resumeEvent
+
+func (h *resumeHeap) push(ev resumeEvent) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].at <= (*h)[i].at {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *resumeHeap) pop() resumeEvent {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l].at < old[small].at {
+			small = l
+		}
+		if r < n && old[r].at < old[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}

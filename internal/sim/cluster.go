@@ -96,6 +96,13 @@ type ClusterResult struct {
 	MeanResponse units.Duration
 	ResponseP95  units.Duration
 	MaxQueue     int
+	// Rejected counts pending requests that abandoned after waiting past
+	// Node.Patience (always 0 without a patience bound).
+	Rejected int
+	// Timeline is the per-bucket timeline (nil unless Node.Timeline was
+	// set). Cluster buckets carry per-node active counts and the view
+	// version.
+	Timeline []TimelineBucket
 	// Rounds, Block, Q, F echo the per-node operating point.
 	Rounds int64
 	Block  units.Bits
@@ -121,6 +128,21 @@ type ClusterResult struct {
 	PerNode []NodeResult
 }
 
+// clusterActive snapshots the cluster's in-flight stream counts: the
+// total over live nodes and the per-node breakdown (dead and retired
+// nodes report their own count, which is zero once their streams moved).
+func clusterActive(engines []*engine, alive []bool) (int, []int) {
+	total := 0
+	perNode := make([]int, len(engines))
+	for i, e := range engines {
+		perNode[i] = e.nactive
+		if alive[i] {
+			total += e.nactive
+		}
+	}
+	return total, perNode
+}
+
 // RunCluster executes a multi-node simulation.
 func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	if cfg.Nodes < 1 {
@@ -140,8 +162,8 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	if nc.Duration <= 0 {
 		return ClusterResult{}, errors.New("sim: need positive duration")
 	}
-	if nc.ArrivalRate <= 0 && nc.Arrivals == nil {
-		return ClusterResult{}, errors.New("sim: need a positive arrival rate or an explicit arrival trace")
+	if nc.ArrivalRate <= 0 && nc.Arrivals == nil && nc.Source == nil {
+		return ClusterResult{}, errors.New("sim: need a positive arrival rate, an arrival trace, or an arrival source")
 	}
 	if nc.D < 2 {
 		return ClusterResult{}, errors.New("sim: need at least 2 disks per node")
@@ -218,16 +240,13 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		res.PerNode[i].RetiredRound = -1
 	}
 
-	arrivals := nc.Arrivals
-	if arrivals == nil {
-		sel := nc.Selector
-		if sel == nil {
-			sel = workload.UniformSelector{N: nc.Catalog.Len()}
-		}
-		arrivals, err = workload.PoissonArrivals(nc.ArrivalRate, nc.Duration, sel, nc.Seed+1)
-		if err != nil {
-			return ClusterResult{}, err
-		}
+	feed, err := newFeeder(&nc, nc.Seed+1)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	tl, err := newTimeline(nc.Timeline)
+	if err != nil {
+		return ClusterResult{}, err
 	}
 
 	var queue admission.Queue[pending]
@@ -338,7 +357,7 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	totalRounds := int64(float64(nc.Duration)/float64(roundDur)) + 1
 	var responseSum units.Duration
 	var responses []units.Duration
-	nextArrival, nextEvent, nextView := 0, 0, 0
+	nextEvent, nextView := 0, 0
 	workers := parallel.Workers(cfg.Workers)
 	completions := make([]int, cfg.Nodes)
 	// relayoutAt maps a node mid-AddDisk to the round its wider array
@@ -347,13 +366,13 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	var viewVersion int64
 
 	for now := int64(0); now < totalRounds; now++ {
+		tStart := units.Duration(now) * roundDur
 		tEnd := units.Duration(now+1) * roundDur
 
 		// 1. Enqueue arrivals up to the end of this round.
-		for nextArrival < len(arrivals) && arrivals[nextArrival].Arrival < tEnd {
-			queue.Push(pending{arrival: arrivals[nextArrival].Arrival, clipID: arrivals[nextArrival].ClipID})
-			nextArrival++
-		}
+		tl.offered(feed.feed(tEnd, func(r workload.Request) {
+			queue.Push(pending{arrival: r.Arrival, clipID: r.ClipID, frac: r.Frac})
+		}))
 		if queue.Len() > res.MaxQueue {
 			res.MaxQueue = queue.Len()
 		}
@@ -379,15 +398,25 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			res.PerNode[i].Completed += n
 		}
 
-		// 3. Admit from the cluster queue: least-loaded live replica
+		// 3. Abandonment: pending requests whose patience ran out leave
+		// before this round's admissions.
+		if nc.Patience > 0 {
+			cut := tStart - nc.Patience
+			n := queue.ExpireHead(func(pd pending) bool { return pd.arrival < cut })
+			res.Rejected += n
+			tl.rejected(n)
+		}
+
+		// 4. Admit from the cluster queue: least-loaded live replica
 		// first, spillover to the rest, stay queued otherwise.
 		queue.Drain(func(pd pending) bool {
 			for _, id := range candidates(pd.clipID) {
-				if !admitOn(id, pd.clipID, now, clipRounds) {
+				if !admitOn(id, pd.clipID, now, streamRounds(clipRounds, pd.frac)) {
 					continue
 				}
 				res.Serviced++
 				res.PerNode[id].Serviced++
+				tl.admitted()
 				resp := units.Duration(now)*roundDur - pd.arrival
 				responseSum += resp
 				responses = append(responses, resp)
@@ -405,7 +434,7 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			res.PeakActive = active
 		}
 
-		// 4. Node failures due this round (the node still served the
+		// 5. Node failures due this round (the node still served the
 		// round it dies in). In-flight streams fail over to a surviving
 		// replica with admission room, or die with the node.
 		for nextEvent < len(events) && events[nextEvent].At < tEnd {
@@ -452,7 +481,7 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			}
 		}
 
-		// 5. Elastic reconfiguration: apply due view events, flip
+		// 6. Elastic reconfiguration: apply due view events, flip
 		// finished re-layouts, migrate streams off draining nodes, and
 		// retire drainers that emptied.
 		for nextView < len(views) && views[nextView].At < tEnd {
@@ -562,8 +591,17 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 				viewVersion++
 			}
 		}
+
+		if tl != nil {
+			act, perNode := clusterActive(engines, alive)
+			tl.roll(tEnd, act, queue.Len(), viewVersion, perNode)
+		}
 	}
 
+	if tl != nil {
+		act, perNode := clusterActive(engines, alive)
+		res.Timeline = tl.done(act, queue.Len(), viewVersion, perNode)
+	}
 	res.ViewVersion = viewVersion
 	res.Rounds = totalRounds
 	if res.Serviced > 0 {

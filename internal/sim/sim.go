@@ -90,6 +90,20 @@ type Config struct {
 	// a workload.BurstArrivals flash crowd). Must be sorted by arrival
 	// time. ArrivalRate and Selector are ignored when set.
 	Arrivals []workload.Request
+	// Source streams arrivals incrementally and supersedes both Arrivals
+	// and ArrivalRate when non-nil — the O(pending)-memory path scenario
+	// runs use. Sources are single-use: a Config with a Source cannot be
+	// re-run (RunMany callers must use ArrivalRate instead).
+	Source workload.ArrivalSource
+	// Patience bounds how long a pending request waits: a request not
+	// admitted within Patience of its arrival abandons and is counted in
+	// Result.Rejected. 0 means requests wait forever (the paper's §3
+	// pending list). Patience below one round duration can reject
+	// requests before their first admission attempt.
+	Patience units.Duration
+	// Timeline, when non-nil, records a per-bucket demand/service
+	// timeline in Result.Timeline.
+	Timeline *TimelineConfig
 	// BatchWindow, when positive, enables request batching
 	// (piggybacking): a request for a clip joins an existing stream of
 	// the same clip that started within the window, consuming no extra
@@ -132,6 +146,12 @@ type Result struct {
 	// Batched counts requests served by piggybacking on an existing
 	// stream (included in Serviced).
 	Batched int
+	// Rejected counts pending requests that abandoned after waiting past
+	// Config.Patience (always 0 without a patience bound).
+	Rejected int
+	// Timeline is the per-bucket timeline (nil unless Config.Timeline
+	// was set).
+	Timeline []TimelineBucket
 	// MaxQueue is the pending list's maximum length.
 	MaxQueue int
 	// Rounds is the number of service rounds simulated.
@@ -205,8 +225,8 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Duration <= 0 {
 		return Result{}, errors.New("sim: need positive duration")
 	}
-	if cfg.ArrivalRate <= 0 && cfg.Arrivals == nil {
-		return Result{}, errors.New("sim: need a positive arrival rate or an explicit arrival trace")
+	if cfg.ArrivalRate <= 0 && cfg.Arrivals == nil && cfg.Source == nil {
+		return Result{}, errors.New("sim: need a positive arrival rate, an arrival trace, or an arrival source")
 	}
 	if cfg.D < 2 {
 		return Result{}, errors.New("sim: need at least 2 disks")
@@ -283,6 +303,8 @@ type failureState struct {
 type pending struct {
 	arrival units.Duration
 	clipID  int
+	// frac is the requested watch fraction (workload.Request.Frac).
+	frac float64
 }
 
 type startPos struct {
@@ -430,17 +452,13 @@ func (e *engine) randomPositions(units, classes int) {
 }
 
 func (e *engine) run() (Result, error) {
-	arrivals := e.cfg.Arrivals
-	if arrivals == nil {
-		sel := e.cfg.Selector
-		if sel == nil {
-			sel = workload.UniformSelector{N: e.cfg.Catalog.Len()}
-		}
-		var err error
-		arrivals, err = workload.PoissonArrivals(e.cfg.ArrivalRate, e.cfg.Duration, sel, e.cfg.Seed+1)
-		if err != nil {
-			return Result{}, err
-		}
+	feed, err := newFeeder(&e.cfg, e.cfg.Seed+1)
+	if err != nil {
+		return Result{}, err
+	}
+	tl, err := newTimeline(e.cfg.Timeline)
+	if err != nil {
+		return Result{}, err
 	}
 	switch {
 	case e.cfg.QueueBypass > 0:
@@ -460,18 +478,14 @@ func (e *engine) run() (Result, error) {
 	}
 
 	var responseSum units.Duration
-	nextArrival := 0
 	for now := int64(0); now < totalRounds; now++ {
+		tStart := units.Duration(now) * e.roundDur
 		tEnd := units.Duration(now+1) * e.roundDur
 
 		// 1. Enqueue arrivals up to the end of this round.
-		for nextArrival < len(arrivals) && arrivals[nextArrival].Arrival < tEnd {
-			e.queue.Push(pending{
-				arrival: arrivals[nextArrival].Arrival,
-				clipID:  arrivals[nextArrival].ClipID,
-			})
-			nextArrival++
-		}
+		tl.offered(feed.feed(tEnd, func(r workload.Request) {
+			e.queue.Push(pending{arrival: r.Arrival, clipID: r.ClipID, frac: r.Frac})
+		}))
 		if e.queue.Len() > e.res.MaxQueue {
 			e.res.MaxQueue = e.queue.Len()
 		}
@@ -485,7 +499,16 @@ func (e *engine) run() (Result, error) {
 		}
 		delete(e.active, now)
 
-		// 3. Admit from the pending list.
+		// 3. Abandonment: pending requests whose patience ran out leave
+		// before this round's admissions.
+		if e.cfg.Patience > 0 {
+			cut := tStart - e.cfg.Patience
+			n := e.queue.ExpireHead(func(pd pending) bool { return pd.arrival < cut })
+			e.res.Rejected += n
+			tl.rejected(n)
+		}
+
+		// 4. Admit from the pending list.
 		e.queue.Drain(func(pd pending) bool {
 			// Batching: join a fresh stream of the same clip for free.
 			if e.cfg.BatchWindow > 0 {
@@ -493,6 +516,7 @@ func (e *engine) run() (Result, error) {
 					units.Duration(now-start)*e.roundDur <= e.cfg.BatchWindow {
 					e.res.Serviced++
 					e.res.Batched++
+					tl.batched()
 					resp := units.Duration(now)*e.roundDur - pd.arrival
 					responseSum += resp
 					e.responses = append(e.responses, resp)
@@ -510,13 +534,14 @@ func (e *engine) run() (Result, error) {
 			}
 			c := &clip{
 				clipID:    pd.clipID,
-				doneRound: now + e.clipRounds,
+				doneRound: now + streamRounds(e.clipRounds, pd.frac),
 				ticket:    tk,
 				bufSize:   e.perClip,
 			}
 			e.active[c.doneRound] = append(e.active[c.doneRound], c)
 			e.nactive++
 			e.res.Serviced++
+			tl.admitted()
 			e.lastStart[pd.clipID] = now
 			resp := units.Duration(now)*e.roundDur - pd.arrival
 			responseSum += resp
@@ -527,13 +552,16 @@ func (e *engine) run() (Result, error) {
 			e.res.PeakActive = e.nactive
 		}
 
-		// 4. Failure-mode accounting and online rebuilds (failure.go).
+		// 5. Failure-mode accounting and online rebuilds (failure.go).
 		e.failureStep(now)
 
-		// 5. Silent corruption and the patrol scrub (scrub.go).
+		// 6. Silent corruption and the patrol scrub (scrub.go).
 		e.scrubStep(now)
+
+		tl.roll(tEnd, e.nactive, e.queue.Len(), 0, nil)
 	}
 	e.finishScrub()
+	e.res.Timeline = tl.done(e.nactive, e.queue.Len(), 0, nil)
 
 	e.res.RebuildDone = e.rebuildsReq > 0 && e.res.RebuildsDone == e.rebuildsReq
 	e.res.Rounds = totalRounds

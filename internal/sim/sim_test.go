@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"ftcms/internal/analytic"
@@ -82,7 +83,7 @@ func TestRunValidation(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	a := paperRun(t, analytic.Declustered, 4, 256*units.MB, func(c *Config) { c.Duration = 120 * units.Second })
 	b := paperRun(t, analytic.Declustered, 4, 256*units.MB, func(c *Config) { c.Duration = 120 * units.Second })
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
 	}
 	c := paperRun(t, analytic.Declustered, 4, 256*units.MB, func(cf *Config) {

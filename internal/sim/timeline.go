@@ -1,0 +1,129 @@
+package sim
+
+// Per-bucket timeline reporting for scenario runs. The engines count
+// offered/admitted/batched/rejected requests as they happen and close a
+// bucket whenever the simulated clock crosses a bucket boundary, so a
+// compressed 24-hour day comes back as a demand-and-service curve instead
+// of a single aggregate.
+
+import (
+	"errors"
+
+	"ftcms/internal/units"
+)
+
+// TimelineConfig asks a run to record a per-bucket timeline.
+type TimelineConfig struct {
+	// Bucket is the bucket width in simulated time. Buckets close at
+	// round granularity, so widths below one round degenerate to
+	// per-round buckets.
+	Bucket units.Duration
+}
+
+// TimelineBucket is one reporting interval of a run.
+type TimelineBucket struct {
+	// Start is the bucket's start time.
+	Start units.Duration
+	// Offered counts requests that arrived during the bucket.
+	Offered int
+	// Admitted counts fresh streams started during the bucket.
+	Admitted int
+	// Batched counts requests served by piggybacking on a live stream.
+	Batched int
+	// Rejected counts pending requests that abandoned (waited past the
+	// run's Patience) during the bucket.
+	Rejected int
+	// Active is the number of in-flight streams when the bucket closed.
+	Active int
+	// Queue is the pending-list length when the bucket closed.
+	Queue int
+	// ViewVersion is the cluster membership view version when the bucket
+	// closed (0 for single-array runs).
+	ViewVersion int64
+	// NodeActive is each node's in-flight stream count when the bucket
+	// closed (nil for single-array runs).
+	NodeActive []int
+}
+
+// timeline accumulates buckets; a nil *timeline is a valid no-op
+// collector so the engines' hot loops need no conditionals.
+type timeline struct {
+	bucket units.Duration
+	cur    TimelineBucket
+	out    []TimelineBucket
+	dirty  bool
+}
+
+func newTimeline(cfg *TimelineConfig) (*timeline, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	if cfg.Bucket <= 0 {
+		return nil, errors.New("sim: timeline bucket width must be positive")
+	}
+	return &timeline{bucket: cfg.Bucket}, nil
+}
+
+func (t *timeline) offered(n int) {
+	if t != nil && n != 0 {
+		t.cur.Offered += n
+		t.dirty = true
+	}
+}
+
+func (t *timeline) admitted() {
+	if t != nil {
+		t.cur.Admitted++
+		t.dirty = true
+	}
+}
+
+func (t *timeline) batched() {
+	if t != nil {
+		t.cur.Batched++
+		t.dirty = true
+	}
+}
+
+func (t *timeline) rejected(n int) {
+	if t != nil && n != 0 {
+		t.cur.Rejected += n
+		t.dirty = true
+	}
+}
+
+// roll closes every bucket whose window ends at or before now, stamping
+// each with the current gauges. Called once per round with the round's
+// end time.
+func (t *timeline) roll(now units.Duration, active, queue int, view int64, nodeActive []int) {
+	if t == nil {
+		return
+	}
+	for t.cur.Start+t.bucket <= now {
+		t.close(active, queue, view, nodeActive)
+	}
+}
+
+func (t *timeline) close(active, queue int, view int64, nodeActive []int) {
+	t.cur.Active = active
+	t.cur.Queue = queue
+	t.cur.ViewVersion = view
+	if nodeActive != nil {
+		t.cur.NodeActive = append([]int(nil), nodeActive...)
+	}
+	t.out = append(t.out, t.cur)
+	t.cur = TimelineBucket{Start: t.cur.Start + t.bucket}
+	t.dirty = false
+}
+
+// done flushes a trailing partial bucket and returns the timeline (nil
+// for a nil collector).
+func (t *timeline) done(active, queue int, view int64, nodeActive []int) []TimelineBucket {
+	if t == nil {
+		return nil
+	}
+	if t.dirty {
+		t.close(active, queue, view, nodeActive)
+	}
+	return t.out
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ftcms/internal/experiments"
+	"ftcms/internal/sim"
+)
+
+// WriteTimelineCSV emits a scenario run's per-bucket timeline:
+// start_s,offered,admitted,batched,rejected,active,queue,view_version,
+// node_active rows. node_active joins per-node stream counts with ';'
+// (empty for single-array runs).
+func WriteTimelineCSV(w io.Writer, buckets []sim.TimelineBucket) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"start_s", "offered", "admitted", "batched", "rejected",
+		"active", "queue", "view_version", "node_active",
+	}); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		nodes := make([]string, len(b.NodeActive))
+		for i, n := range b.NodeActive {
+			nodes[i] = fmt.Sprint(n)
+		}
+		rec := []string{
+			fmt.Sprintf("%.6f", b.Start.Seconds()),
+			fmt.Sprint(b.Offered),
+			fmt.Sprint(b.Admitted),
+			fmt.Sprint(b.Batched),
+			fmt.Sprint(b.Rejected),
+			fmt.Sprint(b.Active),
+			fmt.Sprint(b.Queue),
+			fmt.Sprint(b.ViewVersion),
+			strings.Join(nodes, ";"),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// timelineJSON is the JSON shape of one timeline bucket.
+type timelineJSON struct {
+	StartS      float64 `json:"start_s"`
+	Offered     int     `json:"offered"`
+	Admitted    int     `json:"admitted"`
+	Batched     int     `json:"batched,omitempty"`
+	Rejected    int     `json:"rejected"`
+	Active      int     `json:"active"`
+	Queue       int     `json:"queue"`
+	ViewVersion int64   `json:"view_version,omitempty"`
+	NodeActive  []int   `json:"node_active,omitempty"`
+}
+
+// WriteTimelineJSON emits the timeline as a JSON array, one object per
+// bucket, for consumers that want structure instead of CSV.
+func WriteTimelineJSON(w io.Writer, buckets []sim.TimelineBucket) error {
+	out := make([]timelineJSON, len(buckets))
+	for i, b := range buckets {
+		out[i] = timelineJSON{
+			StartS:      b.Start.Seconds(),
+			Offered:     b.Offered,
+			Admitted:    b.Admitted,
+			Batched:     b.Batched,
+			Rejected:    b.Rejected,
+			Active:      b.Active,
+			Queue:       b.Queue,
+			ViewVersion: b.ViewVersion,
+			NodeActive:  b.NodeActive,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteScenarioCSV emits the E20 flash-crowd sweep:
+// multiplier,offered,serviced,rejected,peak_active,failed_over,
+// lost_streams,view_version rows.
+func WriteScenarioCSV(w io.Writer, points []experiments.ScenarioPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"multiplier", "offered", "serviced", "rejected", "peak_active",
+		"failed_over", "lost_streams", "view_version",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			fmt.Sprintf("%g", pt.Multiplier),
+			fmt.Sprint(pt.Offered),
+			fmt.Sprint(pt.Serviced),
+			fmt.Sprint(pt.Rejected),
+			fmt.Sprint(pt.PeakActive),
+			fmt.Sprint(pt.FailedOver),
+			fmt.Sprint(pt.LostStreams),
+			fmt.Sprint(pt.ViewVersion),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -82,6 +82,11 @@ type Request struct {
 	Arrival units.Duration
 	// ClipID selects the clip.
 	ClipID int
+	// Frac is the fraction of the clip this request plays before leaving
+	// (a VCR early stop, or one segment of a pause/resume session). Zero
+	// means the whole clip — the classic lean-back viewer — so the plain
+	// generators need not set it.
+	Frac float64
 }
 
 // Selector chooses which clip a request asks for.
@@ -146,49 +151,25 @@ func (z *ZipfSelector) Pick(rng *rand.Rand) int {
 
 // PoissonArrivals generates requests with exponential inter-arrival times
 // at the given mean rate (arrivals per second) over [0, horizon),
-// selecting clips via sel. Deterministic for a fixed seed.
+// selecting clips via sel. Deterministic for a fixed seed. It is a thin
+// adapter over PoissonSource, so the materialized trace is identical to
+// the streamed one.
 func PoissonArrivals(rate float64, horizon units.Duration, sel Selector, seed int64) ([]Request, error) {
-	if rate <= 0 {
-		return nil, errors.New("workload: arrival rate must be positive")
+	src, err := NewPoissonSource(rate, horizon, sel, seed)
+	if err != nil {
+		return nil, err
 	}
-	if horizon <= 0 {
-		return nil, errors.New("workload: horizon must be positive")
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var out []Request
-	t := units.Duration(0)
-	for {
-		t += units.Duration(rng.ExpFloat64() / rate)
-		if t >= horizon {
-			return out, nil
-		}
-		out = append(out, Request{Arrival: t, ClipID: sel.Pick(rng)})
-	}
+	return Collect(src), nil
 }
 
 // BurstArrivals generates a flash-crowd trace: Poisson at baseRate
 // outside [burstStart, burstEnd) and at burstRate inside it — the "new
 // release at 8pm" scenario a video-on-demand service must absorb.
-// Deterministic for a fixed seed.
+// Deterministic for a fixed seed. It is a thin adapter over BurstSource.
 func BurstArrivals(baseRate, burstRate float64, burstStart, burstEnd, horizon units.Duration, sel Selector, seed int64) ([]Request, error) {
-	if baseRate <= 0 || burstRate <= 0 {
-		return nil, errors.New("workload: rates must be positive")
+	src, err := NewBurstSource(baseRate, burstRate, burstStart, burstEnd, horizon, sel, seed)
+	if err != nil {
+		return nil, err
 	}
-	if horizon <= 0 || burstStart < 0 || burstEnd < burstStart || burstEnd > horizon {
-		return nil, fmt.Errorf("workload: bad burst window [%v, %v) in horizon %v", burstStart, burstEnd, horizon)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var out []Request
-	t := units.Duration(0)
-	for {
-		rate := baseRate
-		if t >= burstStart && t < burstEnd {
-			rate = burstRate
-		}
-		t += units.Duration(rng.ExpFloat64() / rate)
-		if t >= horizon {
-			return out, nil
-		}
-		out = append(out, Request{Arrival: t, ClipID: sel.Pick(rng)})
-	}
+	return Collect(src), nil
 }
