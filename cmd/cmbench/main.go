@@ -40,6 +40,13 @@
 // diurnal+flash-crowd NHPP source (the suite's -allocgate target — a
 // full compressed day must stay O(active pauses) in memory).
 //
+// The -autopilot flag swaps in the closed-loop controller suite
+// (BENCH_7.json by default): the policy state machine and pilot signal
+// sweep per round, the steady-state cluster tick with the controller
+// attached (the suite's -allocgate target — observing must add zero
+// allocations to an already allocation-free tick), a kill-to-replaced
+// recovery, and (without -quick) a compressed closed-loop scenario day.
+//
 // Usage:
 //
 //	cmbench            # full single-array suite -> BENCH_1.json
@@ -48,6 +55,7 @@
 //	cmbench -streams   # high-stream-count tick suite -> BENCH_4.json
 //	cmbench -reconfig  # elastic-reconfiguration suite -> BENCH_5.json
 //	cmbench -workload  # arrival-generation suite -> BENCH_6.json
+//	cmbench -autopilot # closed-loop controller suite -> BENCH_7.json
 //	cmbench -o out.json
 //	cmbench -quick     # skip the slow simulation benchmarks
 package main
@@ -158,14 +166,15 @@ type bench struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq, BENCH_4.json with -streams, BENCH_5.json with -reconfig, BENCH_6.json with -workload)")
-	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim, ClusterTick100k, the 10M-request workload tier)")
+	out := flag.String("o", "", "output JSON path (default BENCH_1.json; BENCH_2.json with -cluster, BENCH_3.json with -pq, BENCH_4.json with -streams, BENCH_5.json with -reconfig, BENCH_6.json with -workload, BENCH_7.json with -autopilot)")
+	quick := flag.Bool("quick", false, "skip the slow simulation benchmarks (Figure 6, SimRound, ClusterSim, ClusterTick100k, the 10M-request workload tier, ClosedLoopDay)")
 	clusterSuite := flag.Bool("cluster", false, "run the cluster routing/admission suite instead")
 	pqSuite := flag.Bool("pq", false, "run the P+Q double-parity suite instead")
 	streamsSuite := flag.Bool("streams", false, "run the high-stream-count tick suite instead")
 	reconfigSuite := flag.Bool("reconfig", false, "run the elastic-reconfiguration suite instead")
 	workloadSuite := flag.Bool("workload", false, "run the arrival-generation workload suite instead")
-	allocGate := flag.Int("allocgate", -1, "with -streams, -reconfig, or -workload: exit non-zero if the suite's gate benchmark exceeds this many allocs/op (-1 disables)")
+	autopilotSuite := flag.Bool("autopilot", false, "run the closed-loop controller suite instead")
+	allocGate := flag.Int("allocgate", -1, "with -streams, -reconfig, -workload, or -autopilot: exit non-zero if the suite's gate benchmark exceeds this many allocs/op (-1 disables)")
 	benchtime := flag.String("benchtime", "", "per-benchmark measuring time (e.g. 5s or 100x), as in go test; empty keeps the 1s default")
 	flag.Parse()
 	if *benchtime != "" {
@@ -189,6 +198,8 @@ func main() {
 			*out = "BENCH_5.json"
 		case *workloadSuite:
 			*out = "BENCH_6.json"
+		case *autopilotSuite:
+			*out = "BENCH_7.json"
 		default:
 			*out = "BENCH_1.json"
 		}
@@ -311,8 +322,14 @@ func main() {
 		baselineDesc = "none (suite introduced together with the scenario engine)"
 		gateBench = workloadGateBenchName
 	}
+	if *autopilotSuite {
+		benches = autopilotBenches(*quick)
+		baseline = nil
+		baselineDesc = "none (suite introduced together with the autopilot)"
+		gateBench = autopilotGateBenchName
+	}
 	if *allocGate >= 0 && gateBench == "" {
-		fatal(errors.New("-allocgate needs a suite with a gate benchmark (-streams, -reconfig, or -workload)"))
+		fatal(errors.New("-allocgate needs a suite with a gate benchmark (-streams, -reconfig, -workload, or -autopilot)"))
 	}
 
 	rep := report{

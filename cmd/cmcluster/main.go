@@ -33,6 +33,12 @@
 //	                      flips atomically (d+1 must have a BIBD
 //	                      construction — the default d=7, p=3 does not;
 //	                      start with -d 6 to demo growth)
+//	AUTOPILOT on|off      enable or disable the closed-loop controller:
+//	                      when on, it joins nodes on sustained rejects,
+//	                      replaces detector-confirmed node losses, drains
+//	                      surplus nodes off-peak, and sheds new sessions
+//	                      under a failover backlog (see -autopilot to
+//	                      start enabled; STATS carries autopilot=)
 //
 // Usage:
 //
@@ -68,6 +74,7 @@ import (
 	"syscall"
 	"time"
 
+	"ftcms/internal/autopilot"
 	"ftcms/internal/cliutil"
 	"ftcms/internal/cluster"
 	"ftcms/internal/core"
@@ -100,22 +107,61 @@ type server struct {
 	// nodes from it so a joined node is interchangeable with the bootset.
 	nodeCfg core.Config
 
+	// pilot is the closed-loop controller, stepped once per paced round
+	// under mu. It always exists; AUTOPILOT on|off (and the -autopilot
+	// flag) toggle whether it observes and acts.
+	pilot *cluster.Pilot
+
 	writeTimeout time.Duration
 	closing      chan struct{}
 	conns        sync.WaitGroup
 }
 
-func newServer(cl *cluster.Cluster, nodeCfg core.Config, writeTimeout time.Duration) *server {
+func newServer(cl *cluster.Cluster, nodeCfg core.Config, writeTimeout time.Duration, autopilotOn bool) *server {
 	s := &server{
 		cl:           cl,
 		nodeCfg:      nodeCfg,
+		pilot:        cluster.NewPilot(cl, nodeCfg, autopilot.Config{}),
 		writeTimeout: writeTimeout,
 		closing:      make(chan struct{}),
 	}
+	s.pilot.SetEnabled(autopilotOn)
 	for i := 0; i < cl.NodeCount(); i++ {
 		s.inj = append(s.inj, cl.NodeServer(i).InjectFaults(faultinject.Plan{Seed: int64(i) + 1}))
 	}
 	return s
+}
+
+// tick advances one cluster round under the mutex: the service tick,
+// latency accounting, and one autopilot step. Both the real pacer and
+// the test pacer drive rounds through here so the controller always
+// observes completed rounds.
+func (s *server) tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	if err := s.cl.Tick(); err != nil {
+		log.Printf("cmcluster: tick: %v", err)
+	}
+	elapsed := time.Since(start)
+	s.tickHist.Observe(elapsed)
+	if mb := s.cl.MigratedBlocks(); mb > s.lastMigrated {
+		s.migrateHist.Observe(elapsed)
+		s.lastMigrated = mb
+	}
+	a, ok, err := s.pilot.Step()
+	if ok {
+		log.Printf("cmcluster: autopilot: %s", a)
+		// Arm the corruption injector on any node the pilot just joined,
+		// exactly as the JOIN verb does, so CORRUPT works against it.
+		for len(s.inj) < s.cl.NodeCount() {
+			id := len(s.inj)
+			s.inj = append(s.inj, s.cl.NodeServer(id).InjectFaults(faultinject.Plan{Seed: int64(id) + 1}))
+		}
+	}
+	if err != nil {
+		log.Printf("cmcluster: autopilot: %v", err)
+	}
 }
 
 func main() {
@@ -130,6 +176,7 @@ func main() {
 	speed := flag.Float64("speed", 100, "time acceleration factor")
 	scrub := flag.Int("scrub", -1, "per-node patrol scrub rate in verify reads per disk per round (0: off, -1: idle-bounded)")
 	wtimeout := flag.Duration("wtimeout", 10*time.Second, "per-client write deadline")
+	autopilotOn := flag.Bool("autopilot", false, "start with the closed-loop controller enabled (AUTOPILOT on|off toggles it live)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -207,7 +254,7 @@ func main() {
 			log.Fatalf("cmcluster: %v", err)
 		}
 	}
-	s := newServer(cl, nodeCfg, *wtimeout)
+	s := newServer(cl, nodeCfg, *wtimeout, *autopilotOn)
 
 	// Round pacer: every node's round duration is identical (same config),
 	// so one clock drives the whole cluster.
@@ -219,18 +266,7 @@ func main() {
 		pacer := time.NewTicker(interval)
 		defer pacer.Stop()
 		for range pacer.C {
-			s.mu.Lock()
-			start := time.Now()
-			if err := s.cl.Tick(); err != nil {
-				log.Printf("cmcluster: tick: %v", err)
-			}
-			elapsed := time.Since(start)
-			s.tickHist.Observe(elapsed)
-			if mb := s.cl.MigratedBlocks(); mb > s.lastMigrated {
-				s.migrateHist.Observe(elapsed)
-				s.lastMigrated = mb
-			}
-			s.mu.Unlock()
+			s.tick()
 		}
 	}()
 
@@ -381,12 +417,19 @@ func (s *server) handle(conn net.Conn) {
 		st := s.cl.Stats()
 		ticks := s.tickHist.String()
 		migs := s.migrateHist.String()
+		apMode := "off"
+		var aps autopilot.Status
+		if s.pilot.Enabled() {
+			aps = s.pilot.Status()
+			apMode = aps.Mode
+		}
 		s.mu.Unlock()
-		if s.printf(conn, "round=%d nodes=%d alive=%d failed=%v active=%d awaiting_failover=%d served=%d failed_over=%d terminated=%d rejected=%d view=%d draining=%v retired=%v migrate_progress=%d/%d migrated_blocks=%d migrated_streams=%d tick_hist=%s migrate_hist=%s\n",
+		if s.printf(conn, "round=%d nodes=%d alive=%d failed=%v active=%d awaiting_failover=%d served=%d failed_over=%d terminated=%d rejected=%d view=%d draining=%v retired=%v migrate_progress=%d/%d migrated_blocks=%d migrated_streams=%d autopilot=%s autopilot_actions=%d autopilot_cooldown=%d autopilot_last=%q autopilot_interlock=%q tick_hist=%s migrate_hist=%s\n",
 			st.Round, st.Nodes, st.Alive, st.FailedNodes, st.Active, st.AwaitingFailover,
 			st.Served, st.FailedOver, st.Terminated, st.Rejected,
 			st.ViewVersion, st.Draining, st.Retired, st.MigrateDone, st.MigrateTotal,
-			st.MigratedBlocks, st.MigratedStreams, ticks, migs) != nil {
+			st.MigratedBlocks, st.MigratedStreams,
+			apMode, aps.Actions, aps.Cooldown, aps.Last, aps.Interlock, ticks, migs) != nil {
 			return
 		}
 		for i, ns := range st.Node {
@@ -514,6 +557,25 @@ func (s *server) handle(conn net.Conn) {
 			return
 		}
 		s.printf(conn, "OK node %d re-layout started\n", node)
+	case "AUTOPILOT":
+		if len(fields) < 2 {
+			s.printf(conn, "ERR usage: AUTOPILOT on|off\n")
+			return
+		}
+		switch strings.ToLower(fields[1]) {
+		case "on":
+			s.mu.Lock()
+			s.pilot.SetEnabled(true)
+			s.mu.Unlock()
+			s.printf(conn, "OK autopilot on\n")
+		case "off":
+			s.mu.Lock()
+			s.pilot.SetEnabled(false)
+			s.mu.Unlock()
+			s.printf(conn, "OK autopilot off\n")
+		default:
+			s.printf(conn, "ERR usage: AUTOPILOT on|off\n")
+		}
 	case "PLAY":
 		if len(fields) < 2 {
 			s.printf(conn, "ERR usage: PLAY <clip>\n")
@@ -521,6 +583,16 @@ func (s *server) handle(conn net.Conn) {
 		}
 		if s.draining() {
 			s.printf(conn, "ERR shutting down\n")
+			return
+		}
+		// Graceful degradation: while the autopilot sheds, new sessions
+		// are refused up front instead of joining the admission retry
+		// scrum — in-flight streams and failovers keep the capacity.
+		s.mu.Lock()
+		shedding := s.pilot.Shedding()
+		s.mu.Unlock()
+		if shedding {
+			s.printf(conn, "ERR overloaded: autopilot is shedding new sessions\n")
 			return
 		}
 		// Cluster-wide admission rejects behave like the paper's pending

@@ -57,7 +57,7 @@ func testCluster(t *testing.T) (addr string, clips map[string][]byte, s *server,
 			t.Fatal(err)
 		}
 	}
-	s = newServer(cl, nodeCfg, 10*time.Second)
+	s = newServer(cl, nodeCfg, 10*time.Second, false)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -70,9 +70,7 @@ func testCluster(t *testing.T) (addr string, clips map[string][]byte, s *server,
 			case <-stop:
 				return
 			case <-tick.C:
-				s.mu.Lock()
-				_ = s.cl.Tick()
-				s.mu.Unlock()
+				s.tick()
 			}
 		}
 	}()
@@ -277,6 +275,54 @@ func TestHandleJoinDrainRetire(t *testing.T) {
 	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
 		if strings.Contains(l, "nodes=[0") || strings.Contains(l, " 0]") || strings.Contains(l, " 0 ") {
 			t.Fatalf("retired node 0 still holds a replica: %s", l)
+		}
+	}
+}
+
+// TestHandleAutopilot drives the closed-loop controls over the wire:
+// the STATS autopilot segment reports off until AUTOPILOT on enables
+// the controller (mode, action count, cooldown and interlock become
+// live), PLAY still admits in steady mode, and AUTOPILOT off freezes
+// it again.
+func TestHandleAutopilot(t *testing.T) {
+	addr, clips, _, _ := testCluster(t)
+	out := string(send(t, addr, "STATS"))
+	if !strings.Contains(out, `autopilot=off`) || !strings.Contains(out, `autopilot_actions=0`) ||
+		!strings.Contains(out, `autopilot_last=""`) || !strings.Contains(out, `autopilot_interlock=""`) {
+		t.Fatalf("STATS autopilot segment while off: %s", out)
+	}
+	if out := string(send(t, addr, "AUTOPILOT on")); !strings.Contains(out, "OK autopilot on") {
+		t.Fatalf("AUTOPILOT on: %s", out)
+	}
+	// The pacer steps the enabled pilot; an idle cluster stays in steady
+	// mode with no actions and no interlock.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out = string(send(t, addr, "STATS"))
+		if strings.Contains(out, `autopilot=steady`) && strings.Contains(out, `autopilot_last="none"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("STATS never showed the enabled controller: %s", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out, "autopilot_actions=0") {
+		t.Fatalf("idle controller fired an action: %s", out)
+	}
+	// Steady mode does not shed: PLAY streams byte-exact.
+	if got := send(t, addr, "PLAY clip-0"); !bytes.Equal(got, clips["clip-0"]) {
+		t.Fatalf("PLAY with autopilot on returned %d bytes, want %d", len(got), len(clips["clip-0"]))
+	}
+	if out := string(send(t, addr, "AUTOPILOT off")); !strings.Contains(out, "OK autopilot off") {
+		t.Fatalf("AUTOPILOT off: %s", out)
+	}
+	if out := string(send(t, addr, "STATS")); !strings.Contains(out, "autopilot=off") {
+		t.Fatalf("STATS after AUTOPILOT off: %s", out)
+	}
+	for _, cmd := range []string{"AUTOPILOT", "AUTOPILOT maybe"} {
+		if out := string(send(t, addr, cmd)); !strings.Contains(out, "ERR usage: AUTOPILOT on|off") {
+			t.Fatalf("%q -> %s", cmd, out)
 		}
 	}
 }

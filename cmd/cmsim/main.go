@@ -18,7 +18,9 @@
 //	cmsim -scenario primetime-flashcrowd-rebuild   # internet-scale scenario day
 //	cmsim -scenario day.json -timeline tl.csv      # custom profile, timeline to CSV
 //	cmsim -scenario list                 # list the builtin scenarios
+//	cmsim -scenario primetime-autopilot -autopilot # closed-loop: autopilot drives reconfig
 //	cmsim -scenariosweep                 # E20 flash-crowd-during-node-loss sweep
+//	cmsim -autopilotsweep                # E21 closed-vs-open-loop reject curves
 //	cmsim -corrupt 5@100:40 -scrub -1    # rot 40 blocks of disk 5 at t=100s
 //	cmsim -dynamic                       # §5 dynamic reservation controller
 //	cmsim -csv                           # CSV output (-grid, -continuity, -integrity)
@@ -33,6 +35,7 @@ import (
 	"strings"
 
 	"ftcms/internal/analytic"
+	"ftcms/internal/autopilot"
 	"ftcms/internal/cliutil"
 	"ftcms/internal/diskmodel"
 	"ftcms/internal/experiments"
@@ -65,6 +68,8 @@ func main() {
 	reconfig := flag.Bool("reconfig", false, "run the E19 drain-under-prime-time reconfiguration sweep")
 	scenarioFlag := flag.String("scenario", "", "run a scenario day: a builtin name, a profile JSON file, or 'list'")
 	scenarioSweep := flag.Bool("scenariosweep", false, "run the E20 flash-crowd-during-node-loss sweep")
+	autopilotFlag := flag.Bool("autopilot", false, "run the scenario closed-loop: the autopilot drives all reconfiguration")
+	autopilotSweep := flag.Bool("autopilotsweep", false, "run the E21 closed-vs-open-loop sweep")
 	timelineFlag := flag.String("timeline", "", "write the scenario timeline here (.json for JSON, else CSV; '-' for stdout)")
 	subscribers := flag.Int64("subscribers", 0, "override the scenario profile's subscriber count")
 	timescale := flag.Float64("timescale", 0, "override the scenario profile's time compression factor")
@@ -113,7 +118,29 @@ func main() {
 			timeline: *timelineFlag, csv: *csvOut, seed: *seed, workers: *workers,
 			subscribers: *subscribers, timescale: *timescale,
 			nodes: *nodes, replication: *replication,
+			autopilot: *autopilotFlag,
 		}); err != nil {
+			fatal(err)
+		}
+	case *autopilotSweep:
+		cfg := experiments.AutopilotSweepConfig{Seed: *seed, Workers: *workers}
+		if *subscribers > 0 {
+			cfg.Subscribers = *subscribers
+		}
+		if *timescale > 0 {
+			cfg.TimeScale = *timescale
+		}
+		if *csvOut {
+			pts, err := experiments.AutopilotSweep(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteAutopilotCSV(os.Stdout, pts); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := experiments.WriteAutopilotSweep(os.Stdout, cfg); err != nil {
 			fatal(err)
 		}
 	case *scenarioSweep:
@@ -311,6 +338,7 @@ type scenarioOpts struct {
 	subscribers        int64
 	timescale          float64
 	nodes, replication int
+	autopilot          bool
 }
 
 // loadProfile resolves a -scenario argument: a builtin name first, then
@@ -350,13 +378,17 @@ func runScenario(arg string, opts scenarioOpts) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.Run(scenario.RunConfig{
+	rc := scenario.RunConfig{
 		Scenario:    compiled,
 		Seed:        opts.seed,
 		Nodes:       opts.nodes,
 		Replication: opts.replication,
 		Workers:     opts.workers,
-	})
+	}
+	if opts.autopilot {
+		rc.Autopilot = &autopilot.Config{}
+	}
+	res, err := scenario.Run(rc)
 	if err != nil {
 		return err
 	}
@@ -374,6 +406,9 @@ func runScenario(arg string, opts scenarioOpts) error {
 	fmt.Printf("offered           %d\n", res.Offered)
 	fmt.Printf("serviced          %d\n", res.Serviced)
 	fmt.Printf("rejected          %d\n", res.Rejected)
+	if opts.autopilot {
+		fmt.Printf("shed              %d\n", res.Shed)
+	}
 	fmt.Printf("completed         %d\n", res.Completed)
 	fmt.Printf("peak concurrent   %d\n", res.PeakActive)
 	fmt.Printf("mean response     %v\n", res.MeanResponse)
@@ -386,6 +421,12 @@ func runScenario(arg string, opts scenarioOpts) error {
 		fmt.Printf("stream movement   %d failed over, %d lost, %d migrated\n",
 			cr.FailedOver, cr.LostStreams, cr.MigratedStreams)
 		fmt.Printf("view version      %d\n", res.ViewVersion)
+		if opts.autopilot {
+			fmt.Printf("autopilot         %d actions\n", len(res.Actions))
+			for _, a := range res.Actions {
+				fmt.Printf("  %s\n", a)
+			}
+		}
 	} else if res.Single.RebuildsDone > 0 {
 		fmt.Printf("rebuilds          %d (first finished in %v)\n",
 			res.Single.RebuildsDone, res.Single.RebuildTime)

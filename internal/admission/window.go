@@ -1,0 +1,61 @@
+package admission
+
+// RejectWindow is a sliding-window counter of admission rejects over the
+// last W rounds. The policy layer (internal/autopilot) keys its scale-out
+// decision on a *sustained* reject rate, not a single bad round, so the
+// window is the primitive: push one per-round count per round, read the
+// rolling sum. The ring is allocated once at construction and Observe is
+// allocation-free, keeping the quiescent controller tick off the heap.
+type RejectWindow struct {
+	counts []int
+	sum    int
+	pos    int
+	seen   int
+}
+
+// NewRejectWindow returns a window over w rounds (w < 1 is treated as 1).
+func NewRejectWindow(w int) *RejectWindow {
+	if w < 1 {
+		w = 1
+	}
+	return &RejectWindow{counts: make([]int, w)}
+}
+
+// Observe pushes one round's reject count, rolling the oldest round out
+// of the sum once the window is full.
+func (w *RejectWindow) Observe(rejects int) {
+	w.sum += rejects - w.counts[w.pos]
+	w.counts[w.pos] = rejects
+	w.pos++
+	if w.pos == len(w.counts) {
+		w.pos = 0
+	}
+	if w.seen < len(w.counts) {
+		w.seen++
+	}
+}
+
+// Sum returns the total rejects over the last Window() observed rounds.
+func (w *RejectWindow) Sum() int { return w.sum }
+
+// Window returns the window width in rounds.
+func (w *RejectWindow) Window() int { return len(w.counts) }
+
+// Observed returns how many rounds have been pushed, capped at the
+// window width — the divisor for a rate over a partially filled window.
+func (w *RejectWindow) Observed() int { return w.seen }
+
+// Rate returns rejects per round over the observed part of the window
+// (0 before the first Observe).
+func (w *RejectWindow) Rate() float64 {
+	if w.seen == 0 {
+		return 0
+	}
+	return float64(w.sum) / float64(w.seen)
+}
+
+// Reset clears the window to its initial empty state.
+func (w *RejectWindow) Reset() {
+	clear(w.counts)
+	w.sum, w.pos, w.seen = 0, 0, 0
+}

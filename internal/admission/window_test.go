@@ -1,0 +1,66 @@
+package admission
+
+import "testing"
+
+// TestRejectWindowRollOff pins the sliding semantics: the sum tracks
+// exactly the last W observations, rolling old rounds off one at a time.
+func TestRejectWindowRollOff(t *testing.T) {
+	w := NewRejectWindow(4)
+	if w.Sum() != 0 || w.Observed() != 0 || w.Rate() != 0 {
+		t.Fatalf("fresh window not empty: sum=%d observed=%d rate=%v", w.Sum(), w.Observed(), w.Rate())
+	}
+	pushes := []int{5, 0, 3, 2, 7, 0, 0, 0, 0}
+	wantSum := []int{5, 5, 8, 10, 12, 12, 9, 7, 0}
+	for i, n := range pushes {
+		w.Observe(n)
+		if w.Sum() != wantSum[i] {
+			t.Fatalf("after push %d (%d): sum %d, want %d", i, n, w.Sum(), wantSum[i])
+		}
+	}
+	if w.Observed() != 4 {
+		t.Fatalf("observed %d, want capped at window 4", w.Observed())
+	}
+}
+
+// TestRejectWindowPartialRate divides by rounds observed, not the window
+// width, while the window is still filling.
+func TestRejectWindowPartialRate(t *testing.T) {
+	w := NewRejectWindow(8)
+	w.Observe(4)
+	w.Observe(2)
+	if got := w.Rate(); got != 3 {
+		t.Fatalf("rate over 2 observed rounds = %v, want 3", got)
+	}
+	for i := 0; i < 8; i++ {
+		w.Observe(0)
+	}
+	if w.Sum() != 0 || w.Rate() != 0 {
+		t.Fatalf("fully rolled-off window: sum=%d rate=%v, want 0", w.Sum(), w.Rate())
+	}
+}
+
+// TestRejectWindowDegenerate covers width clamping and Reset.
+func TestRejectWindowDegenerate(t *testing.T) {
+	w := NewRejectWindow(0)
+	if w.Window() != 1 {
+		t.Fatalf("window width %d, want clamped to 1", w.Window())
+	}
+	w.Observe(9)
+	w.Observe(1)
+	if w.Sum() != 1 {
+		t.Fatalf("width-1 window sum %d, want last push only", w.Sum())
+	}
+	w.Reset()
+	if w.Sum() != 0 || w.Observed() != 0 {
+		t.Fatalf("reset window not empty: sum=%d observed=%d", w.Sum(), w.Observed())
+	}
+}
+
+// TestRejectWindowObserveAllocs keeps Observe off the heap: the
+// autopilot's quiescent tick calls it every round.
+func TestRejectWindowObserveAllocs(t *testing.T) {
+	w := NewRejectWindow(16)
+	if n := testing.AllocsPerRun(100, func() { w.Observe(1) }); n != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", n)
+	}
+}

@@ -1,0 +1,316 @@
+package autopilot
+
+import (
+	"reflect"
+	"testing"
+)
+
+// calm returns a baseline healthy-cluster signal for round r.
+func calm(r int64) Signals {
+	return Signals{Round: r, Active: 80, Capacity: 100, ActiveNodes: 3, DrainCandidate: -1}
+}
+
+// TestScaleOutHysteresis: rejects must persist for Window-sum ≥ threshold
+// over ScaleOutHold consecutive rounds before a join fires; a single
+// spike inside the window does not.
+func TestScaleOutHysteresis(t *testing.T) {
+	c := New(Config{Window: 4, ScaleOutRejects: 3, ScaleOutHold: 3, MaxNodes: 5, MinNodes: 3})
+	// One spike of 5 rejects: window sum stays ≥ 3 for 4 rounds (the
+	// spike's residence time), which with hold 3 would fire — so use a
+	// spike of 2, under the sum threshold entirely.
+	for r := int64(0); r < 10; r++ {
+		s := calm(r)
+		if r == 2 {
+			s.Rejects = 2
+		}
+		if a, ok := c.Observe(s); ok {
+			t.Fatalf("sub-threshold spike fired %v", a)
+		}
+	}
+	// Sustained rejects: 1/round pushes the 4-round window sum to 3 at
+	// round 12, hold satisfied at round 14.
+	var got []Action
+	for r := int64(10); r < 20; r++ {
+		s := calm(r)
+		s.Rejects = 1
+		if a, ok := c.Observe(s); ok {
+			got = append(got, a)
+		}
+	}
+	if len(got) != 1 || got[0].Kind != ScaleOut {
+		t.Fatalf("sustained rejects fired %v, want one scale-out", got)
+	}
+	if got[0].Round != 14 {
+		t.Fatalf("scale-out at round %d, want 14 (sum≥3 from 12, hold 3)", got[0].Round)
+	}
+}
+
+// TestFlappingCooldown is the satellite coverage: a synthetic load that
+// oscillates across the scale-out threshold every other window must
+// produce at most one action per cooldown period.
+func TestFlappingCooldown(t *testing.T) {
+	cases := []struct {
+		name           string
+		window, hold   int
+		cooldown       int64
+		rounds         int64
+		period         int64 // load on for period rounds, off for period
+		maxNodes       int
+		wantMaxPerCool int
+	}{
+		{"every-other-window", 4, 2, 32, 256, 8, 64, 1},
+		{"fast-flap", 2, 1, 16, 200, 2, 64, 1},
+		{"slow-swing", 8, 4, 48, 384, 24, 64, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(Config{
+				Window: tc.window, ScaleOutRejects: 1, ScaleOutHold: tc.hold,
+				ScaleOutCooldown: tc.cooldown, MaxNodes: tc.maxNodes, MinNodes: 3,
+			})
+			for r := int64(0); r < tc.rounds; r++ {
+				s := calm(r)
+				if (r/tc.period)%2 == 0 {
+					s.Rejects = 5 // well over threshold: crossing every other period
+				}
+				s.ActiveNodes = 3 + len(c.Actions()) // joins take effect immediately
+				c.Observe(s)
+			}
+			// Bucket the fired actions by cooldown period: no bucket may
+			// hold more than one.
+			buckets := map[int64]int{}
+			for _, a := range c.Actions() {
+				if a.Kind != ScaleOut {
+					t.Fatalf("unexpected action %v", a)
+				}
+				buckets[a.Round/tc.cooldown]++
+			}
+			for b, n := range buckets {
+				if n > tc.wantMaxPerCool {
+					t.Fatalf("cooldown period %d saw %d actions, want ≤ %d", b, n, tc.wantMaxPerCool)
+				}
+			}
+			if len(c.Actions()) == 0 {
+				t.Fatal("oscillating load above threshold never fired at all")
+			}
+		})
+	}
+}
+
+// TestScaleInFloorAndInterlocks: scale-in never crosses MinNodes, aborts
+// when a failure or rebuild is in flight, and defers while another
+// reconfiguration runs — each suppression recording its reason.
+func TestScaleInFloorAndInterlocks(t *testing.T) {
+	idle := func(r int64) Signals {
+		return Signals{Round: r, Active: 5, Capacity: 100, ActiveNodes: 4, DrainCandidate: 3}
+	}
+	mk := func() *Controller {
+		return New(Config{Window: 2, ScaleInUtil: 0.5, ScaleInHold: 3, MinNodes: 3, MaxNodes: 5})
+	}
+
+	// Happy path: idle for hold rounds drains the candidate.
+	c := mk()
+	var fired []Action
+	for r := int64(0); r < 6; r++ {
+		if a, ok := c.Observe(idle(r)); ok {
+			fired = append(fired, a)
+		}
+	}
+	if len(fired) != 1 || fired[0].Kind != ScaleIn || fired[0].Node != 3 {
+		t.Fatalf("idle cluster fired %v, want one scale-in of node 3", fired)
+	}
+
+	// At the floor: suppressed with the floor reason.
+	c = mk()
+	for r := int64(0); r < 10; r++ {
+		s := idle(r)
+		s.ActiveNodes = 3
+		s.DrainCandidate = -1
+		if a, ok := c.Observe(s); ok {
+			t.Fatalf("scale-in below replication floor: %v", a)
+		}
+	}
+	if got := c.Status().Interlock; got != lockFloor {
+		t.Fatalf("interlock %q, want %q", got, lockFloor)
+	}
+
+	// Rebuild in flight: aborted (hysteresis resets), reason recorded.
+	c = mk()
+	for r := int64(0); r < 10; r++ {
+		s := idle(r)
+		s.Rebuilding = true
+		if a, ok := c.Observe(s); ok {
+			t.Fatalf("scale-in during rebuild: %v", a)
+		}
+	}
+	if got := c.Status().Interlock; got != lockRebuild {
+		t.Fatalf("interlock %q, want %q", got, lockRebuild)
+	}
+
+	// Unreplaced node loss blocks scale-in too (spares exhausted keeps
+	// NodeLosses > replaced forever).
+	c = New(Config{Window: 2, ScaleInUtil: 0.5, ScaleInHold: 3, MinNodes: 3, MaxNodes: 5, Spares: -1})
+	for r := int64(0); r < 9; r++ {
+		s := idle(r)
+		s.NodeLosses = 1
+		if a, ok := c.Observe(s); ok {
+			t.Fatalf("scale-in with unresolved failure: %v", a)
+		}
+	}
+	if got := c.Status().Interlock; got != lockFailure {
+		t.Fatalf("interlock %q, want %q", got, lockFailure)
+	}
+
+	// Reconfiguration in flight: deferred, fires once clear.
+	c = mk()
+	for r := int64(0); r < 6; r++ {
+		s := idle(r)
+		s.Reconfiguring = true
+		if a, ok := c.Observe(s); ok {
+			t.Fatalf("stacked reconfiguration: %v", a)
+		}
+	}
+	if got := c.Status().Interlock; got != lockReconfig {
+		t.Fatalf("interlock %q, want %q", got, lockReconfig)
+	}
+	if a, ok := c.Observe(idle(6)); !ok || a.Kind != ScaleIn {
+		t.Fatalf("cleared interlock did not release the deferred scale-in (got %v, %v)", a, ok)
+	}
+}
+
+// TestReplaceOnLoss: a confirmed loss consumes one spare, exactly once,
+// and the budget caps further replacements.
+func TestReplaceOnLoss(t *testing.T) {
+	c := New(Config{Window: 4, Spares: 1, MinNodes: 3, MaxNodes: 5})
+	s := calm(0)
+	s.NodeLosses = 1
+	a, ok := c.Observe(s)
+	if !ok || a.Kind != Replace {
+		t.Fatalf("loss produced %v ok=%v, want replace", a, ok)
+	}
+	for r := int64(1); r < 50; r++ {
+		s := calm(r)
+		s.NodeLosses = 1
+		if a, ok := c.Observe(s); ok {
+			t.Fatalf("same loss replaced twice: %v", a)
+		}
+	}
+	// Second loss: spare budget exhausted.
+	s = calm(50)
+	s.NodeLosses = 2
+	if a, ok := c.Observe(s); ok {
+		t.Fatalf("replacement beyond spare budget: %v", a)
+	}
+	if got := c.Status().Interlock; got != lockSpares {
+		t.Fatalf("interlock %q, want %q", got, lockSpares)
+	}
+}
+
+// TestShedHysteresis: the shed mode starts after the backlog holds over
+// ShedQueue, stops only after it falls to ShedExit, and a backlog
+// wobbling between the two thresholds changes nothing.
+func TestShedHysteresis(t *testing.T) {
+	c := New(Config{Window: 4, ShedQueue: 100, ShedExit: 10, ShedHold: 2, MinNodes: 3, MaxNodes: 3})
+	sig := func(r int64, q int) Signals {
+		s := calm(r)
+		s.QueueDepth = q
+		s.Rejects = 1 // keep the idle path disarmed
+		return s
+	}
+	seq := []struct {
+		q         int
+		wantKind  Kind
+		wantFired bool
+	}{
+		{150, 0, false}, // first round over: hold not met
+		{150, ShedStart, true},
+		{50, 0, false}, // between thresholds: stays shedding
+		{50, 0, false},
+		{150, 0, false},
+		{5, 0, false}, // first round under exit
+		{5, ShedStop, true},
+		{5, 0, false},
+	}
+	for i, st := range seq {
+		a, ok := c.Observe(sig(int64(i), st.q))
+		if ok != st.wantFired || (ok && a.Kind != st.wantKind) {
+			t.Fatalf("step %d (queue %d): got %v ok=%v, want fired=%v kind=%v",
+				i, st.q, a, ok, st.wantFired, st.wantKind)
+		}
+		wantMode := i >= 1 && i < 6
+		if c.Shedding() != wantMode {
+			t.Fatalf("step %d: shedding=%v, want %v", i, c.Shedding(), wantMode)
+		}
+	}
+}
+
+// TestDeterministicReplay: the same signal stream always yields a
+// byte-identical action trace.
+func TestDeterministicReplay(t *testing.T) {
+	stream := make([]Signals, 600)
+	for r := range stream {
+		s := calm(int64(r))
+		if r > 50 && r < 120 {
+			s.Rejects = 3
+			s.QueueDepth = 400
+		}
+		if r >= 200 {
+			s.NodeLosses = 1
+		}
+		if r > 400 {
+			s.Active = 5
+			s.DrainCandidate = 4
+			s.ActiveNodes = 4
+		}
+		stream[r] = s
+	}
+	run := func() string {
+		c := New(Config{Window: 8, MinNodes: 3, MaxNodes: 5})
+		for _, s := range stream {
+			s.ActiveNodes += countJoins(c.Actions())
+			c.Observe(s)
+		}
+		return TraceString(c.Actions())
+	}
+	a, b := run(), run()
+	if a != b || a == "" {
+		t.Fatalf("replay diverged or empty:\n%q\nvs\n%q", a, b)
+	}
+}
+
+func countJoins(actions []Action) int {
+	n := 0
+	for _, a := range actions {
+		if a.Kind == ScaleOut || a.Kind == Replace {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQuiescentObserveAllocs: with nothing pending, Observe must not
+// touch the heap — it runs inside every round tick.
+func TestQuiescentObserveAllocs(t *testing.T) {
+	c := New(Config{MinNodes: 3, MaxNodes: 5})
+	r := int64(0)
+	if n := testing.AllocsPerRun(200, func() {
+		r++
+		c.Observe(calm(r))
+	}); n != 0 {
+		t.Fatalf("quiescent Observe allocates %v per call, want 0", n)
+	}
+}
+
+// TestConfigDefaults pins the documented zero-value defaults.
+func TestConfigDefaults(t *testing.T) {
+	got := New(Config{}).Config()
+	want := Config{
+		Window: 16, ScaleOutRejects: 1, ScaleOutHold: 4, ScaleOutCooldown: 64,
+		MaxNodes: 3, MinNodes: 1, ScaleInUtil: 0.5, ScaleInHold: 64,
+		ScaleInCooldown: 64, Spares: 1, ReplaceCooldown: 16,
+		ShedQueue: 256, ShedExit: 32, ShedHold: 4,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("defaults = %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ftcms/internal/autopilot"
+	"ftcms/internal/core"
+	"ftcms/internal/units"
+)
+
+// tinyNodeConfig is a deliberately small array — (q−f)·d = 6 admission
+// slots — so a test can saturate a node with a handful of streams.
+func tinyNodeConfig() core.Config {
+	return core.Config{
+		Scheme: core.Declustered,
+		Disk:   fastDisk(),
+		D:      3, P: 3,
+		Block: 8 * units.KB,
+		Q:     4, F: 2,
+		Buffer: 16 * units.MB,
+	}
+}
+
+func tinyCluster(t *testing.T, nodes, rep int) *Cluster {
+	t.Helper()
+	cfg := Config{Replication: rep}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, tinyNodeConfig())
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestChaosAutopilot is the live-cluster closed-loop chaos test: a
+// flash crowd saturates a hot clip's replicas while a node carrying
+// in-flight streams is killed. The pilot — not the test — must join
+// the replacement and scale out into the crowd; meanwhile every
+// tracked stream must finish byte-exact on a survivor with each node's
+// admission invariant audited every round and zero buffer overflows.
+// Runs under -race in CI.
+func TestChaosAutopilot(t *testing.T) {
+	c := tinyCluster(t, 3, 2)
+	pilot := NewPilot(c, tinyNodeConfig(), autopilot.Config{
+		Window:           4,
+		ScaleOutHold:     2,
+		ScaleOutCooldown: 40,
+		ReplaceCooldown:  4,
+		Spares:           1,
+	})
+
+	clips := map[string][]byte{}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("clip%d", i)
+		clips[name] = clipBytes(int64(200+i), 30_000+i*5_000)
+		if err := c.AddClip(name, clips[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type play struct {
+		st   *Stream
+		want []byte
+		off  int64
+		done bool
+	}
+	var plays []*play
+	open := func(name string) bool {
+		st, err := c.OpenStream(name)
+		if err != nil {
+			if errors.Is(err, core.ErrAdmission) {
+				return false
+			}
+			t.Fatal(err)
+		}
+		plays = append(plays, &play{st: st, want: clips[name]})
+		return true
+	}
+	// One tracked stream per clip, spread across the membership.
+	for i := 0; i < 3; i++ {
+		if !open(fmt.Sprintf("clip%d", i)) {
+			t.Fatal("baseline stream refused on an empty cluster")
+		}
+	}
+
+	audit := func() {
+		t.Helper()
+		for i := 0; i < c.NodeCount(); i++ {
+			if !c.NodeAlive(i) {
+				continue
+			}
+			if err := c.NodeServer(i).CheckAdmission(); err != nil {
+				t.Fatalf("round %d: node %d over-committed: %v", c.Round(), i, err)
+			}
+		}
+	}
+	drain := func(p *play) {
+		t.Helper()
+		if p.done {
+			return
+		}
+		done, err := readAvailable(t, p.st, p.want, &p.off)
+		if err != nil {
+			t.Fatalf("round %d: clip %s at offset %d: %v", c.Round(), p.st.Clip(), p.off, err)
+		}
+		if done {
+			p.done = true
+		}
+	}
+	step := func() {
+		t.Helper()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := pilot.Step(); err != nil {
+			t.Fatal(err)
+		}
+		audit()
+		for _, p := range plays {
+			drain(p)
+		}
+	}
+
+	// Flash crowd: hammer clip0 until both its replicas refuse, then
+	// keep offering every round so the reject window stays hot.
+	for open("clip0") {
+	}
+	base := c.NodeCount()
+	for r := 0; r < 12 && c.NodeCount() == base; r++ {
+		open("clip0") // refused: both replicas are saturated
+		step()
+	}
+	if c.NodeCount() != base+1 {
+		t.Fatalf("pilot never scaled out under a sustained flash crowd (nodes = %d)", c.NodeCount())
+	}
+
+	// Node kill mid-playback: the pilot must replace the loss from its
+	// spare budget without any operator command.
+	victim := plays[0].st.Node()
+	if err := c.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	grown := c.NodeCount()
+	for r := 0; r < 40 && c.NodeCount() == grown; r++ {
+		step()
+	}
+	if c.NodeCount() != grown+1 {
+		t.Fatal("pilot never replaced the killed node")
+	}
+	var sawReplace bool
+	for _, a := range pilot.Actions() {
+		if a.Kind == autopilot.Replace {
+			sawReplace = true
+		}
+	}
+	if !sawReplace {
+		t.Fatalf("no replace action in trace: %s", autopilot.TraceString(pilot.Actions()))
+	}
+
+	// Every stream that survived the kill finishes byte-exact.
+	for r := 0; r < 4000; r++ {
+		allDone := true
+		for _, p := range plays {
+			if !p.done && p.st.Err() == nil {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		step()
+	}
+	for _, p := range plays {
+		if p.st.Err() != nil {
+			// Only acceptable loss: a stream whose clip lost both
+			// replicas — impossible here with replication 2 and one
+			// kill, so any error is a failure.
+			t.Fatalf("clip %s terminated: %v", p.st.Clip(), p.st.Err())
+		}
+		if !p.done {
+			t.Fatalf("clip %s never completed (offset %d of %d, node %d)",
+				p.st.Clip(), p.off, len(p.want), p.st.Node())
+		}
+	}
+
+	stats := c.Stats()
+	for i, ns := range stats.Node {
+		if i == victim {
+			continue
+		}
+		if ns.Overflows != 0 {
+			t.Fatalf("node %d reported %d buffer overflows", i, ns.Overflows)
+		}
+	}
+	if stats.Terminated != 0 {
+		t.Fatalf("Terminated = %d, want 0 (every clip is replicated)", stats.Terminated)
+	}
+}
+
+// TestPilotQuiescentStepAllocs pins the controller's steady-state cost:
+// observing an idle cluster allocates nothing.
+func TestPilotQuiescentStepAllocs(t *testing.T) {
+	c := tinyCluster(t, 3, 2)
+	pilot := NewPilot(c, tinyNodeConfig(), autopilot.Config{})
+	for i := 0; i < 3; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := pilot.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, ok, _ := pilot.Step(); ok {
+			t.Fatal("idle cluster fired an action")
+		}
+	}); avg != 0 {
+		t.Fatalf("quiescent Step allocates %.1f per run, want 0", avg)
+	}
+}
+
+// TestPilotDisableFreezes: a disabled pilot neither observes nor acts,
+// and re-enabling rebases the reject baseline so the outage window's
+// rejects cannot fire a stale scale-out.
+func TestPilotDisableFreezes(t *testing.T) {
+	c := tinyCluster(t, 2, 2)
+	pilot := NewPilot(c, tinyNodeConfig(), autopilot.Config{
+		Window: 4, ScaleOutHold: 2,
+	})
+	if !pilot.Enabled() {
+		t.Fatal("pilot starts disabled")
+	}
+	pilot.SetEnabled(false)
+	if pilot.Shedding() {
+		t.Fatal("disabled pilot reports shedding")
+	}
+
+	// Saturate the cluster and pile up rejects while the pilot is off.
+	data := clipBytes(5, 30_000)
+	if err := c.AddClip("hot", data); err != nil {
+		t.Fatal(err)
+	}
+	saturate := func() {
+		t.Helper()
+		for {
+			if _, err := c.OpenStream("hot"); err != nil {
+				if !errors.Is(err, core.ErrAdmission) {
+					t.Fatal(err)
+				}
+				return // the refusal just bumped the reject counter
+			}
+		}
+	}
+	for r := 0; r < 10; r++ {
+		saturate()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := pilot.Step(); ok {
+			t.Fatal("disabled pilot fired an action")
+		}
+	}
+	if c.NodeCount() != 2 {
+		t.Fatalf("membership changed while disabled: %d nodes", c.NodeCount())
+	}
+
+	// Re-enable with no fresh rejects: the stale backlog must not count.
+	pilot.SetEnabled(true)
+	for r := 0; r < 10; r++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if a, ok, _ := pilot.Step(); ok {
+			t.Fatalf("re-enabled pilot replayed stale rejects: %v", a)
+		}
+	}
+}

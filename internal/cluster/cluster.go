@@ -123,6 +123,10 @@ type Cluster struct {
 	// steady-state tick allocates nothing.
 	tickWorkers int
 	live        []*node
+	// tickFn is the per-node round body handed to parallel.ForEach,
+	// built once in New: a fresh closure every Tick would be the round's
+	// only heap allocation.
+	tickFn func(i int) error
 
 	// pendingFailover holds streams whose node died and whose replicas
 	// had no admission capacity yet; retried every Tick.
@@ -132,6 +136,11 @@ type Cluster struct {
 	failedOver int
 	terminated int
 	rejected   int
+	// nodeLosses counts nodeFailed transitions, cumulatively — a node
+	// that later rejoins still counted. The autopilot replaces each
+	// loss once; a rejoin after a replacement just leaves surplus
+	// capacity for scale-in to reclaim.
+	nodeLosses int
 
 	// Online reconfiguration (reconfig.go in this package).
 	// views is the versioned membership log; every transition bumps it
@@ -226,6 +235,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.views = reconfig.NewLog(c.geom)
 	c.tickWorkers = parallel.Workers(cfg.TickWorkers)
+	c.tickFn = func(i int) error {
+		n := c.live[i]
+		if terr := n.srv.Tick(); terr != nil {
+			return fmt.Errorf("cluster: node %d: %w", n.id, terr)
+		}
+		return nil
+	}
 	c.detector = health.NewDetector(len(cfg.Nodes), cfg.Health)
 	c.detector.SetOnFail(c.nodeDeclared)
 	if cfg.Faults != nil {
@@ -439,14 +455,7 @@ func (c *Cluster) Tick() error {
 			c.live = append(c.live, n)
 		}
 	}
-	live := c.live
-	err := parallel.ForEach(len(live), c.tickWorkers, func(i int) error {
-		if terr := live[i].srv.Tick(); terr != nil {
-			return fmt.Errorf("cluster: node %d: %w", live[i].id, terr)
-		}
-		return nil
-	})
-	if err != nil {
+	if err := parallel.ForEach(len(c.live), c.tickWorkers, c.tickFn); err != nil {
 		return err
 	}
 	c.retryFailovers()
@@ -483,6 +492,7 @@ func (c *Cluster) nodeFailed(i int) {
 		return
 	}
 	n.state = nodeFailed
+	c.nodeLosses++
 	c.planDirty = true
 	ids := make([]int, 0, len(c.streams))
 	for id, st := range c.streams {

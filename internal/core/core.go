@@ -471,6 +471,14 @@ func (s *Server) BlockSize() units.Bits { return s.cfg.Block }
 // Disks returns the configured disk count.
 func (s *Server) Disks() int { return s.cfg.D }
 
+// Contingency returns the per-disk contingency reservation f (0 for
+// schemes that do not reserve).
+func (s *Server) Contingency() int { return s.cfg.F }
+
+// ActiveStreams returns the number of open streams. Unlike Stats, it
+// never allocates — cheap enough for a per-round poll.
+func (s *Server) ActiveStreams() int { return len(s.streams) }
+
 // RoundDuration returns the playback time one round covers — b/r_p, or
 // (p−1)·b/r_p for streaming RAID's whole-group rounds.
 func (s *Server) RoundDuration() units.Duration {

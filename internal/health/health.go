@@ -359,6 +359,37 @@ func (dt *Detector) Registered(disk int) bool {
 	return disk >= 0 && disk < len(dt.state) && !dt.retired[disk]
 }
 
+// DownCount returns how many registered targets are currently declared
+// Down. Deregistered (retired) slots never count: a node that left the
+// cluster is not a failure. Allocation-free — policy loops poll it every
+// round.
+func (dt *Detector) DownCount() int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	n := 0
+	for i, s := range dt.state {
+		if s == Down && !dt.retired[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Down returns the indices of registered targets currently declared
+// Down, in index order — the detector-confirmed losses the autopilot
+// replaces.
+func (dt *Detector) Down() []int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	var out []int
+	for i, s := range dt.state {
+		if s == Down && !dt.retired[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Grow appends n fresh targets (state OK, no strikes) and returns the
 // new target count. Existing indices are stable; the new slots take the
 // next indices in order. Used when a node joins the cluster or an array

@@ -416,3 +416,33 @@ func TestDetectorGrow(t *testing.T) {
 		t.Fatalf("declarations = %v, want [3]", failed)
 	}
 }
+
+// Down/DownCount enumerate detector-confirmed losses for the autopilot:
+// declared targets count, deregistered ones never do, and a Reset (the
+// node rebuilt and rejoined) clears the loss.
+func TestDetectorDownEnumeration(t *testing.T) {
+	dt := NewDetector(4, Config{FailThreshold: 2})
+	if n := dt.DownCount(); n != 0 {
+		t.Fatalf("fresh detector DownCount = %d", n)
+	}
+	for i := 0; i < 2; i++ {
+		dt.Observe(1, 1, storage.ErrFailed)
+		dt.Observe(3, 1, storage.ErrFailed)
+	}
+	if got := dt.Down(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Down = %v, want [1 3]", got)
+	}
+	if n := dt.DownCount(); n != 2 {
+		t.Fatalf("DownCount = %d, want 2", n)
+	}
+	// A down node that leaves the cluster is no longer a loss to replace.
+	dt.Deregister(3)
+	if got := dt.Down(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Down after deregister = %v, want [1]", got)
+	}
+	// A rebuilt node that rejoins clears its loss.
+	dt.Reset(1)
+	if n := dt.DownCount(); n != 0 {
+		t.Fatalf("DownCount after reset = %d, want 0", n)
+	}
+}

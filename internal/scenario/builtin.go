@@ -71,6 +71,27 @@ var builtins = map[string]string{
 			{"kind": "maintenance", "action": "join", "hour": 20}
 		]
 	}`,
+
+	// primetime-autopilot: the closed-loop proving ground — the same
+	// diurnal day and 4× flash crowd, plus a node loss at 7:45pm with
+	// NO scripted operator response. Run it with the autopilot enabled
+	// (`cmsim -scenario primetime-autopilot -autopilot`): the controller
+	// must replace the lost node, scale out into the crowd, shed
+	// lean-back arrivals if the backlog still grows, and scale back in
+	// off-peak. Open-loop, the day simply runs degraded.
+	"primetime-autopilot": `{
+		"name": "primetime-autopilot",
+		"time_scale": 240,
+		"subscribers": 1000000,
+		"zipf": 1.1,
+		"patience_min": 8,
+		"mix": {"vcr_share": 0.3, "pause": 0.25, "early_stop": 0.35, "resume_min": 20},
+		"phases": [
+			{"kind": "diurnal", "start_hour": 0, "end_hour": 24, "peak_hour": 20.5, "min_frac": 0.1},
+			{"kind": "flashcrowd", "start_hour": 20, "end_hour": 21, "multiplier": 4, "clip": 0},
+			{"kind": "maintenance", "action": "fail", "node": 1, "hour": 19.75}
+		]
+	}`,
 }
 
 // BuiltinProfile returns one of the named scenarios as a profile, so

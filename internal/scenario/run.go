@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ftcms/internal/analytic"
+	"ftcms/internal/autopilot"
 	"ftcms/internal/diskmodel"
 	"ftcms/internal/sim"
 	"ftcms/internal/units"
@@ -36,6 +37,11 @@ type RunConfig struct {
 	// Workers sizes the cluster engine's per-round completion pool
 	// (0 = one per CPU).
 	Workers int
+	// Autopilot, when set, runs the scenario closed-loop: the policy
+	// controller drives all reconfiguration, so the profile's operator
+	// join/drain/adddisk maintenance is suppressed (faults — fail and
+	// restart — still fire). Cluster runs only.
+	Autopilot *autopilot.Config
 }
 
 // Result is a scenario run's outcome: the flat summary both engines
@@ -55,6 +61,11 @@ type Result struct {
 	// summarize service (Rejected counts patience abandonments).
 	Serviced, Completed, Rejected, Batched int
 	PeakActive, MaxQueue                   int
+	// Shed counts lean-back sessions the autopilot's degradation mode
+	// turned away at arrival (disjoint from Rejected).
+	Shed int
+	// Actions is the autopilot's decision trace (nil on open-loop runs).
+	Actions []autopilot.Action
 	// MeanResponse and ResponseP95 are arrival→admission delays.
 	MeanResponse, ResponseP95 units.Duration
 	// FailedOver, LostStreams and MigratedStreams count failure and
@@ -134,6 +145,9 @@ func Run(rc RunConfig) (Result, error) {
 	}
 
 	if rc.Nodes == 1 {
+		if rc.Autopilot != nil {
+			return Result{}, fmt.Errorf("scenario: autopilot needs a cluster (nodes > 1)")
+		}
 		for _, ev := range c.Maintenance() {
 			switch ev.Action {
 			case ActionFail, ActionRestart:
@@ -168,6 +182,7 @@ func Run(rc RunConfig) (Result, error) {
 		Nodes:       rc.Nodes,
 		Replication: rc.Replication,
 		Workers:     rc.Workers,
+		Autopilot:   rc.Autopilot,
 	}
 	for _, ev := range c.Maintenance() {
 		switch ev.Action {
@@ -175,12 +190,20 @@ func Run(rc RunConfig) (Result, error) {
 			ccfg.NodeTrace = append(ccfg.NodeTrace, sim.FailureEvent{Disk: ev.Node, At: ev.At})
 		case ActionRestart:
 			ccfg.NodeTrace = append(ccfg.NodeTrace, sim.FailureEvent{Disk: ev.Node, At: ev.At, Rebuild: true})
-		case ActionDrain:
-			ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "drain", Node: ev.Node, At: ev.At})
-		case ActionJoin:
-			ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "join", At: ev.At})
-		case ActionAddDisk:
-			ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "adddisk", Node: ev.Node, At: ev.At})
+		case ActionDrain, ActionJoin, ActionAddDisk:
+			// Closed-loop runs suppress operator reconfiguration: the
+			// autopilot owns capacity. Faults above still fire.
+			if rc.Autopilot != nil {
+				continue
+			}
+			switch ev.Action {
+			case ActionDrain:
+				ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "drain", Node: ev.Node, At: ev.At})
+			case ActionJoin:
+				ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "join", At: ev.At})
+			case ActionAddDisk:
+				ccfg.ViewTrace = append(ccfg.ViewTrace, sim.ViewEvent{Kind: "adddisk", Node: ev.Node, At: ev.At})
+			}
 		}
 	}
 	res, err := sim.RunCluster(ccfg)
@@ -195,6 +218,7 @@ func Run(rc RunConfig) (Result, error) {
 		MeanResponse: res.MeanResponse, ResponseP95: res.ResponseP95,
 		FailedOver: res.FailedOver, LostStreams: res.LostStreams,
 		MigratedStreams: res.MigratedStreams, ViewVersion: res.ViewVersion,
+		Shed: res.Shed, Actions: res.Actions,
 		Timeline: res.Timeline, ClusterRes: res,
 	}
 	out.Offered = offered(res.Timeline)

@@ -15,6 +15,7 @@ import (
 
 	"ftcms/internal/admission"
 	"ftcms/internal/analytic"
+	"ftcms/internal/autopilot"
 	"ftcms/internal/parallel"
 	"ftcms/internal/units"
 	"ftcms/internal/workload"
@@ -55,6 +56,14 @@ type ClusterConfig struct {
 	// tallies are merged in node order, so the result is identical at any
 	// worker count.
 	Workers int
+	// Autopilot, when set, runs the closed-loop policy controller: one
+	// Observe per round over the engine's own deterministic signals,
+	// with actions applied through the same join/drain machinery the
+	// ViewTrace uses. MinNodes defaults to the original membership (the
+	// replication floor) and MaxNodes to MinNodes+2. The controller
+	// runs in the sequential section of the round, so the action trace
+	// is byte-identical at any worker count.
+	Autopilot *autopilot.Config
 }
 
 // ViewEvent is one scripted reconfiguration action in a ViewTrace.
@@ -99,6 +108,14 @@ type ClusterResult struct {
 	// Rejected counts pending requests that abandoned after waiting past
 	// Node.Patience (always 0 without a patience bound).
 	Rejected int
+	// Shed counts new lean-back requests the autopilot's degradation
+	// mode turned away at arrival. Shed requests never enter the
+	// pending queue, so Rejected and Shed partition the lost demand —
+	// a session is never counted in both.
+	Shed int
+	// Actions is the autopilot's decision trace in firing order (nil
+	// without an Autopilot config).
+	Actions []autopilot.Action
 	// Timeline is the per-bucket timeline (nil unless Node.Timeline was
 	// set). Cluster buckets carry per-node active counts and the view
 	// version.
@@ -111,8 +128,13 @@ type ClusterResult struct {
 	NodeFailures int
 	// FailedOver counts in-flight streams moved to a surviving replica.
 	FailedOver int
-	// LostStreams counts in-flight streams that died with their node —
-	// unreplicated clips, or replicas with no admission room.
+	// LostStreams counts in-flight streams that died with their node.
+	// With a Patience bound, a stream that cannot fail over at the
+	// failure instant parks and retries each round — ahead of new
+	// admissions — mirroring the real cluster tier's parked-failover
+	// retry; it is lost only when it cannot land within Patience (or by
+	// run end). Without Patience, no admission room at the instant
+	// means lost, as before.
 	LostStreams int
 	// Joins, Drains and DiskAdds count applied ViewTrace events; Retired
 	// counts drains that completed (the node emptied) inside the window.
@@ -352,6 +374,17 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		e.nactive--
 	}
 
+	// Parked failover streams: in-flight streams whose node died with no
+	// replica room at the instant. With a Patience bound they retry each
+	// round (the viewer waits, interrupted) until they land or give up;
+	// without one, failure-time refusal is an immediate loss.
+	type parkedStream struct {
+		clipID    int
+		remaining int64
+		since     int64
+	}
+	var parkedStreams []parkedStream
+
 	roundDur := engines[0].roundDur
 	clipRounds := engines[0].clipRounds
 	totalRounds := int64(float64(nc.Duration)/float64(roundDur)) + 1
@@ -365,12 +398,82 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	relayoutAt := map[int]int64{}
 	var viewVersion int64
 
+	// joinNode adds a fresh node — scripted join, autopilot scale-out,
+	// or spare replacement all land here. The new node takes the next id
+	// and absorbs admissions for any clip as a spillover candidate.
+	joinNode := func() error {
+		id := len(engines)
+		jc := nc
+		jc.Seed = nc.Seed + int64(id)*7919
+		jc.Trace = nil
+		jc.FailDisk = -1
+		je, jerr := newEngine(jc, op)
+		if jerr != nil {
+			return jerr
+		}
+		engines = append(engines, je)
+		alive = append(alive, true)
+		role = append(role, roleActive)
+		bonusFree = append(bonusFree, 0)
+		completions = append(completions, 0)
+		res.PerNode = append(res.PerNode, NodeResult{FailRound: -1, DrainRound: -1, RetiredRound: -1})
+		res.Joins++
+		viewVersion++
+		return nil
+	}
+
+	// The autopilot observes the round's signals after the reconfig
+	// machinery has run and applies at most one action through the same
+	// join/drain paths the ViewTrace uses. Everything it reads is
+	// computed in the sequential section, so the action trace is
+	// byte-identical at any worker count.
+	var pilot *autopilot.Controller
+	perNodeCap := 0
+	nodeLosses := 0
+	pilotReserve := 0
+	if cfg.Autopilot != nil {
+		ac := *cfg.Autopilot
+		if ac.MinNodes <= 0 {
+			// Never drain below the original membership: the fixed
+			// round-robin placement needs every original node.
+			ac.MinNodes = cfg.Nodes
+		}
+		pilot = autopilot.New(ac)
+		perNodeCap = (op.Q - op.F) * nc.D
+		// While shedding, hold slots back from new admissions so an
+		// overloaded cluster can still fail a lost node's streams over
+		// instead of dropping them. One node's capacity is not enough:
+		// least-loaded routing spreads the reserve evenly across all
+		// active nodes, but a loss can only fail over to its clips'
+		// replica nodes plus the joined spillover nodes, and each node's
+		// share is further fragmented across per-disk position classes.
+		// Three nodes' worth keeps the reachable, class-diverse share
+		// above one (full) node's stream count.
+		pilotReserve = ac.FailoverReserve
+		if pilotReserve == 0 {
+			pilotReserve = 3 * perNodeCap
+		} else if pilotReserve < 0 {
+			pilotReserve = 0
+		}
+	}
+
 	for now := int64(0); now < totalRounds; now++ {
 		tStart := units.Duration(now) * roundDur
 		tEnd := units.Duration(now+1) * roundDur
 
-		// 1. Enqueue arrivals up to the end of this round.
+		// 1. Enqueue arrivals up to the end of this round. Under the
+		// autopilot's degradation mode, new lean-back sessions (whole-clip
+		// plays) are turned away at the door while VCR resumes — viewers
+		// already mid-session — still queue. Shed requests never enter
+		// the queue, so they can never also be counted as patience
+		// abandonments below.
+		shedding := pilot != nil && pilot.Shedding()
 		tl.offered(feed.feed(tEnd, func(r workload.Request) {
+			if shedding && (r.Frac <= 0 || r.Frac >= 1) {
+				res.Shed++
+				tl.shed(1)
+				return
+			}
 			queue.Push(pending{arrival: r.Arrival, clipID: r.ClipID, frac: r.Frac})
 		}))
 		if queue.Len() > res.MaxQueue {
@@ -400,20 +503,62 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 
 		// 3. Abandonment: pending requests whose patience ran out leave
 		// before this round's admissions.
+		abandoned := 0
 		if nc.Patience > 0 {
 			cut := tStart - nc.Patience
-			n := queue.ExpireHead(func(pd pending) bool { return pd.arrival < cut })
-			res.Rejected += n
-			tl.rejected(n)
+			abandoned = queue.ExpireHead(func(pd pending) bool { return pd.arrival < cut })
+			res.Rejected += abandoned
+			tl.rejected(abandoned)
+		}
+
+		// 3b. Retry parked failover streams ahead of new admissions:
+		// interrupted viewers outrank arrivals, and under the autopilot
+		// they land in the failover reserve. A stream parked longer than
+		// Patience is lost — its viewer gave up.
+		if len(parkedStreams) > 0 {
+			kept := parkedStreams[:0]
+			for _, p := range parkedStreams {
+				moved := false
+				for _, id := range candidates(p.clipID) {
+					if admitOn(id, p.clipID, now, p.remaining) {
+						res.FailedOver++
+						res.PerNode[id].FailedOverIn++
+						moved = true
+						break
+					}
+				}
+				switch {
+				case moved:
+				case units.Duration(p.since)*roundDur < tStart-nc.Patience:
+					res.LostStreams++
+				default:
+					kept = append(kept, p)
+				}
+			}
+			parkedStreams = kept
 		}
 
 		// 4. Admit from the cluster queue: least-loaded live replica
-		// first, spillover to the rest, stay queued otherwise.
+		// first, spillover to the rest, stay queued otherwise. While the
+		// autopilot sheds, new admissions stop short of full capacity so
+		// the failover reserve stays free for a node loss.
+		free := 0
+		if shedding && pilotReserve > 0 {
+			for id, e := range engines {
+				if alive[id] && role[id] == roleActive {
+					free += perNodeCap - e.nactive
+				}
+			}
+		}
 		queue.Drain(func(pd pending) bool {
+			if shedding && pilotReserve > 0 && free <= pilotReserve {
+				return false
+			}
 			for _, id := range candidates(pd.clipID) {
 				if !admitOn(id, pd.clipID, now, streamRounds(clipRounds, pd.frac)) {
 					continue
 				}
+				free--
 				res.Serviced++
 				res.PerNode[id].Serviced++
 				tl.admitted()
@@ -470,7 +615,11 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 						}
 					}
 					if !moved {
-						res.LostStreams++
+						if nc.Patience > 0 {
+							parkedStreams = append(parkedStreams, parkedStream{clipID: c.clipID, remaining: remaining, since: now})
+						} else {
+							res.LostStreams++
+						}
 					}
 				}
 				delete(e.active, r)
@@ -478,6 +627,9 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			if ev.Rebuild {
 				// Fast restart: the node rejoins empty next round.
 				alive[ev.Disk] = true
+			} else {
+				// A permanent loss the autopilot may replace.
+				nodeLosses++
 			}
 		}
 
@@ -489,23 +641,9 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			nextView++
 			switch ev.Kind {
 			case "join":
-				id := len(engines)
-				jc := nc
-				jc.Seed = nc.Seed + int64(id)*7919
-				jc.Trace = nil
-				jc.FailDisk = -1
-				je, jerr := newEngine(jc, op)
-				if jerr != nil {
+				if jerr := joinNode(); jerr != nil {
 					return ClusterResult{}, jerr
 				}
-				engines = append(engines, je)
-				alive = append(alive, true)
-				role = append(role, roleActive)
-				bonusFree = append(bonusFree, 0)
-				completions = append(completions, 0)
-				res.PerNode = append(res.PerNode, NodeResult{FailRound: -1, DrainRound: -1, RetiredRound: -1})
-				res.Joins++
-				viewVersion++
 			case "drain":
 				if ev.Node >= len(engines) || !alive[ev.Node] || role[ev.Node] != roleActive {
 					continue // down, already draining, or retired: no-op
@@ -592,6 +730,60 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			}
 		}
 
+		// 7. Autopilot: feed the round's signals to the controller and
+		// apply its action, if any, through the same paths the scripted
+		// view events use.
+		if pilot != nil {
+			activeNodes, draining := 0, 0
+			for id := range engines {
+				if !alive[id] {
+					continue
+				}
+				switch role[id] {
+				case roleActive:
+					activeNodes++
+				case roleDraining:
+					draining++
+				}
+			}
+			// The drain candidate is the least-loaded surplus node —
+			// only nodes beyond the original membership are surplus,
+			// because the fixed placement needs every original node.
+			cand, candLoad := -1, 0
+			for id := cfg.Nodes; id < len(engines); id++ {
+				if alive[id] && role[id] == roleActive && (cand < 0 || engines[id].nactive < candLoad) {
+					cand, candLoad = id, engines[id].nactive
+				}
+			}
+			if a, ok := pilot.Observe(autopilot.Signals{
+				Round:          now,
+				Rejects:        abandoned,
+				QueueDepth:     queue.Len(),
+				Active:         active,
+				Capacity:       activeNodes * perNodeCap,
+				ActiveNodes:    activeNodes,
+				NodeLosses:     nodeLosses,
+				Reconfiguring:  draining > 0 || len(relayoutAt) > 0,
+				DrainCandidate: cand,
+			}); ok {
+				switch a.Kind {
+				case autopilot.ScaleOut, autopilot.Replace:
+					if jerr := joinNode(); jerr != nil {
+						return ClusterResult{}, jerr
+					}
+				case autopilot.ScaleIn:
+					if a.Node < len(engines) && alive[a.Node] && role[a.Node] == roleActive {
+						role[a.Node] = roleDraining
+						res.Drains++
+						res.PerNode[a.Node].DrainRound = now
+						viewVersion++
+					}
+				}
+				res.Actions = append(res.Actions, a)
+				tl.action()
+			}
+		}
+
 		if tl != nil {
 			act, perNode := clusterActive(engines, alive)
 			tl.roll(tEnd, act, queue.Len(), viewVersion, perNode)
@@ -602,6 +794,8 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		act, perNode := clusterActive(engines, alive)
 		res.Timeline = tl.done(act, queue.Len(), viewVersion, perNode)
 	}
+	// Failover streams still parked at close never resumed: lost.
+	res.LostStreams += len(parkedStreams)
 	res.ViewVersion = viewVersion
 	res.Rounds = totalRounds
 	if res.Serviced > 0 {

@@ -33,6 +33,13 @@ type TimelineBucket struct {
 	// Rejected counts pending requests that abandoned (waited past the
 	// run's Patience) during the bucket.
 	Rejected int
+	// Shed counts new lean-back requests turned away at arrival by the
+	// autopilot's degradation mode during the bucket. Shed requests
+	// never enter the pending queue, so they are disjoint from Rejected
+	// — a session is counted as shed or abandoned, never both.
+	Shed int
+	// Actions counts autopilot actions that fired during the bucket.
+	Actions int
 	// Active is the number of in-flight streams when the bucket closed.
 	Active int
 	// Queue is the pending-list length when the bucket closed.
@@ -88,6 +95,20 @@ func (t *timeline) batched() {
 func (t *timeline) rejected(n int) {
 	if t != nil && n != 0 {
 		t.cur.Rejected += n
+		t.dirty = true
+	}
+}
+
+func (t *timeline) shed(n int) {
+	if t != nil && n != 0 {
+		t.cur.Shed += n
+		t.dirty = true
+	}
+}
+
+func (t *timeline) action() {
+	if t != nil {
+		t.cur.Actions++
 		t.dirty = true
 	}
 }

@@ -12,14 +12,15 @@ import (
 )
 
 // WriteTimelineCSV emits a scenario run's per-bucket timeline:
-// start_s,offered,admitted,batched,rejected,active,queue,view_version,
-// node_active rows. node_active joins per-node stream counts with ';'
-// (empty for single-array runs).
+// start_s,offered,admitted,batched,rejected,shed,actions,active,queue,
+// view_version,node_active rows. shed and actions are the autopilot
+// columns (0 on open-loop runs); node_active joins per-node stream
+// counts with ';' (empty for single-array runs).
 func WriteTimelineCSV(w io.Writer, buckets []sim.TimelineBucket) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"start_s", "offered", "admitted", "batched", "rejected",
-		"active", "queue", "view_version", "node_active",
+		"shed", "actions", "active", "queue", "view_version", "node_active",
 	}); err != nil {
 		return err
 	}
@@ -34,6 +35,8 @@ func WriteTimelineCSV(w io.Writer, buckets []sim.TimelineBucket) error {
 			fmt.Sprint(b.Admitted),
 			fmt.Sprint(b.Batched),
 			fmt.Sprint(b.Rejected),
+			fmt.Sprint(b.Shed),
+			fmt.Sprint(b.Actions),
 			fmt.Sprint(b.Active),
 			fmt.Sprint(b.Queue),
 			fmt.Sprint(b.ViewVersion),
@@ -54,6 +57,8 @@ type timelineJSON struct {
 	Admitted    int     `json:"admitted"`
 	Batched     int     `json:"batched,omitempty"`
 	Rejected    int     `json:"rejected"`
+	Shed        int     `json:"shed,omitempty"`
+	Actions     int     `json:"actions,omitempty"`
 	Active      int     `json:"active"`
 	Queue       int     `json:"queue"`
 	ViewVersion int64   `json:"view_version,omitempty"`
@@ -71,6 +76,8 @@ func WriteTimelineJSON(w io.Writer, buckets []sim.TimelineBucket) error {
 			Admitted:    b.Admitted,
 			Batched:     b.Batched,
 			Rejected:    b.Rejected,
+			Shed:        b.Shed,
+			Actions:     b.Actions,
 			Active:      b.Active,
 			Queue:       b.Queue,
 			ViewVersion: b.ViewVersion,
@@ -80,6 +87,41 @@ func WriteTimelineJSON(w io.Writer, buckets []sim.TimelineBucket) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// WriteAutopilotCSV emits the E21 closed-vs-open-loop sweep:
+// multiplier,offered,open_serviced,open_rejected,open_lost,
+// closed_serviced,closed_rejected,closed_shed,closed_lost,actions,
+// joins rows.
+func WriteAutopilotCSV(w io.Writer, points []experiments.AutopilotPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"multiplier", "offered", "open_serviced", "open_rejected", "open_lost",
+		"closed_serviced", "closed_rejected", "closed_shed", "closed_lost",
+		"actions", "joins",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			fmt.Sprintf("%g", pt.Multiplier),
+			fmt.Sprint(pt.Offered),
+			fmt.Sprint(pt.OpenServiced),
+			fmt.Sprint(pt.OpenRejected),
+			fmt.Sprint(pt.OpenLost),
+			fmt.Sprint(pt.ClosedServiced),
+			fmt.Sprint(pt.ClosedRejected),
+			fmt.Sprint(pt.ClosedShed),
+			fmt.Sprint(pt.ClosedLost),
+			fmt.Sprint(pt.Actions),
+			fmt.Sprint(pt.Joins),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteScenarioCSV emits the E20 flash-crowd sweep:
